@@ -1,0 +1,118 @@
+"""B10 — federation end-to-end scaling and the MSQL gateway overhead.
+
+Two questions:
+
+* how do install + materialize + query costs grow with the number of
+  *member databases* (not just data volume)? The unified view gains one
+  rule per member;
+* what does the MSQL gateway add over the IDL query it translates to?
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Experiment, time_call
+from repro.core.engine import IdlEngine
+from repro.multidb.federation import Federation
+from repro.multidb.msql import MsqlSession
+from repro.workloads.stocks import StockWorkload
+
+MEMBER_COUNTS = (3, 6, 12)
+STYLES = ("euter", "chwab", "ource")
+
+
+def build_federation(n_members, n_stocks=6, n_days=5):
+    workload = StockWorkload(n_stocks=n_stocks, n_days=n_days, seed=13)
+    federation = Federation()
+    for index in range(n_members):
+        style = STYLES[index % len(STYLES)]
+        federation.add_member(
+            f"m{index}", style, workload.relations_for(style)
+        )
+    federation.install()
+    return federation, workload
+
+
+@pytest.mark.parametrize("n_members", MEMBER_COUNTS)
+def test_unified_query_scaling(benchmark, n_members):
+    federation, _ = build_federation(n_members)
+    rows = benchmark(federation.unified_quotes)
+    assert rows
+
+
+def test_msql_gateway_overhead(benchmark):
+    workload = StockWorkload(n_stocks=6, n_days=5, seed=13)
+    engine = IdlEngine(universe=workload.universe())
+    session = MsqlSession(engine)
+    statement = "SELECT e.stkCode AS s FROM euter.r e WHERE e.clsPrice > 100"
+    rows = benchmark(session.execute, statement)
+    assert isinstance(rows, list)
+
+
+def test_b10_scaling_table(benchmark):
+    def measure():
+        rows = []
+        for n_members in MEMBER_COUNTS:
+            install_s, (federation, workload) = time_call(
+                build_federation, n_members, repeat=1
+            )
+            materialize_s, _ = time_call(
+                lambda fed=federation: (
+                    fed.engine.invalidate(),
+                    fed.engine.materialized_view(),
+                ),
+                repeat=1,
+            )
+            query_s, quotes = time_call(federation.unified_quotes, repeat=2)
+            rows.append(
+                {
+                    "members": n_members,
+                    "install_ms": install_s * 1000,
+                    "materialize_ms": materialize_s * 1000,
+                    "query_ms": query_s * 1000,
+                    "unified_quotes": len(quotes),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    experiment = Experiment(
+        "B10",
+        "federation scaling in member count (6 stocks x 5 days each)",
+        "the two-level mapping needs one rule per member; cost grows "
+        "linearly in members, the unified content stays the union",
+    )
+    for row in rows:
+        experiment.add_row(**row)
+    experiment.report()
+    # Members carry the same market: the union never grows.
+    assert len({row["unified_quotes"] for row in rows}) == 1
+
+
+def test_b10_msql_table(benchmark):
+    def measure():
+        workload = StockWorkload(n_stocks=6, n_days=5, seed=13)
+        engine = IdlEngine(universe=workload.universe())
+        session = MsqlSession(engine)
+        statement = (
+            "SELECT e.stkCode AS s FROM euter.r e WHERE e.clsPrice > 100"
+        )
+        [translated] = session.translate(statement)
+        msql_s, _ = time_call(session.execute, statement, repeat=3)
+        idl_s, _ = time_call(engine.query, translated, repeat=3)
+        return [
+            {"route": "MSQL gateway", "ms": msql_s * 1000},
+            {"route": "translated IDL directly", "ms": idl_s * 1000},
+        ]
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    experiment = Experiment(
+        "B10b",
+        "MSQL gateway vs the IDL it translates to",
+        "IDL subsumes MSQL: the gateway is parse+translate on top of the "
+        "same evaluation",
+    )
+    for row in rows:
+        experiment.add_row(**row)
+    experiment.report()

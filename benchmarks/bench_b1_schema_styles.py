@@ -1,0 +1,62 @@
+"""B1 — same-intention query latency across the three schema styles.
+
+Question: does the *schema style* (data vs attribute vs relation
+placement of the stock dimension) change query cost under IDL? Sweep
+the stock count with fixed days; the euter style scans S*D tuples while
+chwab scans D tuples x S attributes and ource scans S relations x D
+tuples — same asymptotics, different constants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Experiment, stock_engine, time_call
+
+SIZES = (5, 20, 50)
+STYLE_QUERIES = {
+    "euter": "?.euter.r(.stkCode=S, .clsPrice>{t})",
+    "chwab": "?.chwab.r(.S>{t}), S != date",
+    "ource": "?.ource.S(.clsPrice>{t})",
+}
+
+
+@pytest.mark.parametrize("n_stocks", SIZES)
+@pytest.mark.parametrize("style", sorted(STYLE_QUERIES))
+def test_style_query(benchmark, style, n_stocks):
+    engine, _ = stock_engine(n_stocks=n_stocks, n_days=10)
+    source = STYLE_QUERIES[style].format(t=100)
+    results = benchmark(engine.query, source)
+    assert isinstance(results, list)
+
+
+def test_b1_sweep_table(benchmark):
+    def sweep():
+        rows = []
+        for n_stocks in SIZES:
+            engine, _ = stock_engine(n_stocks=n_stocks, n_days=10)
+            row = {"n_stocks": n_stocks}
+            answers = {}
+            for style, template in STYLE_QUERIES.items():
+                source = template.format(t=100)
+                elapsed, result = time_call(engine.query, source, repeat=2)
+                row[f"{style}_ms"] = elapsed * 1000
+                answers[style] = {a["S"] for a in result}
+            row["styles_agree"] = (
+                "yes"
+                if answers["euter"] == answers["chwab"] == answers["ource"]
+                else "NO"
+            )
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    experiment = Experiment(
+        "B1",
+        "query latency by schema style (10 days, threshold 100)",
+        "one expression per style; answers agree; costs stay comparable",
+    )
+    for row in rows:
+        experiment.add_row(**row)
+    experiment.report()
+    assert all(row["styles_agree"] == "yes" for row in rows)

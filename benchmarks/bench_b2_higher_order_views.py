@@ -1,0 +1,67 @@
+"""B2 — higher-order view materialization.
+
+Question: the dbO customized view defines one relation per stock — a
+data-dependent schema. How does materialization scale as the number of
+defined relations grows, and does the relation count track the data
+exactly?
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Experiment, time_call
+from repro.core.engine import IdlEngine
+from repro.workloads.stocks import StockWorkload
+
+SIZES = (5, 20, 50)
+
+DBO_RULE = ".dbO.S(.date=D, .clsPrice=P) <- .euter.r(.date=D, .stkCode=S, .clsPrice=P)"
+
+
+def build_engine(n_stocks):
+    workload = StockWorkload(n_stocks=n_stocks, n_days=10, seed=2)
+    engine = IdlEngine(universe=workload.universe({"euter": "euter"}))
+    engine.define(DBO_RULE)
+    return engine, workload
+
+
+@pytest.mark.parametrize("n_stocks", SIZES)
+def test_higher_order_materialization(benchmark, n_stocks):
+    engine, workload = build_engine(n_stocks)
+
+    def materialize():
+        engine.invalidate()
+        return engine.overlay
+
+    overlay = benchmark(materialize)
+    assert len(overlay.get("dbO").attr_names()) == n_stocks
+
+
+def test_b2_relation_count_tracks_data(benchmark):
+    def sweep():
+        rows = []
+        for n_stocks in SIZES:
+            engine, workload = build_engine(n_stocks)
+            elapsed, overlay = time_call(
+                lambda: (engine.invalidate(), engine.overlay)[1], repeat=2
+            )
+            rows.append(
+                {
+                    "n_stocks": n_stocks,
+                    "dbO_relations": len(overlay.get("dbO").attr_names()),
+                    "materialize_ms": elapsed * 1000,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    experiment = Experiment(
+        "B2",
+        "higher-order view: one relation per stock (10 days)",
+        "the number of relations defined by one rule is data dependent",
+    )
+    for row in rows:
+        experiment.add_row(**row)
+    experiment.report()
+    assert [row["dbO_relations"] for row in rows] == list(SIZES)

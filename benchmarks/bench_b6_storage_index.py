@@ -1,0 +1,117 @@
+"""B6 — storage substrate: hash-index lookup vs full scan.
+
+Question: the member databases run on our relational substrate; do its
+secondary hash indexes behave (O(1)-ish point lookup vs O(n) scans,
+crossover immediately)? Exercises the layer every federation query
+ultimately reads through.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Experiment, euter_storage, time_call
+from repro.workloads.stocks import StockWorkload
+
+SIZES = (20, 100, 300)  # n_stocks; rows = n_stocks * 20 days
+
+
+def build(n_stocks):
+    workload = StockWorkload(n_stocks=n_stocks, n_days=20, seed=4)
+    storage = euter_storage(workload)
+    return storage, workload
+
+
+@pytest.mark.parametrize("indexed", (False, True))
+def test_point_lookup(benchmark, indexed):
+    storage, workload = build(100)
+    if indexed:
+        storage.create_index("r", "by_stk", ("stkCode",))
+    symbol = workload.symbols[-1]
+    rows = benchmark(storage.lookup, "r", stkCode=symbol)
+    assert len(rows) == 20
+
+
+@pytest.mark.parametrize("indexed", (False, True))
+def test_range_lookup(benchmark, indexed):
+    storage, workload = build(100)
+    if indexed:
+        storage.create_index("r", "by_price", ("clsPrice",), kind="sorted")
+    relation = storage.relation("r")
+    rows = benchmark(relation.range_lookup, "clsPrice", 95.0, 105.0)
+    assert isinstance(rows, list)
+
+
+def test_b6_range_table(benchmark):
+    def sweep():
+        rows = []
+        for n_stocks in SIZES:
+            storage, _ = build(n_stocks)
+            relation = storage.relation("r")
+            scan_s, scanned = time_call(
+                relation.range_lookup, "clsPrice", 95.0, 105.0, repeat=3
+            )
+            storage.create_index("r", "by_price", ("clsPrice",), kind="sorted")
+            index_s, indexed = time_call(
+                relation.range_lookup, "clsPrice", 95.0, 105.0, repeat=3
+            )
+            rows.append(
+                {
+                    "total_rows": n_stocks * 20,
+                    "scan_us": scan_s * 1e6,
+                    "sorted_index_us": index_s * 1e6,
+                    "speedup": scan_s / index_s if index_s else float("inf"),
+                    "agree": "yes"
+                    if sorted(map(str, scanned)) == sorted(map(str, indexed))
+                    else "NO",
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    experiment = Experiment(
+        "B6b",
+        "range lookup: sorted index vs scan (clsPrice in [95, 105])",
+        "substrate sanity: ordered indexes serve range predicates",
+    )
+    for row in rows:
+        experiment.add_row(**row)
+    experiment.report()
+    assert all(row["agree"] == "yes" for row in rows)
+
+
+def test_b6_crossover_table(benchmark):
+    def sweep():
+        rows = []
+        for n_stocks in SIZES:
+            storage, workload = build(n_stocks)
+            symbol = workload.symbols[-1]
+            scan_s, scanned = time_call(
+                storage.lookup, "r", repeat=3, stkCode=symbol
+            )
+            storage.create_index("r", "by_stk", ("stkCode",))
+            index_s, indexed = time_call(
+                storage.lookup, "r", repeat=3, stkCode=symbol
+            )
+            rows.append(
+                {
+                    "total_rows": n_stocks * 20,
+                    "scan_us": scan_s * 1e6,
+                    "index_us": index_s * 1e6,
+                    "speedup": scan_s / index_s if index_s else float("inf"),
+                    "agree": "yes" if scanned == indexed else "NO",
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    experiment = Experiment(
+        "B6",
+        "storage point lookup: secondary hash index vs scan (20 days)",
+        "substrate sanity: index lookups are flat, scans grow linearly",
+    )
+    for row in rows:
+        experiment.add_row(**row)
+    experiment.report()
+    assert all(row["agree"] == "yes" for row in rows)
+    assert rows[-1]["speedup"] > 1.0

@@ -1,0 +1,146 @@
+"""B8 — relational (SQL) baseline vs IDL.
+
+Two questions:
+
+* on first-order-expressible queries (fixed names), how does the IDL
+  interpreter compare to the mini-SQL engine over the storage substrate?
+* on the schematically discrepant members, how many SQL statements must
+  the *application* generate (catalog-driven) for one IDL expression —
+  the paper's Section 2 argument, quantified.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Experiment, euter_storage, stock_engine, time_call
+from repro.multidb.firstorder import FirstOrderFederation
+from repro.sql import SqlEngine
+from repro.storage import StorageDatabase
+from repro.workloads.stocks import StockWorkload
+
+SIZES = (10, 30)
+
+
+def build(n_stocks):
+    engine, workload = stock_engine(n_stocks=n_stocks, n_days=20)
+    storage = euter_storage(workload)
+    return engine, SqlEngine(storage), workload
+
+
+def test_idl_first_order_query(benchmark):
+    engine, _, _ = build(30)
+    result = benchmark(
+        engine.query, "?.euter.r(.stkCode=hp, .clsPrice>100, .date=D)"
+    )
+    assert isinstance(result, list)
+
+
+def test_sql_first_order_query(benchmark):
+    _, sql, _ = build(30)
+    result = benchmark(
+        sql.execute, "SELECT date FROM r WHERE stkCode = 'hp' AND clsPrice > 100"
+    )
+    assert isinstance(result, list)
+
+
+def _first_order_federation(workload):
+    federation = FirstOrderFederation()
+    for style in ("euter", "chwab", "ource"):
+        storage = StorageDatabase(style)
+        if style == "euter":
+            storage.create_relation(
+                "r", [("date", "str"), ("stkCode", "str"), ("clsPrice", "float")]
+            )
+            for day, symbol, price in workload.quotes():
+                storage.insert(
+                    "r", {"date": day, "stkCode": symbol, "clsPrice": price}
+                )
+        elif style == "chwab":
+            storage.create_relation(
+                "r",
+                [("date", "str")] + [(s, "float") for s in workload.symbols],
+            )
+            for row in workload.chwab_relations()["r"]:
+                storage.insert("r", row)
+        else:
+            for symbol in workload.symbols:
+                storage.create_relation(
+                    symbol, [("date", "str"), ("clsPrice", "float")]
+                )
+                for row in workload.ource_relations()[symbol]:
+                    storage.insert(symbol, row)
+        federation.add_member(style, storage, style)
+    return federation
+
+
+def test_b8_tables(benchmark):
+    def measure():
+        latency_rows = []
+        for n_stocks in SIZES:
+            engine, sql, workload = build(n_stocks)
+            idl_s, _ = time_call(
+                engine.query,
+                "?.euter.r(.stkCode=hp, .clsPrice>100, .date=D)",
+                repeat=3,
+            )
+            sql_s, _ = time_call(
+                sql.execute,
+                "SELECT date FROM r WHERE stkCode = 'hp' AND clsPrice > 100",
+                repeat=3,
+            )
+            latency_rows.append(
+                {
+                    "n_stocks": n_stocks,
+                    "idl_ms": idl_s * 1000,
+                    "sql_ms": sql_s * 1000,
+                    "idl_over_sql": idl_s / sql_s if sql_s else float("inf"),
+                }
+            )
+
+        explosion_rows = []
+        for n_stocks in SIZES:
+            workload = StockWorkload(n_stocks=n_stocks, n_days=20, seed=3)
+            federation = _first_order_federation(workload)
+            _, queries = federation.stocks_above(100)
+            explosion_rows.append(
+                {
+                    "n_stocks": n_stocks,
+                    "sql_statements": queries,
+                    "idl_expressions": 3,  # one per member schema style
+                }
+            )
+        return latency_rows, explosion_rows
+
+    latency_rows, explosion_rows = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+
+    latency = Experiment(
+        "B8a",
+        "first-order query: IDL interpreter vs mini-SQL (20 days)",
+        "on fixed-name queries the relational engine is the baseline; "
+        "IDL pays interpretation overhead, not asymptotics",
+    )
+    for row in latency_rows:
+        latency.add_row(**row)
+    latency.report()
+
+    explosion = Experiment(
+        "B8b",
+        "statements needed for 'any stock above T' across three members",
+        "Section 2: SQL needs catalog-driven per-column/per-relation "
+        "statements; IDL needs one expression per member (or one, via "
+        "the unified view)",
+    )
+    for row in explosion_rows:
+        explosion.add_row(**row)
+    explosion.report()
+
+    assert explosion_rows[-1]["sql_statements"] > explosion_rows[-1][
+        "idl_expressions"
+    ]
+    # SQL statement count grows with the schema, IDL's does not.
+    assert (
+        explosion_rows[1]["sql_statements"] > explosion_rows[0]["sql_statements"]
+    )

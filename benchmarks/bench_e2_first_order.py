@@ -1,0 +1,55 @@
+"""E2 — Section 4.2: first-order query examples on the euter schema.
+
+Paper claim: IDL has "the usual relational algebra capabilities such as
+join, selection, negation etc." Each example query is benchmarked on a
+seeded 20-stock x 30-day euter database.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Experiment, stock_engine
+
+QUERIES = {
+    "selection": "?.euter.r(.stkCode=hp, .clsPrice>60)",
+    "self_join": (
+        "?.euter.r(.stkCode=hp, .clsPrice>60, .date=D),"
+        " .euter.r(.stkCode=ibm, .clsPrice>60, .date=D)"
+    ),
+    "negation_all_time_high": (
+        "?.euter.r(.stkCode=hp, .clsPrice=P, .date=D),"
+        " .euter.r~(.stkCode=hp, .clsPrice>P)"
+    ),
+    "open_selection": "?.euter.r(.stkCode=S, .clsPrice>200)",
+}
+
+
+@pytest.fixture(scope="module")
+def engine():
+    built, _ = stock_engine(n_stocks=20, n_days=30)
+    return built
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_first_order_query(benchmark, engine, name):
+    source = QUERIES[name]
+    results = benchmark(engine.query, source)
+    assert isinstance(results, list)
+
+
+def test_e2_claim_table(benchmark, engine):
+    def run_all():
+        return {name: len(engine.query(source)) for name, source in QUERIES.items()}
+
+    counts = benchmark(run_all)
+    experiment = Experiment(
+        "E2",
+        "Section 4.2 query examples (20 stocks x 30 days)",
+        "select / join / negation / open selection are all expressible",
+    )
+    for name in sorted(QUERIES):
+        experiment.add_row(query=name, answers=counts[name])
+    experiment.report()
+    # The all-time high is unique per definition.
+    assert counts["negation_all_time_high"] == 1

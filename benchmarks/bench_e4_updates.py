@@ -1,0 +1,70 @@
+"""E4 — Section 5: update expressions.
+
+Paper claim: set/tuple/atomic plus and minus update both data and
+metadata "in the same expression"; update order is significant. We
+benchmark each update species against a fresh universe per round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Experiment
+from repro.core.parser import parse_query
+from repro.core.updates import apply_request
+from repro.workloads.stocks import StockWorkload
+
+UPDATES = {
+    "set_plus": "?.euter.r+(.date=9/9/99, .stkCode=zzz, .clsPrice=1)",
+    "set_minus": "?.euter.r-(.stkCode=hp)",
+    "atomic_minus": "?.chwab.r(.hp-=C, .date=D)",
+    "tuple_minus_attr": "?.chwab.r(-.hp)",
+    "tuple_plus_attr": "?.chwab.r(+.zzz=1)",
+    "relation_drop": "?.ource-.hp",
+    "delete_insert_compose": (
+        "?.chwab.r(.date=D, .hp=C), .chwab.r(.date=D, .hp+=C+10)"
+    ),
+}
+
+
+def fresh_universe():
+    return StockWorkload(n_stocks=10, n_days=20, seed=7).universe()
+
+
+@pytest.mark.parametrize("name", sorted(UPDATES))
+def test_update_expression(benchmark, name):
+    request = parse_query(UPDATES[name])
+
+    def run():
+        universe = fresh_universe()
+        return apply_request(request, universe)
+
+    result = benchmark(run)
+    assert result.succeeded or name == "set_minus"
+
+
+def test_e4_claim_table(benchmark):
+    def run_all():
+        rows = []
+        for name in sorted(UPDATES):
+            universe = fresh_universe()
+            result = apply_request(parse_query(UPDATES[name]), universe)
+            rows.append(
+                (name, result.inserted, result.deleted, result.modified)
+            )
+        return rows
+
+    rows = benchmark(run_all)
+    experiment = Experiment(
+        "E4",
+        "Section 5 update species (10 stocks x 20 days)",
+        "data and metadata updatable in one expression; +/- compose",
+    )
+    for name, inserted, deleted, modified in rows:
+        experiment.add_row(
+            update=name, inserted=inserted, deleted=deleted, modified=modified
+        )
+    experiment.report()
+    by_name = {row[0]: row for row in rows}
+    assert by_name["set_minus"][2] == 20  # hp tuple per day deleted
+    assert by_name["relation_drop"][2] == 1

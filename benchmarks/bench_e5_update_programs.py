@@ -1,0 +1,73 @@
+"""E5 — Section 7.1: delStk / rmStk / insStk update programs.
+
+Paper claim: named, parameterized update programs translate one logical
+update to every member database — including metadata updates (rmStk) —
+and remain usable under partial bindings (delStk with only a stock, only
+a date, or nothing).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Experiment, stock_federation
+
+CALLS = {
+    "insStk_existing_stock": ("insStk", {"stk": "hp", "date": "9/9/99", "price": 1}),
+    "insStk_new_stock": ("insStk", {"stk": "zzz", "date": "9/9/99", "price": 1}),
+    "delStk_full": ("delStk", {"stk": "hp", "date": None}),
+    "delStk_stock_only": ("delStk", {"stk": "hp"}),
+    "rmStk": ("rmStk", {"stk": "hp"}),
+}
+
+
+def fresh_federation():
+    federation, workload = stock_federation(n_stocks=8, n_days=10, users=False)
+    return federation, workload
+
+
+@pytest.mark.parametrize("name", sorted(CALLS))
+def test_update_program_call(benchmark, name):
+    program, args = CALLS[name]
+
+    def run():
+        federation, workload = fresh_federation()
+        call_args = dict(args)
+        if call_args.get("date") is None and "date" in call_args:
+            call_args["date"] = workload.days[0]
+        return federation.call(program, **{k: v for k, v in call_args.items()
+                                           if v is not None})
+
+    result = benchmark(run)
+    assert result.succeeded
+
+
+def test_e5_claim_table(benchmark):
+    def run_all():
+        rows = []
+        for name in sorted(CALLS):
+            program, args = CALLS[name]
+            federation, workload = fresh_federation()
+            call_args = {k: v for k, v in args.items() if v is not None}
+            if "date" in args and args["date"] is None:
+                call_args["date"] = workload.days[0]
+            result = federation.call(program, **call_args)
+            rows.append((name, result.inserted, result.deleted, result.modified))
+        return rows
+
+    rows = benchmark(run_all)
+    experiment = Experiment(
+        "E5",
+        "update programs across three members (8 stocks x 10 days)",
+        "one named program updates data AND metadata in every member",
+    )
+    for name, inserted, deleted, modified in rows:
+        experiment.add_row(
+            call=name, inserted=inserted, deleted=deleted, modified=modified
+        )
+    experiment.report()
+    by_name = {row[0]: row for row in rows}
+    # rmStk removes: 10 euter tuples + chwab attribute (x10 rows) + ource rel.
+    assert by_name["rmStk"][2] >= 12
+    # insStk of a new stock inserts into euter + ource and widens chwab.
+    assert by_name["insStk_new_stock"][1] >= 2

@@ -1,0 +1,93 @@
+"""E6 — Section 7.2: view updatability through customized views.
+
+Paper claim: a user's +/- on their customized view is translated (by the
+administrator's programs) into base updates such that "the subsequent
+computation of the view faithfully reflects the view update".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Experiment, stock_federation
+
+VIEW_UPDATES = {
+    "insert_via_dbE": "?.dbE.r+(.date=9/9/99, .stkCode=zzz, .clsPrice=5)",
+    "delete_via_dbE": None,  # built per-run (needs a live quote)
+    "insert_via_dbO_wildcard": "?.dbO.hp+(.date=9/9/99, .clsPrice=5)",
+    "delete_via_dbO_wildcard": None,
+}
+
+
+def fresh():
+    return stock_federation(n_stocks=6, n_days=8)
+
+
+@pytest.mark.parametrize(
+    "name", ["insert_via_dbE", "insert_via_dbO_wildcard"]
+)
+def test_view_insert(benchmark, name):
+    source = VIEW_UPDATES[name]
+
+    def run():
+        federation, _ = fresh()
+        return federation.update(source)
+
+    result = benchmark(run)
+    assert result.succeeded
+
+
+@pytest.mark.parametrize("view", ["dbE", "dbO"])
+def test_view_delete(benchmark, view):
+    def run():
+        federation, workload = fresh()
+        day = workload.days[0]
+        symbol = workload.symbols[0]
+        if view == "dbE":
+            return federation.update(
+                f"?.dbE.r-(.date={day}, .stkCode={symbol})"
+            )
+        return federation.update(f"?.dbO.{symbol}-(.date={day})")
+
+    result = benchmark(run)
+    assert result.succeeded
+
+
+def test_e6_faithfulness_table(benchmark):
+    def run():
+        checks = []
+        federation, workload = fresh()
+        day, symbol = workload.days[0], workload.symbols[0]
+
+        federation.update("?.dbE.r+(.date=9/9/99, .stkCode=zzz, .clsPrice=5)")
+        checks.append(
+            ("insert via dbE visible in dbE",
+             federation.ask("?.dbE.r(.date=9/9/99, .stkCode=zzz, .clsPrice=5)"))
+        )
+        checks.append(
+            ("...and in every member",
+             federation.ask("?.euter.r(.stkCode=zzz)")
+             and federation.ask("?.chwab.r(.zzz=5)")
+             and federation.ask("?.ource.zzz(.clsPrice=5)"))
+        )
+        federation.update(f"?.dbO.{symbol}-(.date={day})")
+        checks.append(
+            (f"delete via dbO.{symbol} invisible in dbO",
+             not federation.ask(f"?.dbO.{symbol}(.date={day})"))
+        )
+        checks.append(
+            ("...and gone from euter",
+             not federation.ask(f"?.euter.r(.date={day}, .stkCode={symbol})"))
+        )
+        return checks
+
+    checks = benchmark(run)
+    experiment = Experiment(
+        "E6",
+        "view update faithfulness (6 stocks x 8 days)",
+        "view +/- translate to base updates; recomputed views reflect them",
+    )
+    for label, held in checks:
+        experiment.check(held, label)
+    experiment.report()
+    assert all(held for _, held in checks)

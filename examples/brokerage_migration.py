@@ -1,0 +1,98 @@
+"""Schema migration between discrepant styles, on the storage substrate.
+
+A data vendor stores quotes chwab-style (one column per stock) on its
+relational database and wants to migrate to ource-style (one relation
+per stock) without interrupting clients. The plan:
+
+1. attach the live storage database to an IDL engine;
+2. define the target schema as a *higher-order view* — the migration is
+   one rule, and the number of target relations follows the data;
+3. validate the view against the source (per-quote equivalence);
+4. cut over: materialize the view into a new storage database and
+   verify with the storage engine's own SQL.
+
+Run:  python examples/brokerage_migration.py
+"""
+
+from __future__ import annotations
+
+from repro import IdlEngine
+from repro.multidb import attach_storage, detect_style, flush_to_storage, to_long
+from repro.sql import SqlEngine
+from repro.storage import StorageDatabase
+from repro.workloads.stocks import StockWorkload
+
+
+def build_source(workload):
+    storage = StorageDatabase("vendor")
+    columns = [("date", "str", False)] + [
+        (symbol, "float") for symbol in workload.symbols
+    ]
+    storage.create_relation("r", columns, key=("date",))
+    for row in workload.chwab_relations()["r"]:
+        storage.insert("r", row)
+    return storage
+
+
+def main():
+    workload = StockWorkload(n_stocks=5, n_days=6, seed=77)
+    source = build_source(workload)
+    print("== 1. the live source database ==")
+    print("   relations:", source.relation_names(),
+          "rows:", source.row_count())
+    detected = detect_style(
+        {name: source.scan(name) for name in source.relation_names()}
+    )
+    print("   detected schema style:", detected)
+
+    print("\n== 2. the migration, as one higher-order rule ==")
+    engine = IdlEngine()
+    attach_storage(engine, "vendor", source)
+    rule = (
+        ".target.S(.date=D, .clsPrice=P) <- .vendor.r(.date=D, .S=P),"
+        " S != date"
+    )
+    print("  ", rule)
+    engine.define(rule)
+    overlay = engine.overlay
+    print("   target relations (data-dependent):",
+          sorted(overlay.get("target").attr_names()))
+
+    print("\n== 3. validation: per-quote equivalence ==")
+    source_quotes = to_long(
+        {"r": source.scan("r")}, "chwab"
+    )
+    target_quotes = sorted(
+        (answer["D"], answer["S"], answer["P"])
+        for answer in engine.query("?.target.S(.date=D, .clsPrice=P)")
+    )
+    print("   source quotes:", len(source_quotes),
+          " target quotes:", len(target_quotes),
+          " equal:", source_quotes == target_quotes)
+    assert source_quotes == target_quotes
+
+    print("\n== 4. cutover: materialize into a new storage database ==")
+    target_storage = StorageDatabase("vendor_v2")
+    # Move the derived view into a real universe member, then flush.
+    engine.universe.add_database("target_base")
+    for rel_name in overlay.get("target").attr_names():
+        relation = overlay.get("target").get(rel_name)
+        engine.universe.database("target_base").set(rel_name, relation.copy())
+    flush_to_storage(engine.universe, "target_base", target_storage)
+    print("   new storage relations:", target_storage.relation_names())
+
+    sql = SqlEngine(target_storage)
+    symbol = workload.symbols[0]
+    rows = sql.execute(
+        f"SELECT date, clsPrice FROM {symbol} ORDER BY date LIMIT 3"
+    )
+    print(f"   SELECT ... FROM {symbol}:")
+    for row in rows:
+        print("    ", row)
+    check = sql.execute(f"SELECT count(*) AS n FROM {symbol}")
+    assert check[0]["n"] == workload.n_days
+    print("\nmigration complete and verified.")
+
+
+if __name__ == "__main__":
+    main()

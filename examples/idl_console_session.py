@@ -1,0 +1,74 @@
+"""A scripted tour of the IDL console.
+
+Drives :class:`repro.tools.repl.IdlRepl` through a complete session —
+exploration, view definition, explain, integrity declaration, update
+programs, persistence — echoing every input so the output reads as a
+transcript. (For a live console: ``python -m repro.tools.repl``.)
+
+Run:  python examples/idl_console_session.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro import IdlEngine
+from repro.tools.repl import IdlRepl
+from repro.workloads.stocks import paper_universe
+
+SESSION = [
+    "% look around",
+    ":dbs",
+    ":rels ource",
+    "",
+    "% the same intention against each schema",
+    "?.euter.r(.stkCode=S, .clsPrice>100)",
+    "?.chwab.r(.S>100), S != date",
+    "?.ource.S(.clsPrice>100)",
+    "",
+    "% how is that last one evaluated?",
+    ":explain ?.ource.S(.clsPrice>100)",
+    "",
+    "% a unified view over all three members",
+    ".dbI.p(.date=D, .stk=S, .price=P) <- .euter.r(.date=D, .stkCode=S, .clsPrice=P)",
+    ".dbI.p(.date=D, .stk=S, .price=P) <- .chwab.r(.date=D, .S=P), S != date",
+    ".dbI.p(.date=D, .stk=S, .price=P) <- .ource.S(.date=D, .clsPrice=P)",
+    "?.dbI.p(.date=3/3/85, .stk=S, .price=P)",
+    "",
+    "% an update program; calling it is just another request",
+    ".dbU.delStk(.stk=S, .date=D) -> .euter.r-(.stkCode=S, .date=D)",
+    ".dbU.delStk(.stk=S, .date=D) -> .chwab.r(.S-=X, .date=D)",
+    ".dbU.delStk(.stk=S, .date=D) -> .ource.S-(.date=D)",
+    ":program",
+    "?.dbU.delStk(.stk=hp, .date=3/3/85)",
+    "?.dbI.p(.date=3/3/85, .stk=S, .price=P)",
+    "",
+    ":quit",
+]
+
+
+def main():
+    engine = IdlEngine(universe=paper_universe())
+    engine.universe.add_database("dbU")
+    repl = IdlRepl(engine=engine, out=sys.stdout)
+    for line in SESSION:
+        if line and not line.startswith("%"):
+            print(f"idl> {line}")
+        elif line:
+            print(line)
+        repl.handle(line)
+    # Bonus: persist the session's engine and reload it.
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        path = handle.name
+    repl2 = IdlRepl(engine=engine, out=sys.stdout)
+    print(f"idl> :save <tmp>")
+    repl2.handle(f":save {path}")
+    print(f"idl> :open <tmp>")
+    repl2.handle(f":open {path}")
+    print("idl> ?.dbI.p(.stk=ibm, .price=P)")
+    repl2.handle("?.dbI.p(.stk=ibm, .price=P)")
+
+
+if __name__ == "__main__":
+    main()

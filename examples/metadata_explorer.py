@@ -1,0 +1,113 @@
+"""Metadata exploration and the first-order counterfactual.
+
+Shows what Section 2 of the paper is about, on a bigger federation:
+
+* IDL treats catalogs as data — browsing databases, relations and
+  attributes is ordinary querying, across autonomous members at once;
+* the pre-IDL alternative (catalog-driven SQL generation) needs a
+  growing set of statements for one intention, and silently needs MORE
+  statements whenever a stock is added.
+
+Run:  python examples/metadata_explorer.py
+"""
+
+from __future__ import annotations
+
+from repro import IdlEngine
+from repro.multidb import FirstOrderFederation, attach_storage
+from repro.storage import StorageDatabase
+from repro.workloads.stocks import StockWorkload
+
+
+def storage_members(workload):
+    members = {}
+    for style in ("euter", "chwab", "ource"):
+        storage = StorageDatabase(style)
+        if style == "euter":
+            storage.create_relation(
+                "r", [("date", "str"), ("stkCode", "str"), ("clsPrice", "float")]
+            )
+            for day, symbol, price in workload.quotes():
+                storage.insert(
+                    "r", {"date": day, "stkCode": symbol, "clsPrice": price}
+                )
+        elif style == "chwab":
+            storage.create_relation(
+                "r", [("date", "str")] + [(s, "float") for s in workload.symbols]
+            )
+            for row in workload.chwab_relations()["r"]:
+                storage.insert("r", row)
+        else:
+            for symbol in workload.symbols:
+                storage.create_relation(
+                    symbol, [("date", "str"), ("clsPrice", "float")]
+                )
+                for row in workload.ource_relations()[symbol]:
+                    storage.insert(symbol, row)
+        members[style] = storage
+    return members
+
+
+def main():
+    workload = StockWorkload(n_stocks=8, n_days=5, seed=11)
+    members = storage_members(workload)
+
+    print("== IDL: the catalog is just data ==")
+    engine = IdlEngine()
+    for name, storage in members.items():
+        attach_storage(engine, name, storage, include_catalog=True)
+
+    print("  every database:", [a["X"] for a in engine.query("?.X")])
+    print("  relations per database:")
+    for answer in engine.query("?.X.Y"):
+        if not answer["Y"].startswith("_"):
+            print(f"    .{answer['X']}.{answer['Y']}")
+
+    print("\n  which member knows a relation named", workload.symbols[0], "?")
+    for answer in engine.query(f"?.X.{workload.symbols[0]}"):
+        print("   ", answer["X"])
+
+    print("\n  members whose *stored catalog* lists a clsPrice column:")
+    for answer in engine.query(
+        "?.X.'_columns'(.relname=R, .colname=clsPrice)"
+    ):
+        print(f"    {answer['X']}.{answer['R']}")
+
+    print("\n  one expression, all members: any stock above 100?")
+    hits = set()
+    for source in (
+        "?.euter.r(.stkCode=S, .clsPrice>100)",
+        "?.chwab.r(.S>100), S != date",
+        "?.ource.S(.clsPrice>100)",
+    ):
+        hits |= {answer["S"] for answer in engine.query(source)}
+    print("   ", sorted(hits))
+
+    print("\n== the first-order counterfactual ==")
+    federation = FirstOrderFederation()
+    for name, storage in members.items():
+        federation.add_member(name, storage, name)
+    stocks, statements = federation.stocks_above(100)
+    print(f"  same question in SQL: {statements} statements "
+          f"({1} + {workload.n_stocks} + {workload.n_stocks}), "
+          f"answer {sorted(stocks)}")
+    assert stocks == hits
+
+    print("\n  now the vendor adds one stock...")
+    members["ource"].create_relation(
+        "newco", [("date", "str"), ("clsPrice", "float")]
+    )
+    members["ource"].insert("newco", {"date": workload.days[0],
+                                      "clsPrice": 500.0})
+    _, statements_after = federation.stocks_above(100)
+    print(f"  SQL statement count grew: {statements} -> {statements_after}")
+    print("  the IDL expression is unchanged:")
+    engine2 = IdlEngine()
+    attach_storage(engine2, "ource", members["ource"])
+    above = {a["S"] for a in engine2.query("?.ource.S(.clsPrice>100)")}
+    print("    ?.ource.S(.clsPrice>100) ->", sorted(above))
+    assert "newco" in above
+
+
+if __name__ == "__main__":
+    main()

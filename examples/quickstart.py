@@ -1,0 +1,85 @@
+"""Quickstart: five minutes of IDL.
+
+Builds the paper's three stock databases, runs first-order and
+higher-order queries, defines a unified view, and updates through an
+update program.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import IdlEngine
+
+
+def main():
+    engine = IdlEngine()
+
+    # Three databases, same information, three schemata (paper Section 1).
+    engine.add_database(
+        "euter",
+        {"r": [
+            {"date": "3/3/85", "stkCode": "hp", "clsPrice": 50},
+            {"date": "3/4/85", "stkCode": "hp", "clsPrice": 65},
+            {"date": "3/3/85", "stkCode": "ibm", "clsPrice": 160},
+        ]},
+    )
+    engine.add_database(
+        "chwab",
+        {"r": [
+            {"date": "3/3/85", "hp": 50, "ibm": 160},
+            {"date": "3/4/85", "hp": 65, "ibm": 155},
+        ]},
+    )
+    engine.add_database(
+        "ource",
+        {
+            "hp": [{"date": "3/3/85", "clsPrice": 50}],
+            "ibm": [{"date": "3/3/85", "clsPrice": 160}],
+        },
+    )
+
+    print("== queries ==")
+    print("did hp ever close above 60?",
+          engine.ask("?.euter.r(.stkCode=hp, .clsPrice>60)"))
+
+    # The same intention against each schema: S ranges over data in
+    # euter, over ATTRIBUTE NAMES in chwab, over RELATION NAMES in ource.
+    for source in (
+        "?.euter.r(.stkCode=S, .clsPrice>100)",
+        "?.chwab.r(.S>100), S != date",
+        "?.ource.S(.clsPrice>100)",
+    ):
+        stocks = sorted({answer["S"] for answer in engine.query(source)})
+        print(f"  above 100 via {source.split('.')[1]:<6} -> {stocks}")
+
+    print("\n== metadata is data ==")
+    print("databases:", [a["X"] for a in engine.query("?.X")])
+    print("db/relation pairs:",
+          [(a["X"], a["Y"]) for a in engine.query("?.X.Y")])
+
+    print("\n== a unified view (database transparency) ==")
+    engine.define(
+        ".dbI.p(.date=D, .stk=S, .price=P) <- .euter.r(.date=D, .stkCode=S, .clsPrice=P)\n"
+        ".dbI.p(.date=D, .stk=S, .price=P) <- .chwab.r(.date=D, .S=P), S != date\n"
+        ".dbI.p(.date=D, .stk=S, .price=P) <- .ource.S(.date=D, .clsPrice=P)"
+    )
+    for answer in engine.query("?.dbI.p(.date=3/3/85, .stk=S, .price=P)"):
+        print(f"  {answer['S']:<4} closed at {answer['P']}")
+
+    print("\n== an update program (one logical update, three databases) ==")
+    engine.universe.add_database("dbU")
+    engine.invalidate()
+    engine.define_update(
+        ".dbU.delStk(.stk=S, .date=D) -> .euter.r-(.stkCode=S, .date=D)\n"
+        ".dbU.delStk(.stk=S, .date=D) -> .chwab.r(.S-=X, .date=D)\n"
+        ".dbU.delStk(.stk=S, .date=D) -> .ource.S-(.date=D)"
+    )
+    result = engine.call("dbU", "delStk", stk="hp", date="3/3/85")
+    print("delStk(hp, 3/3/85):", result)
+    print("hp on 3/3 anywhere?",
+          engine.ask("?.dbI.p(.date=3/3/85, .stk=hp)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (environments without `wheel`).
+
+All metadata lives in pyproject.toml; install with:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

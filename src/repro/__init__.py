@@ -1,0 +1,43 @@
+"""repro — a reproduction of IDL, the Interoperable Database Language.
+
+Krishnamurthy, Litwin & Kent: *Language Features for Interoperability of
+Databases with Schematic Discrepancies* (SIGMOD 1991). The paper designs
+a higher-order Horn-clause language for multidatabase systems whose
+schemata disagree about what is data and what is metadata; this package
+implements it end to end, together with the substrates a working system
+needs (storage, federation, baselines, workloads).
+
+Quick start::
+
+    from repro import IdlEngine
+
+    engine = IdlEngine()
+    engine.add_database("euter", {"r": [
+        {"date": "3/3/85", "stkCode": "hp", "clsPrice": 50},
+    ]})
+    engine.ask("?.euter.r(.stkCode=hp, .clsPrice>40)")   # -> True
+
+Subpackages: ``repro.core`` (the language), ``repro.objects`` (the
+object model), ``repro.storage`` (relational substrate), ``repro.sql``
+and ``repro.datalog`` (first-order baselines), ``repro.multidb``
+(federation and transparency), ``repro.workloads`` (synthetic data),
+``repro.bench`` (experiment harness).
+"""
+
+from repro.core.engine import IdlEngine, QueryAnswer
+from repro.core.program import IdlProgram
+from repro.core.updates import UpdateResult
+from repro.errors import IdlError
+from repro.objects.universe import Universe
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IdlEngine",
+    "IdlError",
+    "IdlProgram",
+    "QueryAnswer",
+    "Universe",
+    "UpdateResult",
+    "__version__",
+]

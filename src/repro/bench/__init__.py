@@ -1,0 +1,22 @@
+"""Benchmark harness: experiment reporting and shared fixtures."""
+
+from repro.bench.fixtures import (
+    TC_PROGRAM,
+    chain_universe,
+    euter_storage,
+    stock_engine,
+    stock_federation,
+)
+from repro.bench.harness import Experiment, format_table, throughput, time_call
+
+__all__ = [
+    "Experiment",
+    "TC_PROGRAM",
+    "chain_universe",
+    "euter_storage",
+    "format_table",
+    "stock_engine",
+    "stock_federation",
+    "throughput",
+    "time_call",
+]

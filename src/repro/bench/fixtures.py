@@ -1,0 +1,62 @@
+"""Shared builders for the benchmark suite.
+
+Every bench builds its universes/engines through these helpers so
+parameter sweeps stay consistent across experiments (same seeds, same
+program generators).
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import IdlEngine
+from repro.multidb.federation import Federation
+from repro.storage import StorageDatabase
+from repro.workloads.stocks import StockWorkload
+
+
+def stock_engine(n_stocks, n_days, seed=1985):
+    """An engine over the three-member stock universe, no program."""
+    workload = StockWorkload(n_stocks=n_stocks, n_days=n_days, seed=seed)
+    return IdlEngine(universe=workload.universe()), workload
+
+
+def stock_federation(n_stocks, n_days, seed=1985, users=True):
+    """A fully-installed federation over the three schema styles."""
+    workload = StockWorkload(n_stocks=n_stocks, n_days=n_days, seed=seed)
+    federation = Federation()
+    federation.add_member("euter", "euter", workload.euter_relations())
+    federation.add_member("chwab", "chwab", workload.chwab_relations())
+    federation.add_member("ource", "ource", workload.ource_relations())
+    if users:
+        federation.add_user_view("dbE", "euter")
+        federation.add_user_view("dbC", "chwab")
+        federation.add_user_view("dbO", "ource")
+    federation.install()
+    return federation, workload
+
+
+def euter_storage(workload):
+    """The euter member on the storage substrate (keyed, no extra index)."""
+    storage = StorageDatabase("euter")
+    storage.create_relation(
+        "r",
+        [("date", "str", False), ("stkCode", "str", False), ("clsPrice", "float")],
+        key=("date", "stkCode"),
+    )
+    for day, symbol, price in workload.quotes():
+        storage.insert("r", {"date": day, "stkCode": symbol, "clsPrice": price})
+    return storage
+
+
+def chain_universe(n_nodes):
+    """A chain graph for recursion benchmarks (worst case for naive)."""
+    from repro.objects import Universe
+
+    return Universe.from_python(
+        {"g": {"edge": [{"a": i, "b": i + 1} for i in range(n_nodes)]}}
+    )
+
+
+TC_PROGRAM = (
+    ".g.tc(.a=X, .b=Y) <- .g.edge(.a=X, .b=Y)\n"
+    ".g.tc(.a=X, .b=Y) <- .g.tc(.a=X, .b=Z), .g.edge(.a=Z, .b=Y)"
+)

@@ -1,0 +1,103 @@
+"""Experiment harness used by the ``benchmarks/`` suite.
+
+The paper contains no measured tables (it is a language design); each
+benchmark module therefore regenerates a *claim table*: the qualitative
+statement the paper makes, the condition we measured, and whether it
+held. This module provides the timing and formatting utilities, so
+every bench prints a uniform, paper-referenced report under
+``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Experiment:
+    """One experiment: identity, paper claim, and collected rows."""
+
+    def __init__(self, exp_id, title, paper_claim):
+        self.exp_id = exp_id
+        self.title = title
+        self.paper_claim = paper_claim
+        self.rows = []
+        self.columns = None
+
+    def add_row(self, **values):
+        if self.columns is None:
+            self.columns = list(values)
+        else:
+            for column in values:
+                if column not in self.columns:
+                    self.columns.append(column)
+        self.rows.append(values)
+
+    def check(self, condition, label):
+        """Record a pass/fail check row; returns ``condition``."""
+        self.add_row(check=label, held="yes" if condition else "NO")
+        return condition
+
+    def render(self):
+        lines = [
+            "",
+            f"== {self.exp_id}: {self.title} ==",
+            f"   paper: {self.paper_claim}",
+        ]
+        if self.rows:
+            lines.append(format_table(self.columns, self.rows))
+        return "\n".join(lines)
+
+    def report(self):
+        print(self.render())
+
+
+def format_table(columns, rows):
+    """Plain-text aligned table from a column list and row dicts."""
+    headers = list(columns)
+    rendered = [
+        [_cell(row.get(column)) for column in headers] for row in rows
+    ]
+    widths = [
+        max(len(header), *(len(line[index]) for line in rendered)) if rendered
+        else len(header)
+        for index, header in enumerate(headers)
+    ]
+    out = [
+        "   " + "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "   " + "  ".join("-" * width for width in widths),
+    ]
+    for line in rendered:
+        out.append(
+            "   " + "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        )
+    return "\n".join(out)
+
+
+def _cell(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def time_call(function, *args, repeat=3, **kwargs):
+    """Best-of-``repeat`` wall time in seconds, plus the last result."""
+    best = None
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = function(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def throughput(function, count, *args, **kwargs):
+    """Operations per second for ``count`` invocations."""
+    start = time.perf_counter()
+    for _ in range(count):
+        function(*args, **kwargs)
+    elapsed = time.perf_counter() - start
+    return count / elapsed if elapsed > 0 else float("inf")

@@ -1,0 +1,49 @@
+"""The IDL language core: syntax, semantics, views, update programs.
+
+Most applications only need :class:`IdlEngine`; the submodules expose
+the full pipeline for tools and tests:
+
+* :mod:`repro.core.lexer` / :mod:`repro.core.parser` / :mod:`repro.core.pretty`
+* :mod:`repro.core.terms` / :mod:`repro.core.ast` / :mod:`repro.core.substitution`
+* :mod:`repro.core.safety` / :mod:`repro.core.evaluator` — queries (Section 4)
+* :mod:`repro.core.updates` — update expressions (Section 5)
+* :mod:`repro.core.rules` / :mod:`repro.core.stratify` / :mod:`repro.core.fixpoint`
+  — higher-order views (Section 6)
+* :mod:`repro.core.program` / :mod:`repro.core.binding` /
+  :mod:`repro.core.update_programs` — update programs (Section 7)
+* :mod:`repro.core.engine` — the facade
+"""
+
+from repro.core.engine import IdlEngine, QueryAnswer
+from repro.core.evaluator import EvalContext, answers, holds, satisfy
+from repro.core.parser import (
+    parse_expression,
+    parse_program,
+    parse_query,
+    parse_rule,
+    parse_update_clause,
+)
+from repro.core.pretty import program_to_source, to_source
+from repro.core.program import IdlProgram
+from repro.core.substitution import Substitution
+from repro.core.updates import UpdateResult, apply_request
+
+__all__ = [
+    "EvalContext",
+    "IdlEngine",
+    "IdlProgram",
+    "QueryAnswer",
+    "Substitution",
+    "UpdateResult",
+    "answers",
+    "apply_request",
+    "holds",
+    "parse_expression",
+    "parse_program",
+    "parse_query",
+    "parse_rule",
+    "parse_update_clause",
+    "program_to_source",
+    "satisfy",
+    "to_source",
+]

@@ -1,0 +1,347 @@
+"""The IDL engine facade.
+
+:class:`IdlEngine` is the one-stop public entry point: it owns a base
+:class:`~repro.objects.universe.Universe`, an
+:class:`~repro.core.program.IdlProgram` of views and update programs, a
+materialization cache, and an update executor. Typical use::
+
+    engine = IdlEngine()
+    engine.add_database("euter", {"r": [...]})
+    engine.define(".dbI.p(.date=D,.stk=S,.price=P) <- "
+                  ".euter.r(.date=D,.stkCode=S,.clsPrice=P)")
+    engine.query("?.dbI.p(.stk=S, .price>200)")
+    engine.update("?.euter.r+(.date=3/5/85,.stkCode=hp,.clsPrice=70)")
+
+Queries run against the *merged* view (base universe plus materialized
+derived overlay); updates run against the base universe only, wrapped in
+a snapshot transaction (atomic by default) and invalidate the cache.
+"""
+
+from __future__ import annotations
+
+from repro.core import ast
+from repro.core.evaluator import EvalContext, answers, holds
+from repro.core.parser import parse_program
+from repro.core.program import IdlProgram
+from repro.core.update_programs import UpdateExecutor
+from repro.errors import IdlError, SemanticError
+from repro.objects.merged import MergedTuple
+from repro.objects.tuple import TupleObject
+from repro.objects.universe import Universe
+
+
+class QueryAnswer:
+    """One answer: variable bindings rendered as plain Python values."""
+
+    __slots__ = ("bindings",)
+
+    def __init__(self, bindings):
+        self.bindings = bindings
+
+    def __getitem__(self, name):
+        return self.bindings[name]
+
+    def __contains__(self, name):
+        return name in self.bindings
+
+    def get(self, name, default=None):
+        return self.bindings.get(name, default)
+
+    def keys(self):
+        return self.bindings.keys()
+
+    def items(self):
+        return self.bindings.items()
+
+    def __eq__(self, other):
+        if isinstance(other, QueryAnswer):
+            return self.bindings == other.bindings
+        if isinstance(other, dict):
+            return self.bindings == other
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(frozenset(self.bindings.items()))
+
+    def __repr__(self):
+        return f"QueryAnswer({self.bindings!r})"
+
+
+class IdlEngine:
+    """A multidatabase engine speaking IDL."""
+
+    def __init__(self, universe=None, program=None, fixpoint_method="seminaive",
+                 reorder=True):
+        from repro.core.integrity import ConstraintSet
+
+        self.universe = universe if universe is not None else Universe()
+        self.program = program if program is not None else IdlProgram()
+        self.fixpoint_method = fixpoint_method
+        self.eval_ctx = EvalContext(reorder=reorder)
+        self.constraints = ConstraintSet()
+        self._overlay = None
+        self._overlay_stats = None
+        self._strata = None  # [(key, stratum, overlay)] in evaluation order
+        self._reusable = {}  # stratum key -> overlay (selective rebuild)
+
+    # -- data management -----------------------------------------------------
+
+    def add_database(self, name, relations=None):
+        """Register a database; ``relations`` maps names to row dicts."""
+        from repro.objects import encode
+
+        db = encode.database(relations or {})
+        self.universe.add_database(name, db)
+        self.invalidate()
+        return db
+
+    def drop_database(self, name):
+        self.universe.drop_database(name)
+        self.invalidate()
+
+    # -- program management -----------------------------------------------------
+
+    def define(self, source_or_rule, merge_on=()):
+        """Register view definition rule(s); returns the analyzed rules."""
+        added = self.program.add_rule(source_or_rule, merge_on=merge_on)
+        self.invalidate()
+        return added
+
+    def define_update(self, source_or_clause):
+        """Register update program clause(s)."""
+        return self.program.add_update_clause(source_or_clause)
+
+    def load(self, source):
+        """Load a mixed program text (rules and update clauses)."""
+        added = self.program.load(source)
+        self.invalidate()
+        return added
+
+    # -- materialization -----------------------------------------------------
+
+    def invalidate(self):
+        """Drop every materialized overlay (after out-of-band changes)."""
+        self._overlay = None
+        self._overlay_stats = None
+        self._strata = None
+        self._reusable = {}
+
+    def _selective_invalidate(self, touched):
+        """Invalidate only the view strata an update could have affected.
+
+        ``touched`` is the set of ``(db, rel)`` prefixes reported by the
+        update evaluator. A stratum is dirty when any of its rules reads
+        (or defines) a target overlapping a touched path or the target of
+        an earlier dirty stratum; clean strata keep their overlays and
+        are reused by the next materialization.
+        """
+        from repro.core.rules import patterns_overlap
+        from repro.core.terms import Const
+
+        if self._strata is None:
+            self.invalidate()
+            return
+        if any(len(prefix) == 0 for prefix in touched):
+            self.invalidate()
+            return
+
+        dirty_targets = [
+            tuple(Const(name) for name in prefix) for prefix in touched
+        ]
+        reusable = {}
+        for key, stratum, overlay in self._strata:
+            dirty = False
+            for rule in stratum:
+                if any(
+                    patterns_overlap(pattern, target)
+                    for pattern, _ in rule.references
+                    for target in dirty_targets
+                ) or any(
+                    patterns_overlap(rule.target, target)
+                    for target in dirty_targets
+                ):
+                    dirty = True
+                    break
+            if dirty:
+                dirty_targets.extend(rule.target for rule in stratum)
+            else:
+                reusable[key] = overlay
+        self._overlay = None
+        self._overlay_stats = None
+        self._strata = None
+        self._reusable = reusable
+
+    def materialized_view(self):
+        """The merged (base + derived) universe for querying."""
+        from repro.core.fixpoint import combine_overlays, materialize_strata
+
+        if not self.program.rules:
+            return self.universe
+        if self._strata is None:
+            self._strata, self._overlay_stats = materialize_strata(
+                self.program.rules,
+                self.universe,
+                method=self.fixpoint_method,
+                context=self.eval_ctx,
+                reuse=self._reusable,
+            )
+            self._reusable = {}
+            self._overlay = combine_overlays(
+                [overlay for _, _, overlay in self._strata]
+            )
+        return MergedTuple(self.universe, self._overlay)
+
+    @property
+    def overlay(self):
+        """The derived overlay (materializing if needed)."""
+        self.materialized_view()
+        return self._overlay if self._overlay is not None else TupleObject()
+
+    @property
+    def fixpoint_stats(self):
+        self.materialized_view()
+        return self._overlay_stats
+
+    # -- queries ------------------------------------------------------------
+
+    def query(self, source, **params):
+        """Answer a query; returns a list of :class:`QueryAnswer`.
+
+        ``params`` pre-bind variables: ``engine.query("?.db.r(.a=X,.b=Y)",
+        X=3)``.
+        """
+        statement = self._one_query(source)
+        if statement.is_update_request:
+            raise SemanticError(
+                "this is an update request; use IdlEngine.update()"
+            )
+        view = self.materialized_view()
+        results = answers(statement, view, params or None, self.eval_ctx)
+        rendered = []
+        for substitution in results:
+            rendered.append(
+                QueryAnswer(
+                    {
+                        name: obj.to_python()
+                        for name, obj in sorted(substitution.as_dict().items())
+                    }
+                )
+            )
+        return rendered
+
+    def ask(self, source, **params):
+        """Boolean query: is the expression satisfiable?"""
+        statement = self._one_query(source)
+        if statement.is_update_request:
+            raise SemanticError("this is an update request; use IdlEngine.update()")
+        return holds(statement, self.materialized_view(), params or None, self.eval_ctx)
+
+    # -- updates ------------------------------------------------------------
+
+    def update(self, source, atomic=True, **params):
+        """Execute an update request (program calls and view updates
+        included). ``atomic=True`` snapshots the universe and rolls back
+        on any error; the request still *succeeds-or-not* per the paper's
+        success/failure semantics — inspect the returned UpdateResult."""
+        statement = self._one_query(source, allow_update=True)
+        executor = UpdateExecutor(self.program, self.universe, self.eval_ctx)
+        snapshot = self.universe.snapshot() if atomic else None
+        try:
+            result = executor.execute_request(statement, params or None)
+            self._reindex_universe()
+            if len(self.constraints):
+                self.constraints.enforce(self.universe)
+        except IdlError:
+            if snapshot is not None:
+                self._restore(snapshot)
+            else:
+                # Non-atomic failure: the base may be partially mutated,
+                # so cached views (and set indexes) must not survive.
+                self._reindex_universe()
+                self.invalidate()
+            raise
+        if result.changed:
+            self._selective_invalidate(result.touched)
+        return result
+
+    def declare_key(self, db, rel, columns):
+        """Declare a key constraint (``rel`` may be ``"*"``); the current
+        state must already satisfy it, else the declaration is refused."""
+        constraint = self.constraints.declare_key(db, rel, columns)
+        try:
+            self.constraints.enforce(self.universe)
+        except IdlError:
+            self.constraints.keys.remove(constraint)
+            raise
+        return constraint
+
+    def declare_type(self, db, rel, attr, type_class, nullable=True):
+        """Declare a type constraint; the current state must satisfy it."""
+        constraint = self.constraints.declare_type(
+            db, rel, attr, type_class, nullable
+        )
+        try:
+            self.constraints.enforce(self.universe)
+        except IdlError:
+            self.constraints.types.remove(constraint)
+            raise
+        return constraint
+
+    def call(self, db, program, **args):
+        """Convenience: call an update program with keyword arguments.
+
+        ``engine.call("dbU", "insStk", stk="hp", date="3/5/85", price=70)``
+        is ``engine.update("?.dbU.insStk(.stk='hp', ...)")``.
+        """
+        items = ", ".join(f".{key}={_literal(value)}" for key, value in args.items())
+        return self.update(f"?.{db}.{program}({items})")
+
+    def _restore(self, snapshot):
+        for name in list(self.universe.attr_names()):
+            self.universe.remove(name)
+        for name in snapshot.attr_names():
+            self.universe.set(name, snapshot.get(name))
+        self.invalidate()
+
+    def _reindex_universe(self):
+        """Rebuild set value-indexes after in-place element mutation."""
+        _reindex(self.universe)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _one_query(self, source, allow_update=False):
+        if isinstance(source, ast.Query):
+            return source
+        statements = parse_program(source)
+        if len(statements) != 1 or not isinstance(statements[0], ast.Query):
+            raise SemanticError("expected a single '?' statement")
+        statement = statements[0]
+        return statement
+
+    def __repr__(self):
+        return (
+            f"IdlEngine(databases={self.universe.database_names()}, "
+            f"rules={len(self.program.rules)}, "
+            f"programs={len(self.program.clauses)})"
+        )
+
+
+def _literal(value):
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    if isinstance(value, bool):
+        raise SemanticError("boolean literals are not part of IDL syntax")
+    if isinstance(value, (int, float)):
+        return repr(value)
+    raise SemanticError(f"cannot render {type(value).__name__} as an IDL literal")
+
+
+def _reindex(obj):
+    if obj.is_set:
+        for element in obj.elements():
+            _reindex(element)
+        obj.reindex()
+    elif obj.is_tuple:
+        for name in obj.attr_names():
+            _reindex(obj.get(name))

@@ -1,0 +1,276 @@
+"""Query expression evaluation (paper Sections 4.2 and 4.3).
+
+The central routine, :func:`satisfy`, lazily enumerates the grounding
+substitutions under which an object satisfies an expression:
+
+* an atomic expression compares an atomic object against a term
+  (binding its variable on ``=``; the null atom fails everything);
+* a tuple item ``.A exp`` descends into attribute ``A`` — when ``A`` is
+  an unbound *higher-order variable* it ranges over the attribute names
+  of the tuple (Section 4.3), binding the variable to the *name*, which
+  is how metadata joins with data;
+* a set expression succeeds on any element of the set;
+* a conjunction threads one substitution through its conjuncts, after
+  safety reordering (see :mod:`repro.core.safety`);
+* a negation succeeds iff no satisfying extension exists, and binds
+  nothing.
+
+The answer to a query is the set of grounding substitutions satisfying
+it (deduplicated by binding signature); a variable-free query evaluates
+to a boolean.
+"""
+
+from __future__ import annotations
+
+from repro.core import ast
+from repro.core.safety import order_conjuncts
+from repro.core.substitution import Substitution
+from repro.core.terms import NOT_A_NAME, Var, evaluate_term, term_name
+from repro.errors import EvaluationError
+from repro.objects.atom import Atom, compare_values
+from repro.objects.base import same_value
+
+
+class EvalContext:
+    """Evaluation options and per-evaluation caches.
+
+    ``reorder``    — apply safety goal reordering (default True; the B3
+                     ablation turns it off for already-ordered programs).
+    ``trace``      — optional callable receiving (expr, obj, subst) on
+                     every satisfaction attempt; used by the debug tools.
+    ``profile``    — collect node-visit counters into ``self.counters``
+                     (off by default: it costs in the hot path).
+    """
+
+    __slots__ = ("reorder", "trace", "counters", "_order_cache")
+
+    def __init__(self, reorder=True, trace=None, profile=False):
+        self.reorder = reorder
+        self.trace = trace
+        self.counters = {} if profile else None
+        self._order_cache = {}
+
+    def count(self, kind):
+        if self.counters is not None:
+            self.counters[kind] = self.counters.get(kind, 0) + 1
+
+    def ordered(self, expr, domain):
+        """Cached safety ordering of a TupleExpr for a binding domain.
+
+        Keyed by object identity for speed, but the expression itself is
+        pinned in the cache entry — otherwise a garbage-collected
+        expression's id could be reused by a different one and serve it a
+        stale ordering.
+        """
+        if not self.reorder:
+            return expr.conjuncts
+        key = (id(expr), frozenset(domain))
+        cached = self._order_cache.get(key)
+        if cached is None or cached[0] is not expr:
+            ordering = tuple(order_conjuncts(list(expr.conjuncts), domain))
+            self._order_cache[key] = (expr, ordering)
+            return ordering
+        return cached[1]
+
+
+_DEFAULT_CONTEXT = EvalContext()
+
+
+def satisfy(expr, obj, subst=None, context=None):
+    """Yield every extension of ``subst`` under which ``obj`` satisfies
+    ``expr``. Substitutions are persistent; callers may consume lazily."""
+    if subst is None:
+        subst = Substitution.empty()
+    if context is None:
+        context = _DEFAULT_CONTEXT
+    if expr.has_update():
+        raise EvaluationError(
+            "update expression evaluated in a query context; use the "
+            "update evaluator (repro.core.updates)"
+        )
+    return _satisfy(expr, obj, subst, context)
+
+
+def _satisfy(expr, obj, subst, context):
+    if context.trace is not None:
+        context.trace(expr, obj, subst)
+    if context.counters is not None:
+        context.count("visits")
+        context.count(type(expr).__name__)
+
+    if isinstance(expr, ast.Epsilon):
+        yield subst
+        return
+
+    if isinstance(expr, ast.AtomicExpr):
+        result = _satisfy_atomic(expr, obj, subst)
+        if result is not None:
+            yield result
+        return
+
+    if isinstance(expr, ast.AttrStep):
+        if not obj.is_tuple:
+            return
+        name = term_name(expr.attr, subst)
+        if name is NOT_A_NAME:
+            return  # bound to a non-name: the step matches nothing
+        if name is not None:
+            if obj.has(name):
+                for extended in _satisfy(expr.expr, obj.get(name), subst, context):
+                    yield extended
+            return
+        # Higher-order quantification: the variable ranges over the
+        # attribute names of this tuple.
+        var = expr.attr.name
+        for attr_name in obj.attr_names():
+            bound = subst.bind(var, Atom(attr_name))
+            for extended in _satisfy(expr.expr, obj.get(attr_name), bound, context):
+                yield extended
+        return
+
+    if isinstance(expr, ast.SetExpr):
+        if not obj.is_set:
+            return
+        for element in obj.elements():
+            for extended in _satisfy(expr.inner, element, subst, context):
+                yield extended
+        return
+
+    if isinstance(expr, ast.TupleExpr):
+        conjuncts = context.ordered(expr, subst.domain())
+        for extended in _satisfy_conjunction(conjuncts, 0, obj, subst, context):
+            yield extended
+        return
+
+    if isinstance(expr, ast.Constraint):
+        result = _satisfy_constraint(expr, subst)
+        if result is not None:
+            yield result
+        return
+
+    if isinstance(expr, ast.NegExpr):
+        for _ in _satisfy(expr.inner, obj, subst, context):
+            return  # a witness exists: the negation fails
+        yield subst
+        return
+
+    raise EvaluationError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _satisfy_conjunction(conjuncts, index, obj, subst, context):
+    if index == len(conjuncts):
+        yield subst
+        return
+    for extended in _satisfy(conjuncts[index], obj, subst, context):
+        for final in _satisfy_conjunction(conjuncts, index + 1, obj, extended, context):
+            yield final
+
+
+def _satisfy_atomic(expr, obj, subst):
+    """Return the (possibly extended) substitution, or None."""
+    term = expr.term
+    if expr.op == "=" and isinstance(term, Var):
+        existing = subst.lookup(term.name)
+        if existing is not None:
+            # Null fails even self-equality for atoms (Section 5.2).
+            if obj.is_atom and obj.is_null:
+                return None
+            return subst if same_value(existing, obj) else None
+        if obj.is_atom and obj.is_null:
+            return None
+        # The aggregate-variable extension: X may bind a tuple or set.
+        return subst.bind(term.name, obj)
+
+    value_obj = evaluate_term(term, subst)
+    if not obj.is_atom:
+        if expr.op == "=":
+            return subst if same_value(obj, value_obj) else None
+        if expr.op == "!=":
+            if value_obj.is_atom and value_obj.is_null:
+                return None
+            return None if same_value(obj, value_obj) else subst
+        return None
+    if not value_obj.is_atom:
+        if expr.op == "=":
+            return None
+        if expr.op == "!=":
+            return subst if not obj.is_null else None
+        return None
+    if compare_values(obj.value, expr.op, value_obj.value):
+        return subst
+    return None
+
+
+def _satisfy_constraint(expr, subst):
+    """Evaluate a standalone term comparison against the substitution."""
+    left_unbound = any(not subst.binds(name) for name in expr.left.variables())
+    right_unbound = any(not subst.binds(name) for name in expr.right.variables())
+    if expr.op == "=" and left_unbound != right_unbound:
+        # One side is ground: with '=', bind the other side's variable.
+        ground_term, open_term = (
+            (expr.right, expr.left) if left_unbound else (expr.left, expr.right)
+        )
+        if isinstance(open_term, Var):
+            value = evaluate_term(ground_term, subst)
+            return subst.unify(open_term.name, value)
+        return None  # cannot solve arithmetic for its variable
+    left = evaluate_term(expr.left, subst)
+    right = evaluate_term(expr.right, subst)
+    if not left.is_atom or not right.is_atom:
+        if expr.op == "=":
+            return subst if same_value(left, right) else None
+        if expr.op == "!=":
+            return None if same_value(left, right) else subst
+        return None
+    if compare_values(left.value, expr.op, right.value):
+        return subst
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Query answering
+# ---------------------------------------------------------------------------
+
+
+def answers(query, universe, bindings=None, context=None):
+    """All answers to a query against ``universe``.
+
+    Returns a deduplicated list of substitutions restricted to the
+    query's variables. ``bindings`` pre-binds parameters (a
+    ``{name: IdlObject}`` dict or a Substitution).
+    """
+    expr = query.expr if isinstance(query, ast.Query) else query
+    subst = _as_substitution(bindings)
+    names = expr.variables()
+    seen = set()
+    results = []
+    for solution in satisfy(expr, universe, subst, context):
+        restricted = solution.restrict(names)
+        key = restricted.signature()
+        if key not in seen:
+            seen.add(key)
+            results.append(restricted)
+    return results
+
+
+def holds(query, universe, bindings=None, context=None):
+    """Boolean satisfaction: does at least one answer exist?"""
+    expr = query.expr if isinstance(query, ast.Query) else query
+    subst = _as_substitution(bindings)
+    for _ in satisfy(expr, universe, subst, context):
+        return True
+    return False
+
+
+def _as_substitution(bindings):
+    if bindings is None:
+        return Substitution.empty()
+    if isinstance(bindings, Substitution):
+        return bindings
+    converted = {}
+    for name, value in bindings.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            converted[name] = Atom(value)
+        else:
+            converted[name] = value
+    return Substitution.of(converted)

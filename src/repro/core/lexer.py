@@ -1,0 +1,199 @@
+"""Tokenizer for IDL source text.
+
+The concrete syntax follows the paper as closely as ASCII allows:
+
+* ``?.euter.r(.stkCode=hp, .clsPrice>60)`` — queries;
+* ``~`` for the paper's ``¬`` (the Unicode character is also accepted);
+* ``<-`` and ``->`` for rules and update programs;
+* ``+`` / ``-`` update signs, ``+=`` / ``-=`` atomic update shorthands;
+* ``3/3/85`` date literals lex as the string constant ``"3/3/85"`` —
+  the paper writes dates this way; quoted strings are also accepted;
+* ``%`` and ``#`` start comments running to end of line;
+* newlines terminate statements except inside parentheses or after a
+  token that syntactically requires a continuation (``,``, ``<-``, ...);
+  ``;`` is an explicit separator.
+
+Identifiers beginning with a capital letter are variables; all other
+words are constants (paper Section 4.1).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import LexError
+
+# Token types
+DOT = "DOT"
+COMMA = "COMMA"
+LPAREN = "LPAREN"
+RPAREN = "RPAREN"
+QUESTION = "QUESTION"
+PLUS = "PLUS"
+MINUS = "MINUS"
+STAR = "STAR"
+SLASH = "SLASH"
+NEG = "NEG"
+COMPARE = "COMPARE"  # value is one of < <= = != > >=
+LARROW = "LARROW"
+RARROW = "RARROW"
+SEP = "SEP"  # statement separator (newline or ;)
+IDENT = "IDENT"
+VAR = "VAR"
+NUMBER = "NUMBER"
+STRING = "STRING"
+EOF = "EOF"
+
+# Tokens after which a newline cannot end a statement.
+_CONTINUATION_TYPES = frozenset(
+    (COMMA, LARROW, RARROW, LPAREN, PLUS, MINUS, STAR, SLASH, NEG, QUESTION,
+     DOT, COMPARE, SEP)
+)
+
+_TOKEN_SPEC = [
+    ("WS", r"[ \t\r]+"),
+    ("COMMENT", r"[%#][^\n]*"),
+    ("NEWLINE", r"\n"),
+    ("DATE", r"\d+/\d+/\d+"),
+    ("NUMBER", r"\d+\.\d+|\d+"),
+    ("LARROW", r"<-"),
+    ("RARROW", r"->"),
+    ("COMPARE", r"<=|>=|!=|≠|<|>|="),
+    ("NEG", r"~|¬"),
+    ("DOT", r"\."),
+    ("COMMA", r","),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("QUESTION", r"\?"),
+    ("PLUS", r"\+"),
+    ("MINUS", r"-"),
+    ("STAR", r"\*"),
+    ("SLASH", r"/"),
+    ("SEMI", r";"),
+    ("WORD", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("STRING", r"'(?:[^'\\]|\\.)*'|\"(?:[^\"\\]|\\.)*\""),
+]
+
+_MASTER = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+_ESCAPES = {"\\\\": "\\", "\\'": "'", '\\"': '"', "\\n": "\n", "\\t": "\t"}
+
+
+class Token:
+    """One lexical token with its source position."""
+
+    __slots__ = ("type", "value", "line", "column")
+
+    def __init__(self, type_, value, line, column):
+        self.type = type_
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return f"Token({self.type}, {self.value!r}, {self.line}:{self.column})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Token)
+            and self.type == other.type
+            and self.value == other.value
+        )
+
+    def __hash__(self):
+        return hash((self.type, self.value))
+
+
+def _unescape(text):
+    body = text[1:-1]
+    out = []
+    index = 0
+    while index < len(body):
+        pair = body[index : index + 2]
+        if pair in _ESCAPES:
+            out.append(_ESCAPES[pair])
+            index += 2
+        else:
+            out.append(body[index])
+            index += 1
+    return "".join(out)
+
+
+def tokenize(source):
+    """Tokenize IDL source text into a list of Tokens ending with EOF.
+
+    Newlines become SEP tokens only where they can terminate a statement
+    (paren depth zero and the previous token does not demand a
+    continuation); consecutive separators collapse.
+    """
+    tokens = []
+    depth = 0
+    line = 1
+    line_start = 0
+    position = 0
+    length = len(source)
+
+    def emit(type_, value, column):
+        tokens.append(Token(type_, value, line, column))
+
+    while position < length:
+        match = _MASTER.match(source, position)
+        if match is None:
+            column = position - line_start + 1
+            raise LexError(
+                f"unexpected character {source[position]!r}", line, column
+            )
+        kind = match.lastgroup
+        text = match.group()
+        column = position - line_start + 1
+        position = match.end()
+
+        if kind == "WS" or kind == "COMMENT":
+            continue
+        if kind == "NEWLINE":
+            last = tokens[-1].type if tokens else SEP
+            if depth == 0 and last not in _CONTINUATION_TYPES and tokens:
+                emit(SEP, "\n", column)
+            line += 1
+            line_start = position
+            continue
+        if kind == "SEMI":
+            if tokens and tokens[-1].type != SEP:
+                emit(SEP, ";", column)
+            continue
+        if kind == "LPAREN":
+            depth += 1
+            emit(LPAREN, text, column)
+            continue
+        if kind == "RPAREN":
+            depth -= 1
+            if depth < 0:
+                raise LexError("unbalanced ')'", line, column)
+            emit(RPAREN, text, column)
+            continue
+        if kind == "DATE":
+            emit(STRING, text, column)
+            continue
+        if kind == "NUMBER":
+            value = float(text) if "." in text else int(text)
+            emit(NUMBER, value, column)
+            continue
+        if kind == "STRING":
+            emit(STRING, _unescape(text), column)
+            continue
+        if kind == "WORD":
+            if text[0].isupper():
+                emit(VAR, text, column)
+            else:
+                emit(IDENT, text, column)
+            continue
+        if kind == "COMPARE":
+            emit(COMPARE, "!=" if text == "≠" else text, column)
+            continue
+        # Fixed-shape single tokens map 1:1 from spec name to token type.
+        emit(kind, text, column)
+
+    if tokens and tokens[-1].type != SEP:
+        tokens.append(Token(SEP, "\n", line, position - line_start + 1))
+    tokens.append(Token(EOF, None, line, position - line_start + 1))
+    return tokens

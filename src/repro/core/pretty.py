@@ -1,0 +1,95 @@
+"""Pretty-printer: AST -> IDL source text.
+
+``parse(to_source(x))`` reproduces ``x`` for every expression and
+statement (round-trip property, tested with hypothesis). Output follows
+the paper's concrete style: ``?.euter.r(.stkCode=hp, .clsPrice>60)``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core import ast
+from repro.core.terms import Arith, Const, Var
+
+_BARE_NAME = re.compile(r"[a-z_][A-Za-z0-9_]*$")
+_DATE_LITERAL = re.compile(r"\d+/\d+/\d+$")
+
+
+def _quote(text):
+    escaped = text.replace("\\", "\\\\").replace("'", "\\'")
+    return f"'{escaped}'"
+
+
+def name_to_source(name):
+    """Render an attribute name, quoting unless it lexes as a bare word."""
+    if _BARE_NAME.match(name):
+        return name
+    return _quote(name)
+
+
+def term_to_source(term):
+    if isinstance(term, Const):
+        value = term.value
+        if isinstance(value, bool):
+            return _quote(str(value))
+        if isinstance(value, (int, float)):
+            return repr(value)
+        if _BARE_NAME.match(value) or _DATE_LITERAL.match(value):
+            return value
+        return _quote(value)
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Arith):
+        return f"{_term_operand(term.left)}{term.op}{_term_operand(term.right)}"
+    raise TypeError(f"not a term: {term!r}")
+
+
+def _term_operand(term):
+    # The term grammar has no parentheses; nested Arith is rendered flat,
+    # which is only correct left-to-right — keep builders left-nested.
+    return term_to_source(term)
+
+
+def to_source(node):
+    """Render an expression or statement to IDL source text."""
+    if isinstance(node, ast.Epsilon):
+        return ""
+    if isinstance(node, ast.AtomicExpr):
+        sign = node.sign or ""
+        rendered = term_to_source(node.term)
+        if node.op == "<" and rendered.startswith("-"):
+            rendered = " " + rendered  # avoid lexing "<-" as a rule arrow
+        return f"{sign}{node.op}{rendered}"
+    if isinstance(node, ast.AttrStep):
+        sign = node.sign or ""
+        attr = (
+            node.attr.name
+            if isinstance(node.attr, Var)
+            else name_to_source(node.attr.value)
+        )
+        return f"{sign}.{attr}{to_source(node.expr)}"
+    if isinstance(node, ast.SetExpr):
+        sign = node.sign or ""
+        return f"{sign}({to_source(node.inner)})"
+    if isinstance(node, ast.NegExpr):
+        return f"~{to_source(node.inner)}"
+    if isinstance(node, ast.Constraint):
+        return (
+            f"{term_to_source(node.left)} {node.op} {term_to_source(node.right)}"
+        )
+    if isinstance(node, ast.TupleExpr):
+        return ", ".join(to_source(conjunct) for conjunct in node.conjuncts)
+    if isinstance(node, ast.Query):
+        return f"?{to_source(node.expr)}"
+    if isinstance(node, ast.Rule):
+        return f"{to_source(node.head)} <- {to_source(node.body)}"
+    if isinstance(node, ast.UpdateClause):
+        body = to_source(node.body)
+        return f"{to_source(node.head)} -> {body}".rstrip()
+    raise TypeError(f"cannot render {type(node).__name__}")
+
+
+def program_to_source(statements):
+    """Render a list of statements, one per line."""
+    return "\n".join(to_source(statement) for statement in statements)

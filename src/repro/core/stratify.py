@@ -1,0 +1,160 @@
+"""Stratification of rule programs (paper Section 6).
+
+"This requires the definition of the view to be stratified." We build
+the rule dependency graph at the granularity of head target patterns:
+rule R depends on rule S when some body reference of R could read S's
+head target (conservative pattern overlap — higher-order variables
+match anything). Negated references create negative edges.
+
+The strongly connected components of the graph, in reverse topological
+order, are the evaluation strata; a negative edge inside a component
+means negation through recursion, which is rejected with
+:class:`StratificationError`.
+"""
+
+from __future__ import annotations
+
+from repro.core.rules import patterns_overlap
+from repro.errors import StratificationError
+
+
+def dependency_edges(analyzed_rules):
+    """Yield ``(from_index, to_index, positive)`` rule dependencies."""
+    for from_index, reader in enumerate(analyzed_rules):
+        for pattern, positive in reader.references:
+            for to_index, writer in enumerate(analyzed_rules):
+                if patterns_overlap(pattern, writer.target):
+                    yield (from_index, to_index, positive)
+
+
+def stratify(analyzed_rules):
+    """Partition rules into evaluation strata.
+
+    Returns a list of lists of AnalyzedRule; every rule's (positive or
+    negative) dependencies live in the same or an earlier stratum, and
+    negative dependencies live strictly earlier.
+    """
+    count = len(analyzed_rules)
+    positive_edges = [set() for _ in range(count)]
+    negative_edges = [set() for _ in range(count)]
+    for from_index, to_index, positive in dependency_edges(analyzed_rules):
+        if positive:
+            positive_edges[from_index].add(to_index)
+        else:
+            negative_edges[from_index].add(to_index)
+
+    components = _tarjan_scc(count, positive_edges, negative_edges)
+    component_of = {}
+    for component_index, members in enumerate(components):
+        for member in members:
+            component_of[member] = component_index
+
+    # Negative edge within a component => not stratifiable.
+    for from_index in range(count):
+        for to_index in negative_edges[from_index]:
+            if component_of[from_index] == component_of[to_index]:
+                raise StratificationError(
+                    "negation through recursion: rules "
+                    f"{analyzed_rules[from_index].rule!r} and "
+                    f"{analyzed_rules[to_index].rule!r} are mutually "
+                    "recursive through a negated reference"
+                )
+
+    # Order components topologically (dependencies first) and merge
+    # consecutive components when no negative edge separates them — fewer
+    # fixpoint rounds with identical semantics.
+    order = _component_order(components, component_of, positive_edges, negative_edges)
+    strata = []
+    for component_index in order:
+        strata.append([analyzed_rules[member] for member in components[component_index]])
+    return strata
+
+
+def _tarjan_scc(count, positive_edges, negative_edges):
+    """Tarjan's SCC over the union graph; iterative to avoid deep stacks."""
+    graph = [positive_edges[i] | negative_edges[i] for i in range(count)]
+    index_counter = [0]
+    indices = [None] * count
+    lowlinks = [0] * count
+    on_stack = [False] * count
+    stack = []
+    components = []
+
+    for root in range(count):
+        if indices[root] is not None:
+            continue
+        work = [(root, iter(sorted(graph[root])))]
+        indices[root] = lowlinks[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, edge_iter = work[-1]
+            advanced = False
+            for successor in edge_iter:
+                if indices[successor] is None:
+                    indices[successor] = lowlinks[successor] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(successor)
+                    on_stack[successor] = True
+                    work.append((successor, iter(sorted(graph[successor]))))
+                    advanced = True
+                    break
+                if on_stack[successor]:
+                    lowlinks[node] = min(lowlinks[node], indices[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indices[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(sorted(component))
+    return components
+
+
+def _component_order(components, component_of, positive_edges, negative_edges):
+    """Topological order of components (dependencies before dependents)."""
+    count = len(components)
+    successors = [set() for _ in range(count)]
+    indegree = [0] * count
+    for from_index in range(len(component_of)):
+        for to_index in positive_edges[from_index] | negative_edges[from_index]:
+            from_component = component_of[from_index]
+            to_component = component_of[to_index]
+            if from_component != to_component and (
+                from_component not in successors[to_component]
+            ):
+                successors[to_component].add(from_component)
+                indegree[from_component] += 1
+
+    ready = sorted(i for i in range(count) if indegree[i] == 0)
+    order = []
+    while ready:
+        component = ready.pop(0)
+        order.append(component)
+        for dependent in sorted(successors[component]):
+            indegree[dependent] -= 1
+            if indegree[dependent] == 0:
+                ready.append(dependent)
+        ready.sort()
+    if len(order) != count:
+        raise StratificationError("dependency cycle detection failed")
+    return order
+
+
+def is_recursive_stratum(stratum, analyzed_rules=None):
+    """Does any rule in the stratum read a target defined in the stratum?"""
+    for reader in stratum:
+        for pattern, _ in reader.references:
+            for writer in stratum:
+                if patterns_overlap(pattern, writer.target):
+                    return True
+    return False

@@ -1,0 +1,131 @@
+"""Substitutions (paper Section 4.2).
+
+A substitution is a finite mapping from variable names to objects, "a
+mapping on variables that is the identity almost everywhere". The
+evaluator extends substitutions one binding at a time while backtracking,
+so :class:`Substitution` is a persistent (immutable) structure: extension
+returns a new substitution sharing its parent, making extension O(1) and
+lookup O(depth). Binding chains stay short (a handful of variables per
+query), so the walk is cheap in practice.
+"""
+
+from __future__ import annotations
+
+from repro.objects.base import IdlObject, same_value
+
+EMPTY = None  # set below, after the class definition
+
+
+class Substitution:
+    """An immutable variable -> IdlObject mapping."""
+
+    __slots__ = ("_var", "_value", "_parent", "_size")
+
+    def __init__(self, var=None, value=None, parent=None):
+        self._var = var
+        self._value = value
+        self._parent = parent
+        self._size = (parent._size + 1) if parent is not None else (1 if var else 0)
+
+    @classmethod
+    def empty(cls):
+        return _EMPTY
+
+    @classmethod
+    def of(cls, bindings):
+        """Build a substitution from a ``{name: IdlObject}`` dict."""
+        subst = _EMPTY
+        for name, obj in bindings.items():
+            subst = subst.bind(name, obj)
+        return subst
+
+    # -- queries ------------------------------------------------------------
+
+    def lookup(self, name):
+        """The binding of variable ``name``, or None if unbound."""
+        node = self
+        while node is not None and node._var is not None:
+            if node._var == name:
+                return node._value
+            node = node._parent
+        return None
+
+    def binds(self, name):
+        return self.lookup(name) is not None
+
+    def domain(self):
+        """The set of bound variable names."""
+        names = set()
+        node = self
+        while node is not None and node._var is not None:
+            names.add(node._var)
+            node = node._parent
+        return names
+
+    def as_dict(self):
+        """Materialize to a plain dict (innermost binding wins)."""
+        out = {}
+        node = self
+        while node is not None and node._var is not None:
+            out.setdefault(node._var, node._value)
+            node = node._parent
+        return out
+
+    def __len__(self):
+        return len(self.domain())
+
+    # -- extension ------------------------------------------------------------
+
+    def bind(self, name, obj):
+        """Extend with ``name -> obj``; rebinding to an equal value is a
+        no-op, rebinding to a different value raises (the evaluator must
+        check-and-compare instead)."""
+        if not isinstance(obj, IdlObject):
+            raise TypeError(f"bindings are IdlObjects, got {type(obj).__name__}")
+        existing = self.lookup(name)
+        if existing is not None:
+            if same_value(existing, obj):
+                return self
+            raise ValueError(f"variable {name} already bound to a different value")
+        return Substitution(name, obj, self)
+
+    def unify(self, name, obj):
+        """Bind ``name`` to ``obj`` or check consistency with an existing
+        binding. Returns the (possibly extended) substitution, or None if
+        inconsistent."""
+        existing = self.lookup(name)
+        if existing is not None:
+            return self if same_value(existing, obj) else None
+        return Substitution(name, obj, self)
+
+    # -- misc ------------------------------------------------------------
+
+    def restrict(self, names):
+        """A new substitution keeping only the given variable names."""
+        kept = {k: v for k, v in self.as_dict().items() if k in names}
+        return Substitution.of(kept)
+
+    def signature(self, names=None):
+        """A hashable key of the bindings (for answer deduplication)."""
+        bindings = self.as_dict()
+        if names is not None:
+            bindings = {k: v for k, v in bindings.items() if k in names}
+        return frozenset((name, obj.value_key()) for name, obj in bindings.items())
+
+    def __eq__(self, other):
+        if not isinstance(other, Substitution):
+            return NotImplemented
+        return self.signature() == other.signature()
+
+    def __hash__(self):
+        return hash(self.signature())
+
+    def __repr__(self):
+        inner = ", ".join(
+            f"{name}/{obj!r}" for name, obj in sorted(self.as_dict().items())
+        )
+        return f"{{{inner}}}"
+
+
+_EMPTY = Substitution()
+EMPTY = _EMPTY

@@ -1,0 +1,38 @@
+"""First-order Datalog: the Horn-clause baseline and the IDL compiler.
+
+* :mod:`repro.datalog.facts` / :mod:`repro.datalog.rules` /
+  :mod:`repro.datalog.engine` — a stratified Datalog engine with naive
+  and semi-naive evaluation (the paper's Datalog/LDL reference point);
+* :mod:`repro.datalog.rewrite` — the IDL -> Datalog compiler via
+  db/rel/cell reification, which is how a first-order engine can serve
+  higher-order multidatabase queries (benchmark B4).
+"""
+
+from repro.datalog.engine import DatalogEngine
+from repro.datalog.facts import EDB
+from repro.datalog.parser import load_program, parse_datalog
+from repro.datalog.rewrite import (
+    CompiledQuery,
+    answers_via_datalog,
+    compile_query,
+    encode_universe,
+    run_compiled,
+)
+from repro.datalog.rules import Comparison, DatalogRule, Literal, lit, notlit
+
+__all__ = [
+    "CompiledQuery",
+    "Comparison",
+    "DatalogEngine",
+    "DatalogRule",
+    "EDB",
+    "Literal",
+    "answers_via_datalog",
+    "load_program",
+    "parse_datalog",
+    "compile_query",
+    "encode_universe",
+    "lit",
+    "notlit",
+    "run_compiled",
+]

@@ -1,0 +1,307 @@
+"""Stratified Datalog evaluation: naive and semi-naive.
+
+The baseline Horn-clause engine (the Datalog/LDL stand-in the paper
+positions IDL against). Evaluation is bottom-up over predicate strata;
+semi-naive is the textbook delta rewriting: after the first round each
+recursive rule re-fires once per same-stratum positive body literal,
+with that literal restricted to the facts new in the previous round.
+"""
+
+from __future__ import annotations
+
+from repro.core.terms import Const, Var
+from repro.datalog.facts import EDB
+from repro.datalog.rules import (
+    Comparison,
+    DatalogRule,
+    Literal,
+    NegatedConjunction,
+)
+from repro.errors import DatalogError, StratificationError
+
+
+class _FactView:
+    """Union of the extensional store and the derived store."""
+
+    __slots__ = ("edb", "idb")
+
+    def __init__(self, edb, idb):
+        self.edb = edb
+        self.idb = idb
+
+    def facts(self, predicate):
+        base = self.edb.facts(predicate)
+        derived = self.idb.facts(predicate)
+        if not derived:
+            return base
+        if not base:
+            return derived
+        return base | derived
+
+    def lookup(self, predicate, position, value):
+        return self.edb.lookup(predicate, position, value) | self.idb.lookup(
+            predicate, position, value
+        )
+
+
+class DatalogEngine:
+    """Rules + an extensional store, evaluated on demand."""
+
+    def __init__(self, edb=None):
+        self.edb = edb if edb is not None else EDB()
+        self.rules = []
+
+    def add_rule(self, rule):
+        if not isinstance(rule, DatalogRule):
+            raise DatalogError(f"not a rule: {rule!r}")
+        self.rules.append(rule)
+        return rule
+
+    def rule(self, head, *body):
+        return self.add_rule(DatalogRule(head, body))
+
+    def fact(self, predicate, *values):
+        self.edb.add(predicate, values)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, method="seminaive"):
+        """Materialize all derived predicates; returns the IDB store."""
+        if method not in ("naive", "seminaive"):
+            raise DatalogError(f"unknown method {method!r}")
+        idb = EDB()
+        for stratum in self._stratify():
+            if method == "naive":
+                self._naive(stratum, idb)
+            else:
+                self._seminaive(stratum, idb)
+        return idb
+
+    def query(self, body, method="seminaive", idb=None):
+        """Solve a conjunctive goal; returns a list of binding dicts."""
+        if idb is None:
+            idb = self.evaluate(method=method)
+        view = _FactView(self.edb, idb)
+        results = []
+        seen = set()
+        variables = set()
+        for item in body:
+            variables |= item.variables()
+        for bindings in _solve(list(body), view, view, None, {}):
+            key = tuple(sorted((k, v) for k, v in bindings.items() if k in variables))
+            if key not in seen:
+                seen.add(key)
+                results.append(dict(bindings))
+        return results
+
+    # -- stratification ----------------------------------------------------------
+
+    def _stratify(self):
+        heads = {rule.head.predicate for rule in self.rules}
+        rules_of = {}
+        for rule in self.rules:
+            rules_of.setdefault(rule.head.predicate, []).append(rule)
+
+        # Compute strata numbers by iteration to a fixpoint; a number
+        # exceeding the predicate count proves negation through recursion.
+        stratum_of = {predicate: 0 for predicate in heads}
+        while True:
+            changed = False
+            for rule in self.rules:
+                head = rule.head.predicate
+                for predicate, positive in rule.idb_dependencies():
+                    if predicate not in heads:
+                        continue
+                    required = stratum_of[predicate] + (0 if positive else 1)
+                    if stratum_of[head] < required:
+                        stratum_of[head] = required
+                        changed = True
+                        if required > len(heads):
+                            raise StratificationError(
+                                "negation through recursion in Datalog rules"
+                            )
+            if not changed:
+                break
+
+        strata = {}
+        for predicate, stratum in stratum_of.items():
+            strata.setdefault(stratum, []).extend(rules_of[predicate])
+        return [strata[level] for level in sorted(strata)]
+
+    # -- naive ----------------------------------------------------------------
+
+    def _naive(self, stratum, idb):
+        view = _FactView(self.edb, idb)
+        while True:
+            changed = False
+            for rule in stratum:
+                for bindings in _solve(list(rule.body), view, view, None, {}):
+                    if idb.add(rule.head.predicate, _ground(rule.head, bindings)):
+                        changed = True
+            if not changed:
+                return
+
+    # -- semi-naive ----------------------------------------------------------------
+
+    def _seminaive(self, stratum, idb):
+        stratum_preds = {rule.head.predicate for rule in stratum}
+        view = _FactView(self.edb, idb)
+
+        delta = EDB()
+        for rule in stratum:
+            for bindings in _solve(list(rule.body), view, view, None, {}):
+                fact = _ground(rule.head, bindings)
+                if idb.add(rule.head.predicate, fact):
+                    delta.add(rule.head.predicate, fact)
+
+        recursive = [
+            rule
+            for rule in stratum
+            if any(
+                predicate in stratum_preds and positive
+                for predicate, positive in rule.idb_dependencies()
+            )
+        ]
+        while delta.count():
+            next_delta = EDB()
+            view = _FactView(self.edb, idb)
+            for rule in recursive:
+                positions = [
+                    index
+                    for index, item in enumerate(rule.body)
+                    if isinstance(item, Literal)
+                    and not item.negated
+                    and item.predicate in stratum_preds
+                ]
+                for position in positions:
+                    for bindings in _solve(
+                        list(rule.body), view, delta, position, {}
+                    ):
+                        fact = _ground(rule.head, bindings)
+                        if idb.add(rule.head.predicate, fact):
+                            next_delta.add(rule.head.predicate, fact)
+            delta = next_delta
+
+
+# ---------------------------------------------------------------------------
+# Matching
+# ---------------------------------------------------------------------------
+
+
+def _ground(literal, bindings):
+    values = []
+    for arg in literal.args:
+        if isinstance(arg, Var):
+            if arg.name not in bindings:
+                raise DatalogError(f"head variable {arg.name} unbound")
+            values.append(bindings[arg.name])
+        else:
+            values.append(arg.value)
+    return tuple(values)
+
+
+def _match(literal, fact, bindings):
+    """Unify a literal against a ground fact; returns extended bindings."""
+    if len(fact) != len(literal.args):
+        return None
+    extended = None
+    for arg, value in zip(literal.args, fact):
+        if isinstance(arg, Const):
+            if arg.value != value or isinstance(arg.value, bool) != isinstance(
+                value, bool
+            ):
+                return None
+        else:
+            current = (extended or bindings).get(arg.name, _MISSING)
+            if current is _MISSING:
+                if extended is None:
+                    extended = dict(bindings)
+                extended[arg.name] = value
+            elif current != value:
+                return None
+    return bindings if extended is None else extended
+
+
+_MISSING = object()
+
+
+def _candidates(literal, source, bindings):
+    """Facts that could match, via a single-position index when bound.
+
+    Materialized to a list: the caller may add facts to the very set
+    being matched (bottom-up derivation into the same store).
+    """
+    for position, arg in enumerate(literal.args):
+        if isinstance(arg, Const):
+            return list(source.lookup(literal.predicate, position, arg.value))
+        if isinstance(arg, Var) and arg.name in bindings:
+            return list(
+                source.lookup(literal.predicate, position, bindings[arg.name])
+            )
+    return list(source.facts(literal.predicate))
+
+
+def _solve(body, view, delta_view, delta_position, bindings):
+    """Backtracking search over the body, left to right with deferral.
+
+    ``delta_position``: index of the body literal that must match the
+    delta store instead of the full view (semi-naive), or None.
+    Negations and comparisons are deferred until their variables bind.
+    """
+    items = [(index, item) for index, item in enumerate(body)]
+
+    def ready(item, bound, pending):
+        if isinstance(item, Comparison):
+            return item.variables() <= bound
+        if isinstance(item, NegatedConjunction):
+            shared = set()
+            for _, other in pending:
+                if other is not item:
+                    shared |= item.variables() & other.variables()
+            return not (shared - bound)
+        if item.negated:
+            return item.variables() <= bound
+        return True
+
+    def run(pending, bindings):
+        if not pending:
+            yield bindings
+            return
+        bound = set(bindings)
+        chosen = None
+        for order, (index, item) in enumerate(pending):
+            if ready(item, bound, pending):
+                chosen = order
+                break
+        if chosen is None:
+            raise DatalogError("no safe evaluation order for the body")
+        index, item = pending[chosen]
+        rest = pending[:chosen] + pending[chosen + 1 :]
+
+        if isinstance(item, Comparison):
+            if item.evaluate(bindings):
+                for result in run(rest, bindings):
+                    yield result
+            return
+        if isinstance(item, NegatedConjunction):
+            for _ in _solve(list(item.items), view, view, None, bindings):
+                return  # a witness exists: the negation fails
+            for result in run(rest, bindings):
+                yield result
+            return
+        if item.negated:
+            positive = item.negate()
+            for fact in _candidates(positive, view, bindings):
+                if _match(positive, fact, bindings) is not None:
+                    return
+            for result in run(rest, bindings):
+                yield result
+            return
+        source = delta_view if index == delta_position else view
+        for fact in _candidates(item, source, bindings):
+            extended = _match(item, fact, bindings)
+            if extended is not None:
+                for result in run(rest, extended):
+                    yield result
+
+    return run(items, bindings)

@@ -1,0 +1,75 @@
+"""Extensional databases for the first-order Datalog engine.
+
+Facts are flat tuples of Python scalars grouped by predicate name. An
+:class:`EDB` also maintains, lazily, per-(predicate, position) hash
+indexes used by the rule matcher for bound-argument lookups.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatalogError
+
+
+class EDB:
+    """A mutable set of ground facts, indexed for matching."""
+
+    def __init__(self):
+        self._facts = {}  # pred -> set of tuples
+        self._indexes = {}  # (pred, position) -> {value: set of tuples}
+
+    def add(self, predicate, fact):
+        """Add one ground fact (a tuple of scalars)."""
+        fact = tuple(fact)
+        facts = self._facts.setdefault(predicate, set())
+        if fact in facts:
+            return False
+        arity = self.arity(predicate)
+        if arity is not None and facts and len(fact) != arity:
+            raise DatalogError(
+                f"predicate {predicate}/{arity} given a {len(fact)}-tuple"
+            )
+        facts.add(fact)
+        for (pred, position), index in self._indexes.items():
+            if pred == predicate and position < len(fact):
+                index.setdefault(fact[position], set()).add(fact)
+        return True
+
+    def add_many(self, predicate, facts):
+        for fact in facts:
+            self.add(predicate, fact)
+
+    def facts(self, predicate):
+        return self._facts.get(predicate, set())
+
+    def predicates(self):
+        return sorted(self._facts)
+
+    def arity(self, predicate):
+        facts = self._facts.get(predicate)
+        if not facts:
+            return None
+        return len(next(iter(facts)))
+
+    def count(self, predicate=None):
+        if predicate is not None:
+            return len(self._facts.get(predicate, ()))
+        return sum(len(facts) for facts in self._facts.values())
+
+    def lookup(self, predicate, position, value):
+        """Facts of ``predicate`` whose ``position``-th argument equals
+        ``value`` (index built on first use)."""
+        key = (predicate, position)
+        index = self._indexes.get(key)
+        if index is None:
+            index = {}
+            for fact in self._facts.get(predicate, ()):
+                if position < len(fact):
+                    index.setdefault(fact[position], set()).add(fact)
+            self._indexes[key] = index
+        return index.get(value, set())
+
+    def copy(self):
+        fresh = EDB()
+        for predicate, facts in self._facts.items():
+            fresh._facts[predicate] = set(facts)
+        return fresh

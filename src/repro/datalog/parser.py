@@ -1,0 +1,184 @@
+"""Concrete syntax for the first-order Datalog baseline.
+
+Classic notation, so the baseline engine is usable standalone::
+
+    edge(1, 2).
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Y) :- tc(X, Z), edge(Z, Y).
+    big(X) :- p(X), X > 10.
+    only_p(X) :- p(X), not q(X).
+    ?- tc(1, Y).
+
+Atoms are facts when ground and terminated by ``.``; rules use ``:-``;
+``not`` negates a literal; comparisons use ``< <= = != > >=``; ``?-``
+introduces a goal. ``%`` starts a comment.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.terms import Const, Var
+from repro.datalog.rules import Comparison, DatalogRule, Literal
+from repro.errors import DatalogError
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<comment>%[^\n]*)"
+    r"|(?P<goal>\?-)"
+    r"|(?P<implies>:-)"
+    r"|(?P<number>-?\d+\.\d+|-?\d+)"
+    r"|(?P<string>'(?:[^'\\]|\\.)*')"
+    r"|(?P<word>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op><=|>=|!=|=|<|>)"
+    r"|(?P<punct>[(),.]))"
+)
+
+
+def _tokenize(text):
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            if text[position:].strip() == "":
+                break
+            raise DatalogError(f"cannot tokenize: {text[position:][:20]!r}")
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "comment":
+            continue
+        if kind == "number":
+            raw = match.group("number")
+            tokens.append(("number", float(raw) if "." in raw else int(raw)))
+        elif kind == "string":
+            tokens.append(("string", match.group("string")[1:-1]))
+        elif kind == "word":
+            tokens.append(("word", match.group("word")))
+        elif kind == "op":
+            tokens.append(("op", match.group("op")))
+        elif kind == "goal":
+            tokens.append(("goal", "?-"))
+        elif kind == "implies":
+            tokens.append(("implies", ":-"))
+        else:
+            tokens.append(("punct", match.group("punct")))
+    tokens.append(("eof", None))
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self, offset=0):
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def next(self):
+        token = self.peek()
+        if token[0] != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, kind, value=None):
+        token = self.next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise DatalogError(f"expected {value or kind}, found {token[1]!r}")
+        return token
+
+    def at(self, kind, value=None):
+        token = self.peek()
+        return token[0] == kind and (value is None or token[1] == value)
+
+
+def _parse_term(cursor):
+    kind, value = cursor.next()
+    if kind == "number" or kind == "string":
+        return Const(value)
+    if kind == "word":
+        if value == "not":
+            raise DatalogError("'not' is not a term")
+        return Var(value) if value[0].isupper() or value[0] == "_" else Const(value)
+    raise DatalogError(f"expected a term, found {value!r}")
+
+
+def _parse_literal(cursor):
+    negated = False
+    if cursor.at("word", "not"):
+        cursor.next()
+        negated = True
+    kind, name = cursor.next()
+    if kind != "word":
+        raise DatalogError(f"expected a predicate name, found {name!r}")
+    if name[0].isupper():
+        raise DatalogError(f"predicate names are lowercase, got {name!r}")
+    cursor.expect("punct", "(")
+    args = []
+    if not cursor.at("punct", ")"):
+        args.append(_parse_term(cursor))
+        while cursor.at("punct", ","):
+            cursor.next()
+            args.append(_parse_term(cursor))
+    cursor.expect("punct", ")")
+    literal = Literal(name, args)
+    return literal.negate() if negated else literal
+
+
+def _parse_body_item(cursor):
+    # Comparison: term op term — starts with a term followed by an op.
+    if (
+        cursor.peek()[0] in ("number", "string")
+        or (cursor.peek()[0] == "word" and cursor.peek(1)[0] == "op")
+    ):
+        left = _parse_term(cursor)
+        _, op = cursor.expect("op")
+        right = _parse_term(cursor)
+        return Comparison(left, op, right)
+    return _parse_literal(cursor)
+
+
+def parse_datalog(text):
+    """Parse a program; returns ``(facts, rules, goals)``.
+
+    ``facts`` are ``(predicate, args_tuple)`` pairs, ``rules`` are
+    :class:`DatalogRule` and ``goals`` are body-item lists (from ``?-``).
+    """
+    cursor = _Cursor(_tokenize(text))
+    facts, rules, goals = [], [], []
+    while not cursor.at("eof"):
+        if cursor.at("goal"):
+            cursor.next()
+            body = [_parse_body_item(cursor)]
+            while cursor.at("punct", ","):
+                cursor.next()
+                body.append(_parse_body_item(cursor))
+            cursor.expect("punct", ".")
+            goals.append(body)
+            continue
+        head = _parse_literal(cursor)
+        if cursor.at("implies"):
+            cursor.next()
+            body = [_parse_body_item(cursor)]
+            while cursor.at("punct", ","):
+                cursor.next()
+                body.append(_parse_body_item(cursor))
+            cursor.expect("punct", ".")
+            rules.append(DatalogRule(head, body))
+            continue
+        cursor.expect("punct", ".")
+        if head.negated:
+            raise DatalogError("facts cannot be negated")
+        if head.variables():
+            raise DatalogError(f"facts must be ground: {head!r}")
+        facts.append((head.predicate, tuple(arg.value for arg in head.args)))
+    return facts, rules, goals
+
+
+def load_program(engine, text):
+    """Load a Datalog text into an engine; returns parsed goals."""
+    facts, rules, goals = parse_datalog(text)
+    for predicate, args in facts:
+        engine.edb.add(predicate, args)
+    for rule in rules:
+        engine.add_rule(rule)
+    return goals

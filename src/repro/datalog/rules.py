@@ -1,0 +1,186 @@
+"""Rules and literals for the first-order Datalog engine.
+
+The classic shape: a rule is ``head :- body`` where the head is a
+positive literal and the body mixes positive literals, negated literals
+and comparison builtins. Terms are :class:`~repro.core.terms.Const` /
+:class:`~repro.core.terms.Var`, shared with the IDL front end so the
+IDL->Datalog compiler needs no term translation.
+"""
+
+from __future__ import annotations
+
+from repro.core.terms import Const, Term, Var
+from repro.errors import DatalogError
+from repro.objects.atom import compare_values
+
+
+class Literal:
+    """``pred(t1, ..., tn)`` or its negation."""
+
+    __slots__ = ("predicate", "args", "negated")
+
+    def __init__(self, predicate, args, negated=False):
+        self.predicate = predicate
+        self.args = tuple(
+            arg if isinstance(arg, Term) else Const(arg) for arg in args
+        )
+        self.negated = negated
+
+    def variables(self):
+        names = set()
+        for arg in self.args:
+            names |= arg.variables()
+        return names
+
+    def negate(self):
+        return Literal(self.predicate, self.args, negated=not self.negated)
+
+    def __repr__(self):
+        rendered = ", ".join(
+            arg.name if isinstance(arg, Var) else repr(arg.value) for arg in self.args
+        )
+        prefix = "~" if self.negated else ""
+        return f"{prefix}{self.predicate}({rendered})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Literal)
+            and self.predicate == other.predicate
+            and self.args == other.args
+            and self.negated == other.negated
+        )
+
+    def __hash__(self):
+        return hash((self.predicate, self.args, self.negated))
+
+
+class Comparison:
+    """A builtin ``left op right`` over terms; both sides must be bound."""
+
+    __slots__ = ("left", "op", "right")
+
+    def __init__(self, left, op, right):
+        self.left = left if isinstance(left, Term) else Const(left)
+        self.op = op
+        self.right = right if isinstance(right, Term) else Const(right)
+
+    def variables(self):
+        return self.left.variables() | self.right.variables()
+
+    def evaluate(self, bindings):
+        left = _resolve(self.left, bindings)
+        right = _resolve(self.right, bindings)
+        return compare_values(left, self.op, right)
+
+    def __repr__(self):
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+
+def _resolve(term, bindings):
+    from repro.core.terms import Arith
+
+    if isinstance(term, Var):
+        if term.name not in bindings:
+            raise DatalogError(f"comparison over unbound variable {term.name}")
+        return bindings[term.name]
+    if isinstance(term, Arith):
+        left = _resolve(term.left, bindings)
+        right = _resolve(term.right, bindings)
+        if term.op == "+":
+            return left + right
+        if term.op == "-":
+            return left - right
+        if term.op == "*":
+            return left * right
+        if right == 0:
+            raise DatalogError("division by zero in comparison")
+        return left / right
+    return term.value
+
+
+class NegatedConjunction:
+    """Negation-as-failure over a conjunction, evaluated inline.
+
+    Used by the IDL compiler for ``.db.rel~( ... )``: the engine solves
+    the inner items under the current bindings and fails when a witness
+    exists. Variables not bound outside are existential — exactly the
+    IDL evaluator's semantics — so no auxiliary predicate or parameter
+    domain is needed.
+    """
+
+    __slots__ = ("items",)
+
+    def __init__(self, items):
+        self.items = tuple(items)
+
+    def variables(self):
+        names = set()
+        for item in self.items:
+            names |= item.variables()
+        return names
+
+    def __repr__(self):
+        return "~(" + ", ".join(repr(item) for item in self.items) + ")"
+
+
+class DatalogRule:
+    """``head :- body`` with range-restriction (safety) validation."""
+
+    __slots__ = ("head", "body")
+
+    def __init__(self, head, body):
+        if head.negated:
+            raise DatalogError("rule heads must be positive literals")
+        self.head = head
+        self.body = tuple(body)
+        self._check_safety()
+
+    def _check_safety(self):
+        positive = set()
+        for item in self.body:
+            if isinstance(item, Literal) and not item.negated:
+                positive |= item.variables()
+        needed = set(self.head.variables())
+        for item in self.body:
+            if isinstance(item, Comparison) or (
+                isinstance(item, Literal) and item.negated
+            ):
+                needed |= item.variables()
+            # NegatedConjunction variables unbound outside are
+            # existential inside the negation: no requirement.
+        unbound = needed - positive
+        if unbound:
+            raise DatalogError(
+                "unsafe rule: variables not bound by a positive literal: "
+                + ", ".join(sorted(unbound))
+            )
+
+    def idb_dependencies(self):
+        """(predicate, positive) pairs the body references."""
+        out = []
+        for item in self.body:
+            if isinstance(item, Literal):
+                out.append((item.predicate, not item.negated))
+            elif isinstance(item, NegatedConjunction):
+                for inner in item.items:
+                    if isinstance(inner, Literal):
+                        out.append((inner.predicate, False))
+        return out
+
+    def __repr__(self):
+        return f"{self.head!r} :- " + ", ".join(repr(item) for item in self.body)
+
+
+def lit(predicate, *args):
+    """Convenience literal builder: strings starting uppercase are vars."""
+    converted = []
+    for arg in args:
+        if isinstance(arg, str) and arg[:1].isupper():
+            converted.append(Var(arg))
+        else:
+            converted.append(arg if isinstance(arg, Term) else Const(arg))
+    return Literal(predicate, converted)
+
+
+def notlit(predicate, *args):
+    return lit(predicate, *args).negate()

@@ -1,0 +1,127 @@
+"""Exception hierarchy for the IDL reproduction.
+
+Every error raised by the library derives from :class:`IdlError`, so
+applications can catch one type. Sub-hierarchies mirror the pipeline:
+lexing/parsing, semantic analysis (safety, stratification, binding
+signatures), evaluation, updates, storage, and federation.
+"""
+
+from __future__ import annotations
+
+
+class IdlError(Exception):
+    """Base class of every error raised by the ``repro`` library."""
+
+
+class IdlSyntaxError(IdlError):
+    """A lexical or grammatical error in IDL source text.
+
+    Carries the source position so tools can point at the offending
+    character.
+    """
+
+    def __init__(self, message, line=None, column=None, text=None):
+        self.line = line
+        self.column = column
+        self.text = text
+        location = ""
+        if line is not None:
+            location = f" at line {line}, column {column}"
+        super().__init__(f"{message}{location}")
+
+
+class LexError(IdlSyntaxError):
+    """An unrecognized character sequence during tokenization."""
+
+
+class ParseError(IdlSyntaxError):
+    """Token stream does not conform to the IDL grammar."""
+
+
+class SemanticError(IdlError):
+    """A well-formed expression that violates a static semantic rule."""
+
+
+class SafetyError(SemanticError):
+    """Expression is unsafe: a variable cannot be grounded before use.
+
+    Examples: ``>X`` with ``X`` never bound, or a negated conjunct whose
+    exported variables are unbound.
+    """
+
+
+class StratificationError(SemanticError):
+    """A rule program has negation through a recursive cycle (Section 6
+    requires the view definitions to be stratified)."""
+
+
+class RecursionError_(SemanticError):
+    """An update program calls itself (directly or indirectly); the paper
+    disallows recursive update programs (Section 7.1)."""
+
+
+class BindingError(SemanticError):
+    """An update program was invoked with a binding pattern for which one
+    of its ``+`` expressions is not ground (Section 7.1's compile-time
+    binding-signature analysis)."""
+
+
+class EvaluationError(IdlError):
+    """A runtime failure while evaluating a query expression."""
+
+
+class UpdateError(IdlError):
+    """A runtime failure while applying an update expression.
+
+    Per Section 5.2, applying an update expression of one category to an
+    object of another category "is in error and the results are
+    undefined" — we define them to raise this exception and leave the
+    universe unchanged (the engine wraps requests in a transaction).
+    """
+
+
+class IntegrityError(UpdateError):
+    """An update would violate a declared key or type constraint (the
+    paper's Section 2/Section 8 metadata extension: "keys, types,
+    referential integrity etc.")."""
+
+
+class AuthorizationError(IdlError):
+    """A principal attempted an action its grants do not cover (the
+    Section 2 "authorization" metadata extension)."""
+
+
+class UnknownNameError(EvaluationError):
+    """A constant database/relation/attribute name does not exist and the
+    evaluation context required it to."""
+
+
+class StorageError(IdlError):
+    """Base class for the relational storage substrate."""
+
+
+class SchemaError(StorageError):
+    """Relation schema violation: unknown column, arity or type mismatch,
+    duplicate key."""
+
+
+class TransactionError(StorageError):
+    """Invalid transaction state transition (e.g. commit after abort)."""
+
+
+class FederationError(IdlError):
+    """Errors in the multidatabase federation layer (duplicate database
+    registration, unknown member database, inconsistent name mapping)."""
+
+
+class SqlError(IdlError):
+    """Errors raised by the mini-SQL baseline engine."""
+
+
+class DatalogError(IdlError):
+    """Errors raised by the first-order Datalog baseline engine."""
+
+
+class RewriteError(DatalogError):
+    """The IDL->Datalog schema-expansion compiler could not translate an
+    expression (e.g. a higher-order variable over an unbounded domain)."""

@@ -1,0 +1,204 @@
+"""Persistence: save and load universes, programs and whole engines.
+
+JSON on disk, with a tagged encoding that round-trips the object model
+exactly (heterogeneous sets, null atoms, nested objects — shapes plain
+``{db: {rel: rows}}`` JSON cannot carry). Programs are persisted as IDL
+source text, which keeps the files auditable; merge keys (per-rule
+``merge_on``) travel in a sidecar section.
+
+Layout of an engine file::
+
+    {
+      "format": "idl-engine",
+      "version": 1,
+      "universe": {...tagged objects...},
+      "rules": [{"source": "...", "merge_on": [...]}, ...],
+      "update_programs": ["...source...", ...],
+      "constraints": {"keys": [...], "types": [...]}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.engine import IdlEngine
+from repro.core.pretty import to_source
+from repro.errors import IdlError
+from repro.objects.atom import Atom
+from repro.objects.set import SetObject
+from repro.objects.tuple import TupleObject
+from repro.objects.universe import Universe
+
+FORMAT = "idl-engine"
+VERSION = 1
+
+
+class PersistenceError(IdlError):
+    """Malformed or incompatible persisted data."""
+
+
+# ---------------------------------------------------------------------------
+# Object encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_object(obj):
+    """IdlObject -> JSON-safe tagged structure."""
+    if obj.is_atom:
+        return {"a": obj.value}
+    if obj.is_tuple:
+        return {"t": {name: encode_object(obj.get(name)) for name in obj.attr_names()}}
+    if obj.is_set:
+        return {"s": [encode_object(element) for element in obj.elements()]}
+    raise PersistenceError(f"cannot encode {type(obj).__name__}")
+
+
+def decode_object(data):
+    """Inverse of :func:`encode_object`."""
+    if not isinstance(data, dict) or len(data) != 1:
+        raise PersistenceError(f"malformed object payload: {data!r}")
+    tag, payload = next(iter(data.items()))
+    if tag == "a":
+        return Atom(payload)
+    if tag == "t":
+        built = TupleObject()
+        for name, child in payload.items():
+            built.set(name, decode_object(child))
+        return built
+    if tag == "s":
+        return SetObject(decode_object(child) for child in payload)
+    raise PersistenceError(f"unknown object tag {tag!r}")
+
+
+def encode_universe(universe):
+    return encode_object(universe)["t"]
+
+
+def decode_universe(data):
+    universe = Universe()
+    for name, child in data.items():
+        universe.set(name, decode_object(child))
+    return universe
+
+
+# ---------------------------------------------------------------------------
+# Engine save / load
+# ---------------------------------------------------------------------------
+
+
+def engine_to_dict(engine):
+    """Serialize an engine (base universe + program; no overlay cache)."""
+    return {
+        "format": FORMAT,
+        "version": VERSION,
+        "universe": encode_universe(engine.universe),
+        "rules": [
+            {
+                "source": to_source(analyzed.rule),
+                "merge_on": list(analyzed.merge_on),
+            }
+            for analyzed in engine.program.rules
+        ],
+        "update_programs": [
+            to_source(clause_stmt)
+            for key in engine.program.clauses
+            for clause_stmt in _clause_statements(engine.program.clauses[key])
+        ],
+        "constraints": {
+            "keys": [
+                {"db": c.db, "rel": c.rel, "columns": list(c.columns)}
+                for c in engine.constraints.keys
+            ],
+            "types": [
+                {
+                    "db": c.db,
+                    "rel": c.rel,
+                    "attr": c.attr,
+                    "type": c.type_class,
+                    "nullable": c.nullable,
+                }
+                for c in engine.constraints.types
+            ],
+        },
+    }
+
+
+def _clause_statements(clauses):
+    from repro.core import ast
+
+    for clause in clauses:
+        yield ast.UpdateClause(clause_head_expr(clause), clause.body)
+
+
+def clause_head_expr(clause):
+    """Reconstruct a clause's head expression from its analyzed parts."""
+    from repro.core import ast
+    from repro.core.terms import Const
+
+    items = []
+    for name in clause.param_names:
+        items.append(
+            ast.AttrStep(Const(name), ast.AtomicExpr("=", clause.param_terms[name]))
+        )
+    params = ast.SetExpr(
+        ast.TupleExpr(items) if items else ast.Epsilon(), sign=clause.sign
+    )
+    if clause.name is not None:
+        inner = ast.AttrStep(Const(clause.name), params)
+    else:
+        inner = ast.AttrStep(clause.param_terms["__relation__"], params)
+    return ast.AttrStep(Const(clause.db), inner)
+
+
+def engine_from_dict(data):
+    """Rebuild an engine from :func:`engine_to_dict` output."""
+    if not isinstance(data, dict) or data.get("format") != FORMAT:
+        raise PersistenceError("not an idl-engine document")
+    if data.get("version") != VERSION:
+        raise PersistenceError(f"unsupported version {data.get('version')!r}")
+    engine = IdlEngine(universe=decode_universe(data.get("universe", {})))
+    for rule in data.get("rules", ()):
+        engine.define(rule["source"], merge_on=tuple(rule.get("merge_on", ())))
+    for source in data.get("update_programs", ()):
+        engine.define_update(source)
+    constraints = data.get("constraints", {})
+    for key in constraints.get("keys", ()):
+        engine.declare_key(key["db"], key["rel"], tuple(key["columns"]))
+    for typed in constraints.get("types", ()):
+        engine.declare_type(
+            typed["db"], typed["rel"], typed["attr"], typed["type"],
+            typed.get("nullable", True),
+        )
+    return engine
+
+
+def save_engine(engine, path):
+    """Write an engine to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(engine_to_dict(engine), handle, indent=1)
+
+
+def load_engine(path):
+    """Read an engine from a JSON file."""
+    with open(path) as handle:
+        data = json.load(handle)
+    return engine_from_dict(data)
+
+
+def save_universe(universe, path):
+    with open(path, "w") as handle:
+        json.dump(
+            {"format": "idl-universe", "version": VERSION,
+             "universe": encode_universe(universe)},
+            handle,
+            indent=1,
+        )
+
+
+def load_universe(path):
+    with open(path) as handle:
+        data = json.load(handle)
+    if data.get("format") != "idl-universe":
+        raise PersistenceError("not an idl-universe document")
+    return decode_universe(data.get("universe", {}))

@@ -1,0 +1,111 @@
+"""Adapters between the storage substrate and the IDL universe.
+
+Members of a federation run on their own relational systems
+(:mod:`repro.storage` here). The federation snapshots their data into
+the universe on attach, and — after update programs have run — flushes
+the universe state back, transactionally, so the autonomous database
+ends up exactly as if it had executed the translated updates locally.
+"""
+
+from __future__ import annotations
+
+from repro.objects import encode
+from repro.storage.schema import ANY, BOOL, FLOAT, INT, STR, Column, Schema
+
+
+def storage_to_relations(storage):
+    """Snapshot a StorageDatabase into ``{relation: rows}``."""
+    return {
+        name: storage.scan(name) for name in storage.relation_names()
+    }
+
+
+def attach_storage(engine, name, storage, include_catalog=False):
+    """Register a storage database as a member of an engine's universe.
+
+    With ``include_catalog`` the reflective ``_relations``/``_columns``
+    tables are exposed too — making the member's metadata queryable as
+    data, the paper's Section 2 requirement.
+    """
+    relations = storage_to_relations(storage)
+    if include_catalog:
+        relations.update(storage.system_relations())
+    engine.add_database(name, relations)
+    return engine.universe.database(name)
+
+
+def infer_schema(rows):
+    """Infer a (loose) schema from row dicts: union of columns, type
+    ``any`` unless every non-null value agrees."""
+    columns = {}
+    for row in rows:
+        for name, value in row.items():
+            seen = columns.setdefault(name, set())
+            if value is None:
+                continue
+            if isinstance(value, bool):
+                seen.add(BOOL)
+            elif isinstance(value, str):
+                seen.add(STR)
+            elif isinstance(value, int):
+                seen.add(INT)
+            elif isinstance(value, float):
+                seen.add(FLOAT)
+            else:
+                seen.add(ANY)
+    built = []
+    for name, seen in columns.items():
+        if seen == {INT}:
+            type_name = INT
+        elif seen <= {INT, FLOAT} and seen:
+            type_name = FLOAT
+        elif len(seen) == 1:
+            type_name = next(iter(seen))
+        else:
+            type_name = ANY
+        built.append(Column(name, type_name, nullable=True))
+    return Schema(built)
+
+
+def flush_to_storage(universe, name, storage):
+    """Make ``storage`` reflect the universe's state of database ``name``.
+
+    Runs in one storage transaction: relations that disappeared are
+    dropped, new ones created (schema inferred), and every surviving
+    relation's contents replaced. Aborts (restoring the storage database
+    untouched) on any schema violation.
+    """
+    database = universe.database(name)
+    desired = {}
+    for rel_name in database.attr_names():
+        relation = database.get(rel_name)
+        if relation.is_set:
+            desired[rel_name] = [
+                encode.to_python(element) for element in relation.elements()
+            ]
+
+    with storage.begin():
+        for rel_name in list(storage.relation_names()):
+            if rel_name not in desired:
+                storage.drop_relation(rel_name)
+        for rel_name, rows in desired.items():
+            tuple_rows = [row for row in rows if isinstance(row, dict)]
+            if not storage.has_relation(rel_name):
+                storage.create_relation(rel_name, infer_schema(tuple_rows))
+            else:
+                schema = storage.catalog.schema_of(rel_name)
+                incoming = {
+                    column for row in tuple_rows for column in row
+                }
+                if not incoming <= set(schema.column_names()):
+                    # The update created attributes the stored schema
+                    # lacks (IDL allows that); widen by recreating.
+                    storage.drop_relation(rel_name)
+                    storage.create_relation(rel_name, infer_schema(tuple_rows))
+                else:
+                    storage.delete(rel_name)
+            if storage.has_relation(rel_name) and len(storage.relation(rel_name)):
+                storage.delete(rel_name)
+            for row in tuple_rows:
+                storage.insert(rel_name, row)
+    return storage

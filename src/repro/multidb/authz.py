@@ -1,0 +1,196 @@
+"""Authorization over the multidatabase (paper Section 2's third
+metadata kind: "keys, types, authorization, etc.").
+
+Autonomous members keep their own access rules; the federation must
+honour them when it exposes a unified surface. This module provides:
+
+* :class:`AccessPolicy` — per-principal grants at ``(db, rel)``
+  granularity, with ``"*"`` wildcards (which also cover higher-order
+  view families, whose relation names are data-dependent);
+* :class:`AuthorizedSession` — a per-principal facade over an
+  :class:`~repro.core.engine.IdlEngine`: queries evaluate against a
+  *filtered* view containing only readable relations, and updates are
+  verified against the write grants using the engine's touched-path
+  report — an unauthorized write is rolled back atomically;
+* policy reflection: grants render as relations, queryable like any
+  other metadata.
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluator import answers, holds
+from repro.errors import AuthorizationError, SemanticError
+from repro.objects.tuple import TupleObject
+
+READ = "read"
+WRITE = "write"
+ACTIONS = (READ, WRITE)
+
+
+class Grant:
+    """One grant: a principal may perform actions on matching relations."""
+
+    __slots__ = ("principal", "db", "rel", "actions")
+
+    def __init__(self, principal, db, rel="*", actions=(READ,)):
+        bad = set(actions) - set(ACTIONS)
+        if bad:
+            raise ValueError(f"unknown actions: {sorted(bad)}")
+        self.principal = principal
+        self.db = db
+        self.rel = rel
+        self.actions = frozenset(actions)
+
+    def covers(self, principal, action, db, rel):
+        if principal != self.principal and self.principal != "*":
+            return False
+        if action not in self.actions:
+            return False
+        if self.db != "*" and self.db != db:
+            return False
+        return self.rel == "*" or self.rel == rel
+
+    def __repr__(self):
+        return (
+            f"Grant({self.principal!r}, .{self.db}.{self.rel}, "
+            f"{sorted(self.actions)})"
+        )
+
+
+class AccessPolicy:
+    """All grants, with membership tests and reflection."""
+
+    def __init__(self):
+        self.grants = []
+
+    def grant(self, principal, db, rel="*", actions=(READ,)):
+        added = Grant(principal, db, rel, actions)
+        self.grants.append(added)
+        return added
+
+    def revoke(self, principal, db, rel="*"):
+        """Remove every grant exactly matching the scope."""
+        before = len(self.grants)
+        self.grants = [
+            grant
+            for grant in self.grants
+            if not (
+                grant.principal == principal
+                and grant.db == db
+                and grant.rel == rel
+            )
+        ]
+        return before - len(self.grants)
+
+    def can(self, principal, action, db, rel):
+        return any(
+            grant.covers(principal, action, db, rel) for grant in self.grants
+        )
+
+    def readable_databases(self, principal):
+        return {
+            grant.db
+            for grant in self.grants
+            if READ in grant.actions
+            and grant.principal in (principal, "*")
+        }
+
+    def as_relations(self):
+        """The policy as data: one row per grant."""
+        return {
+            "grants": [
+                {
+                    "principal": grant.principal,
+                    "db": grant.db,
+                    "rel": grant.rel,
+                    "actions": ",".join(sorted(grant.actions)),
+                }
+                for grant in self.grants
+            ]
+        }
+
+
+def restrict_view(view, predicate):
+    """A universe-shaped tuple exposing only relations the predicate
+    admits. Relation objects are shared (read-only use), not copied."""
+    filtered = TupleObject()
+    for db_name in view.attr_names():
+        database = view.get(db_name)
+        if not database.is_tuple:
+            continue
+        kept = TupleObject()
+        for rel_name in database.attr_names():
+            if predicate(db_name, rel_name):
+                kept.set(rel_name, database.get(rel_name))
+        if len(kept):
+            filtered.set(db_name, kept)
+    return filtered
+
+
+class AuthorizedSession:
+    """A principal's view of an engine, enforced on read and write."""
+
+    def __init__(self, engine, principal, policy):
+        self.engine = engine
+        self.principal = principal
+        self.policy = policy
+
+    # -- reads ------------------------------------------------------------
+
+    def _readable_view(self):
+        return restrict_view(
+            self.engine.materialized_view(),
+            lambda db, rel: self.policy.can(self.principal, READ, db, rel),
+        )
+
+    def query(self, source, **params):
+        statement = self.engine._one_query(source)
+        if statement.is_update_request:
+            raise SemanticError("this is an update request; use update()")
+        view = self._readable_view()
+        results = answers(statement, view, params or None, self.engine.eval_ctx)
+        return [
+            {name: obj.to_python() for name, obj in sorted(s.as_dict().items())}
+            for s in results
+        ]
+
+    def ask(self, source, **params):
+        statement = self.engine._one_query(source)
+        return holds(
+            statement, self._readable_view(), params or None,
+            self.engine.eval_ctx,
+        )
+
+    # -- writes ------------------------------------------------------------
+
+    def update(self, source, **params):
+        """Run an update request; roll back unless every touched
+        ``(db, rel)`` is covered by a write grant."""
+        snapshot = self.engine.universe.snapshot()
+        result = self.engine.update(source, atomic=True, **params)
+        unauthorized = [
+            prefix
+            for prefix in result.touched
+            if not self.policy.can(
+                self.principal, WRITE, prefix[0],
+                prefix[1] if len(prefix) > 1 else "*",
+            )
+        ]
+        if unauthorized:
+            self.engine._restore(snapshot)
+            rendered = ", ".join(".".join(prefix) for prefix in sorted(unauthorized))
+            raise AuthorizationError(
+                f"principal {self.principal!r} may not write {rendered}"
+            )
+        return result
+
+    def call(self, db, program, **args):
+        from repro.core.engine import _literal
+
+        items = ", ".join(
+            f".{key}={_literal(value)}" for key, value in args.items()
+        )
+        return self.update(f"?.{db}.{program}({items})")
+
+    def __repr__(self):
+        return f"AuthorizedSession({self.principal!r})"

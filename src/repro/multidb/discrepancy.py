@@ -1,0 +1,127 @@
+"""Schematic-discrepancy detection.
+
+A schematic discrepancy (SD) exists "when one database's data (values)
+correspond to metadata (schema elements) in others" (paper Section 1).
+This module scans a universe for exactly that: attribute *values* in one
+database that reappear as *attribute names* or *relation names* in
+another, scored by overlap. The federation examples use the report to
+propose member styles and name mappings.
+"""
+
+from __future__ import annotations
+
+VALUE_VS_ATTRIBUTE = "value-vs-attribute"
+VALUE_VS_RELATION = "value-vs-relation"
+
+
+class Discrepancy:
+    """One detected data/metadata correspondence."""
+
+    __slots__ = ("kind", "source", "target_db", "overlap", "score")
+
+    def __init__(self, kind, source, target_db, overlap, score):
+        self.kind = kind
+        self.source = source  # (db, rel, attr) whose values match
+        self.target_db = target_db
+        self.overlap = overlap  # frozenset of shared names
+        self.score = score  # |overlap| / |distinct source values|
+
+    def __repr__(self):
+        db, rel, attr = self.source
+        return (
+            f"<Discrepancy {self.kind}: {db}.{rel}.{attr} ~ {self.target_db}"
+            f" ({len(self.overlap)} names, score {self.score:.2f})>"
+        )
+
+
+def _string_values(universe, db_name, rel_name, attr):
+    values = set()
+    relation = universe.get(db_name).get(rel_name)
+    for element in relation.elements():
+        if element.is_tuple and element.has(attr):
+            value = element.get(attr)
+            if value.is_atom and isinstance(value.value, str):
+                values.add(value.value)
+    return values
+
+
+def _attribute_names(universe, db_name):
+    names = set()
+    database = universe.get(db_name)
+    for rel_name in database.attr_names():
+        relation = database.get(rel_name)
+        if not relation.is_set:
+            continue
+        for element in relation.elements():
+            if element.is_tuple:
+                names.update(element.attr_names())
+    return names
+
+
+def detect_discrepancies(universe, min_score=0.5, min_overlap=1):
+    """Scan every (db, rel, attr) against every other database's
+    metadata; returns Discrepancy objects sorted by descending score."""
+    findings = []
+    db_names = universe.attr_names()
+
+    metadata = {}
+    for db_name in db_names:
+        database = universe.get(db_name)
+        rel_names = {
+            name for name in database.attr_names() if database.get(name).is_set
+        }
+        metadata[db_name] = (rel_names, _attribute_names(universe, db_name))
+
+    for db_name in db_names:
+        database = universe.get(db_name)
+        for rel_name in database.attr_names():
+            relation = database.get(rel_name)
+            if not relation.is_set:
+                continue
+            attrs = set()
+            for element in relation.elements():
+                if element.is_tuple:
+                    attrs.update(element.attr_names())
+            for attr in sorted(attrs):
+                values = _string_values(universe, db_name, rel_name, attr)
+                if not values:
+                    continue
+                for other_db in db_names:
+                    if other_db == db_name:
+                        continue
+                    rel_names, attr_names = metadata[other_db]
+                    for kind, names in (
+                        (VALUE_VS_RELATION, rel_names),
+                        (VALUE_VS_ATTRIBUTE, attr_names),
+                    ):
+                        overlap = values & names
+                        score = len(overlap) / len(values)
+                        if len(overlap) >= min_overlap and score >= min_score:
+                            findings.append(
+                                Discrepancy(
+                                    kind,
+                                    (db_name, rel_name, attr),
+                                    other_db,
+                                    frozenset(overlap),
+                                    score,
+                                )
+                            )
+    findings.sort(key=lambda d: (-d.score, d.source, d.target_db, d.kind))
+    return findings
+
+
+def report(discrepancies):
+    """A human-readable table of findings."""
+    if not discrepancies:
+        return "no schematic discrepancies detected"
+    lines = [
+        f"{'source':<28} {'kind':<20} {'target':<10} {'score':>6}  examples",
+    ]
+    for finding in discrepancies:
+        db, rel, attr = finding.source
+        examples = ", ".join(sorted(finding.overlap)[:4])
+        lines.append(
+            f"{db + '.' + rel + '.' + attr:<28} {finding.kind:<20} "
+            f"{finding.target_db:<10} {finding.score:>6.2f}  {examples}"
+        )
+    return "\n".join(lines)

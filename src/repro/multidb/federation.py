@@ -1,0 +1,193 @@
+"""The federation facade: members in, Figure 1 out.
+
+:class:`Federation` manages a set of autonomous member databases (plain
+row data or :class:`~repro.storage.database.StorageDatabase` instances),
+their schema styles, optional name mappings, and the user groups who
+want customized views. ``install()`` generates and loads the whole
+two-level mapping — unified view, customized views, maintenance and
+view-update programs — onto an :class:`~repro.core.engine.IdlEngine`.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import IdlEngine
+from repro.errors import FederationError
+from repro.multidb.adapters import storage_to_relations
+from repro.multidb.transparency import (
+    STYLES,
+    customized_view_rule,
+    maintenance_programs,
+    reconciliation_rule,
+    unified_view_rules,
+    view_update_programs,
+)
+
+
+class Federation:
+    """A multidatabase federation with schematic discrepancies."""
+
+    def __init__(self, engine=None, unified_db="dbI", unified_relation="p",
+                 control_db="dbU"):
+        self.engine = engine if engine is not None else IdlEngine()
+        self.unified_db = unified_db
+        self.unified_relation = unified_relation
+        self.control_db = control_db
+        self.members = {}  # name -> style
+        self.users = {}  # user db name -> style
+        self.mappings = {}  # member name -> (db, rel, from_attr, to_attr)
+        self.storage_members = {}  # name -> StorageDatabase
+        self._installed = False
+
+    # -- membership -----------------------------------------------------------
+
+    def add_member(self, name, style=None, relations=None, storage=None,
+                   mapping=None):
+        """Register a member database.
+
+        ``relations`` is ``{rel: rows}``; alternatively pass ``storage``
+        (a StorageDatabase) to snapshot from the storage substrate.
+        ``style=None`` auto-detects the schema style from the data.
+        ``mapping`` optionally names the member's name-mapping relation
+        as ``(db, rel, from_attr, to_attr)``.
+        """
+        if name in self.members:
+            raise FederationError(f"member {name!r} already registered")
+        if storage is not None:
+            relations = storage_to_relations(storage)
+            self.storage_members[name] = storage
+        if style is None:
+            from repro.multidb.schema_styles import detect_style
+
+            style = detect_style(relations or {})
+            if style is None:
+                raise FederationError(
+                    f"cannot auto-detect the schema style of member "
+                    f"{name!r}; pass style= explicitly"
+                )
+        if style not in STYLES:
+            raise FederationError(f"unknown schema style {style!r}")
+        self.engine.add_database(name, relations or {})
+        self.members[name] = style
+        if mapping is not None:
+            self.mappings[name] = mapping
+        return self
+
+    def add_mapping_relation(self, member, rel, pairs, from_attr, to_attr):
+        """Create a name-mapping relation in the control database and
+        register it for ``member``: ``pairs`` maps member-local names to
+        unified names."""
+        self._ensure_control_db()
+        rows = [{from_attr: local, to_attr: unified} for local, unified in pairs.items()]
+        self.engine.universe.add_relation(self.control_db, rel, rows)
+        self.mappings[member] = (self.control_db, rel, from_attr, to_attr)
+        self.engine.invalidate()
+        return self
+
+    def add_user_view(self, name, style):
+        """Declare a user group wanting a ``style``-shaped customized view."""
+        if style not in STYLES:
+            raise FederationError(f"unknown schema style {style!r}")
+        if name in self.users or name in self.members:
+            raise FederationError(f"database name {name!r} already in use")
+        self.users[name] = style
+        return self
+
+    # -- installation -----------------------------------------------------------
+
+    def install(self, reconcile=False):
+        """Generate and load the full two-level mapping. Idempotent-ish:
+        raises if called twice."""
+        if self._installed:
+            raise FederationError("federation already installed")
+        if not self.members:
+            raise FederationError("no member databases registered")
+        self._ensure_control_db()
+
+        self.engine.define(
+            unified_view_rules(
+                self.members, self.unified_db, self.unified_relation,
+                self.mappings,
+            )
+        )
+        if reconcile:
+            self.engine.define(
+                reconciliation_rule(self.unified_db, self.unified_relation)
+            )
+        for user_db, style in self.users.items():
+            rule, merge_on = customized_view_rule(
+                user_db, style, self.unified_db, self.unified_relation
+            )
+            self.engine.define(rule, merge_on=merge_on)
+
+        self.engine.define_update(
+            maintenance_programs(self.members, self.control_db)
+        )
+        if self.users:
+            self.engine.define_update(
+                view_update_programs(self.users, self.control_db)
+            )
+        self._installed = True
+        return self
+
+    def _ensure_control_db(self):
+        if not self.engine.universe.has(self.control_db):
+            self.engine.universe.add_database(self.control_db)
+            self.engine.invalidate()
+
+    # -- convenience -----------------------------------------------------------
+
+    def query(self, source, **params):
+        return self.engine.query(source, **params)
+
+    def ask(self, source, **params):
+        return self.engine.ask(source, **params)
+
+    def update(self, source, **params):
+        result = self.engine.update(source, **params)
+        self._sync_storage()
+        return result
+
+    def call(self, program, **args):
+        result = self.engine.call(self.control_db, program, **args)
+        self._sync_storage()
+        return result
+
+    def insert_quote(self, stk, date, price):
+        return self.call("insStk", stk=stk, date=date, price=price)
+
+    def delete_quote(self, stk, date):
+        return self.call("delStk", stk=stk, date=date)
+
+    def remove_stock(self, stk):
+        return self.call("rmStk", stk=stk)
+
+    def unified_quotes(self):
+        """All (date, stk, price) rows of the unified view."""
+        results = self.query(
+            f"?.{self.unified_db}.{self.unified_relation}"
+            "(.date=D, .stk=S, .price=P)"
+        )
+        return sorted(
+            (answer["D"], answer["S"], answer["P"]) for answer in results
+        )
+
+    def discrepancy_report(self, min_score=0.5):
+        """Scan the members for schematic discrepancies; returns text."""
+        from repro.multidb.discrepancy import detect_discrepancies, report
+
+        return report(
+            detect_discrepancies(self.engine.universe, min_score=min_score)
+        )
+
+    def _sync_storage(self):
+        """Write universe state back to storage-backed members."""
+        from repro.multidb.adapters import flush_to_storage
+
+        for name, storage in self.storage_members.items():
+            flush_to_storage(self.engine.universe, name, storage)
+
+    def __repr__(self):
+        return (
+            f"Federation(members={self.members}, users={self.users}, "
+            f"installed={self._installed})"
+        )

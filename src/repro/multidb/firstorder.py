@@ -1,0 +1,140 @@
+"""The first-order counterfactual: multidatabase access without IDL.
+
+Section 2 argues relational languages cannot pose one query with one
+intention across schematically discrepant members — the *application*
+must consult each member's catalog and generate one SQL query per
+relation/column. This module implements that counterfactual honestly
+(it is how pre-IDL federations actually worked), so benchmarks B8 and
+the examples can show both the query-count explosion and the maintenance
+hazard (a new stock silently widens the query set).
+"""
+
+from __future__ import annotations
+
+from repro.errors import FederationError
+from repro.sql.executor import SqlEngine
+
+
+class FirstOrderFederation:
+    """SQL-per-member access to the stock federation."""
+
+    def __init__(self):
+        self.members = {}  # name -> (SqlEngine, style)
+
+    def add_member(self, name, storage, style):
+        if style not in ("euter", "chwab", "ource"):
+            raise FederationError(f"unknown schema style {style!r}")
+        self.members[name] = (SqlEngine(storage), style)
+        return self
+
+    # -- catalog-driven query generation ------------------------------------
+
+    def _stock_units(self, name):
+        """Per-member query units: (table, column) pairs holding prices."""
+        sql, style = self.members[name]
+        catalog = sql.database.system_relations()
+        if style == "euter":
+            return [("r", "clsPrice")]
+        if style == "chwab":
+            return [
+                ("r", row["colname"])
+                for row in catalog["_columns"]
+                if row["relname"] == "r" and row["colname"] != "date"
+            ]
+        return [
+            (row["relname"], "clsPrice")
+            for row in catalog["_relations"]
+            if not row["relname"].startswith("_")
+        ]
+
+    def stocks_above(self, threshold):
+        """"Did any stock ever close above T?" — returns
+        ``(stock_names, queries_issued)``. One SQL query per unit."""
+        stocks = set()
+        queries = 0
+        for name, (sql, style) in self.members.items():
+            for table, column in self._stock_units(name):
+                queries += 1
+                if style == "euter":
+                    rows = sql.execute(
+                        f"SELECT DISTINCT stkCode FROM {table} "
+                        f"WHERE {column} > {threshold}"
+                    )
+                    stocks.update(row["stkCode"] for row in rows)
+                elif style == "chwab":
+                    rows = sql.execute(
+                        f"SELECT date FROM {table} WHERE {column} > {threshold}"
+                        " LIMIT 1"
+                    )
+                    if rows:
+                        stocks.add(column)
+                else:
+                    rows = sql.execute(
+                        f"SELECT date FROM {table} WHERE {column} > {threshold}"
+                        " LIMIT 1"
+                    )
+                    if rows:
+                        stocks.add(table)
+        return stocks, queries
+
+    def price_of(self, stk, date):
+        """Closing prices of a stock on a date, across members.
+
+        Even a point lookup needs style-specific SQL per member.
+        """
+        prices = []
+        queries = 0
+        for name, (sql, style) in self.members.items():
+            if style == "euter":
+                queries += 1
+                rows = sql.execute(
+                    f"SELECT clsPrice AS p FROM r WHERE date = '{date}'"
+                    f" AND stkCode = '{stk}'"
+                )
+            elif style == "chwab":
+                schema = sql.database.catalog.schema_of("r")
+                if not schema.has_column(stk):
+                    continue
+                queries += 1
+                rows = sql.execute(
+                    f"SELECT {stk} AS p FROM r WHERE date = '{date}'"
+                )
+            else:
+                if not sql.database.has_relation(stk):
+                    continue
+                queries += 1
+                rows = sql.execute(
+                    f"SELECT clsPrice AS p FROM {stk} WHERE date = '{date}'"
+                )
+            prices.extend(
+                row["p"] for row in rows if row["p"] is not None
+            )
+        return prices, queries
+
+    def unified_quotes(self):
+        """Materialize the (date, stk, price) union — the hand-written
+        equivalent of the dbI.p unified view."""
+        quotes = []
+        queries = 0
+        for name, (sql, style) in self.members.items():
+            for table, column in self._stock_units(name):
+                queries += 1
+                if style == "euter":
+                    for row in sql.execute(
+                        "SELECT date, stkCode, clsPrice FROM r"
+                    ):
+                        if row["clsPrice"] is not None:
+                            quotes.append(
+                                (row["date"], row["stkCode"], row["clsPrice"])
+                            )
+                elif style == "chwab":
+                    for row in sql.execute(f"SELECT date, {column} FROM r"):
+                        if row[column] is not None:
+                            quotes.append((row["date"], column, row[column]))
+                else:
+                    for row in sql.execute(
+                        f"SELECT date, clsPrice FROM {table}"
+                    ):
+                        if row["clsPrice"] is not None:
+                            quotes.append((row["date"], table, row["clsPrice"]))
+        return sorted(set(quotes)), queries

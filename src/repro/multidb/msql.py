@@ -1,0 +1,320 @@
+"""MSQL compatibility: Litwin's multidatabase SQL, translated to IDL.
+
+The paper states IDL "subsumes also those of MSQL [Li89]". This module
+substantiates that claim with a working MSQL subset whose execution *is*
+translation to IDL:
+
+* ``USE db1 db2 ...``      — name the multidatabase scope;
+* ``SELECT ... FROM r``    — **broadcast**: the query runs against every
+  database in scope that has relation ``r`` (MSQL's multiple-queries
+  semantics); each answer row carries the member it came from in the
+  ``_db`` pseudo-column;
+* ``SELECT ... FROM db.r`` — member-qualified reference;
+* multi-reference FROM with WHERE joins — **inter-database joins**,
+  including joins between a broadcast and a fixed member.
+
+``translate`` exposes the generated IDL source, so users can see how
+each MSQL form maps onto one higher-order expression.
+
+Note: IDL answers are *sets* of substitutions, so every SELECT behaves
+like SQL's SELECT DISTINCT over its projected columns.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IdlError
+from repro.sql.sqlparser import _Tokens
+
+__all__ = ["MsqlError", "MsqlSession", "parse_msql"]
+
+
+class MsqlError(IdlError):
+    """Malformed MSQL or an untranslatable construct."""
+
+
+class MsqlSelect:
+    """A parsed MSQL SELECT."""
+
+    __slots__ = ("items", "refs", "conditions", "distinct")
+
+    def __init__(self, items, refs, conditions, distinct):
+        self.items = items  # [("col", "alias.col"|"col", out_name)] or [("star",)]
+        self.refs = refs  # [(db_or_None, rel, alias)]
+        self.conditions = conditions  # [(left_ref, op, ("lit",v)|("col",ref))]
+        self.distinct = distinct
+
+
+class MsqlUse:
+    __slots__ = ("databases",)
+
+    def __init__(self, databases):
+        self.databases = tuple(databases)
+
+
+def parse_msql(text):
+    """Parse one MSQL statement (USE or SELECT)."""
+    from repro.errors import SqlError
+
+    try:
+        return _parse_msql(text)
+    except SqlError as exc:
+        raise MsqlError(str(exc)) from exc
+
+
+def _parse_msql(text):
+    tokens = _Tokens(text)
+    kind, value = tokens.peek()
+    if kind == "name" and value.lower() == "use":
+        tokens.next()
+        databases = []
+        while tokens.peek()[0] == "name":
+            databases.append(tokens.next()[1])
+        if not databases or not tokens.exhausted:
+            raise MsqlError("USE takes one or more database names")
+        return MsqlUse(databases)
+    if kind == "kw" and value == "select":
+        tokens.next()
+        return _parse_select(tokens)
+    raise MsqlError(f"expected USE or SELECT, found {value!r}")
+
+
+def _parse_select(tokens):
+    distinct = bool(tokens.accept_kw("distinct"))
+    items = []
+    while True:
+        kind, value = tokens.peek()
+        if kind == "punct" and value == "*":
+            tokens.next()
+            items.append(("star",))
+        else:
+            ref = _column_ref(tokens)
+            out_name = ref.split(".")[-1]
+            if tokens.accept_kw("as"):
+                out_name = tokens.expect_name()
+            items.append(("col", ref, out_name))
+        if not tokens.accept_punct(","):
+            break
+
+    tokens.expect_kw("from")
+    refs = []
+    while True:
+        first = tokens.expect_name()
+        if tokens.accept_punct("."):
+            db, rel = first, tokens.expect_name()
+        else:
+            db, rel = None, first
+        alias = rel
+        if tokens.peek()[0] == "name":
+            alias = tokens.expect_name()
+        refs.append((db, rel, alias))
+        if not tokens.accept_punct(","):
+            break
+    aliases = [alias for _, _, alias in refs]
+    if len(set(aliases)) != len(aliases):
+        raise MsqlError("duplicate table aliases")
+
+    conditions = []
+    if tokens.accept_kw("where"):
+        while True:
+            left = _column_ref(tokens)
+            kind, op = tokens.next()
+            if kind != "op":
+                raise MsqlError(f"expected a comparison, found {op!r}")
+            kind, value = tokens.peek()
+            if kind in ("number", "string"):
+                tokens.next()
+                conditions.append((left, op, ("lit", value)))
+            else:
+                conditions.append((left, op, ("col", _column_ref(tokens))))
+            if not tokens.accept_kw("and"):
+                break
+    if not tokens.exhausted:
+        raise MsqlError(f"trailing tokens: {tokens.peek()!r}")
+    return MsqlSelect(items, refs, conditions, distinct)
+
+
+def _column_ref(tokens):
+    first = tokens.expect_name()
+    if tokens.accept_punct("."):
+        return f"{first}.{tokens.expect_name()}"
+    return first
+
+
+class MsqlSession:
+    """Executes MSQL against an IdlEngine by translating to IDL."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.scope = tuple(engine.universe.database_names())
+
+    def execute(self, text):
+        """Run one statement; SELECT returns a list of row dicts
+        (broadcast rows include the ``_db`` pseudo-column)."""
+        statement = parse_msql(text)
+        if isinstance(statement, MsqlUse):
+            missing = [
+                db for db in statement.databases
+                if not self.engine.universe.has(db)
+            ]
+            if missing:
+                raise MsqlError(f"unknown databases in USE: {missing}")
+            self.scope = statement.databases
+            return list(self.scope)
+        return self._run_select(statement)
+
+    def translate(self, text):
+        """The IDL query source(s) a SELECT maps to, one per broadcast
+        member combination."""
+        statement = parse_msql(text)
+        if not isinstance(statement, MsqlSelect):
+            raise MsqlError("translate takes a SELECT")
+        return [source for source, _, _ in self._expansions(statement)]
+
+    # -- translation ------------------------------------------------------------
+
+    def _expansions(self, select):
+        """Yield ``(idl_source, var_of_output, broadcast_bindings)``."""
+        # Which attributes does each alias need?
+        needed = {alias: {} for _, _, alias in select.refs}
+        outputs = []  # (out_name, alias, column)
+        star = any(item[0] == "star" for item in select.items)
+        if star and len(select.refs) > 1:
+            raise MsqlError("SELECT * is single-reference only")
+
+        def resolve(ref):
+            if "." in ref:
+                alias, column = ref.split(".", 1)
+                if alias not in needed:
+                    raise MsqlError(f"unknown alias in {ref!r}")
+                return alias, column
+            if len(select.refs) != 1:
+                raise MsqlError(f"qualify column {ref!r} in a multi-table query")
+            return select.refs[0][2], ref
+
+        for item in select.items:
+            if item[0] == "star":
+                continue
+            _, ref, out_name = item
+            alias, column = resolve(ref)
+            outputs.append((out_name, alias, column))
+
+        atomics = {alias: [] for alias in needed}  # literal conditions
+        constraints = []  # cross-variable conditions
+        for left, op, right in select.conditions:
+            alias, column = resolve(left)
+            if right[0] == "lit":
+                atomics[alias].append((column, op, right[1]))
+            else:
+                right_alias, right_column = resolve(right[1])
+                constraints.append((alias, column, op, right_alias, right_column))
+
+        # Assign one IDL variable per (alias, column) that is projected
+        # or compared against another column.
+        var_of = {}
+
+        def var_for(alias, column):
+            key = (alias, column)
+            if key not in var_of:
+                var_of[key] = f"V{len(var_of) + 1}"
+            return var_of[key]
+
+        for _, alias, column in outputs:
+            var_for(alias, column)
+        for alias, column, op, right_alias, right_column in constraints:
+            var_for(alias, column)
+            var_for(right_alias, right_column)
+        if star:
+            # Whole-element binding: ``(=R1, ...)`` binds the tuple
+            # itself, so SELECT * needs no schema knowledge at all.
+            var_for(select.refs[0][2], "__star__")
+
+        # Broadcast expansion: every combination of scope members for
+        # unqualified references (that actually carry the relation).
+        combos = [{}]
+        for db, rel, alias in select.refs:
+            if db is not None:
+                continue
+            members = [
+                member for member in self.scope
+                if self.engine.universe.has(member)
+                and self.engine.universe.database(member).has(rel)
+            ]
+            if not members:
+                members = []
+            combos = [
+                dict(combo, **{alias: member})
+                for combo in combos
+                for member in members
+            ]
+
+        for combo in combos:
+            conjuncts = []
+            for db, rel, alias in select.refs:
+                member = db if db is not None else combo[alias]
+                items = []
+                for (item_alias, column), variable in var_of.items():
+                    if item_alias == alias:
+                        if column == "__star__":
+                            items.append(f"={variable}")
+                        else:
+                            items.append(f".{column}={variable}")
+                for column, op, value in atomics[alias]:
+                    rendered = (
+                        f"'{value}'" if isinstance(value, str) else repr(value)
+                    )
+                    items.append(f".{column}{op}{rendered}")
+                conjuncts.append(f".{member}.{rel}({', '.join(items)})")
+            for alias, column, op, right_alias, right_column in constraints:
+                left_var = var_of[(alias, column)]
+                right_var = var_of[(right_alias, right_column)]
+                if op == "=":
+                    # Equality: reuse one variable instead of a constraint.
+                    conjuncts.append(f"{left_var} = {right_var}")
+                else:
+                    conjuncts.append(f"{left_var} {op} {right_var}")
+            source = "?" + ", ".join(conjuncts)
+            yield source, dict(var_of), combo
+
+    def _run_select(self, select):
+        rows = []
+        seen = set()
+        star = any(item[0] == "star" for item in select.items)
+        outputs = []
+        for item in select.items:
+            if item[0] == "col":
+                outputs.append(item)
+        for source, var_of, combo in self._expansions(select):
+            for answer in self.engine.query(source):
+                if star:
+                    alias = select.refs[0][2]
+                    element = answer[var_of[(alias, "__star__")]]
+                    row = dict(element) if isinstance(element, dict) else {
+                        "value": element
+                    }
+                else:
+                    row = {}
+                    for _, ref, out_name in outputs:
+                        alias, column = (
+                            ref.split(".", 1)
+                            if "." in ref
+                            else (select.refs[0][2], ref)
+                        )
+                        row[out_name] = answer[var_of[(alias, column)]]
+                if combo:
+                    row["_db"] = (
+                        next(iter(combo.values()))
+                        if len(combo) == 1
+                        else dict(combo)
+                    )
+                key = _row_key(row)
+                if select.distinct and key in seen:
+                    continue
+                seen.add(key)
+                rows.append(row)
+        return rows
+
+
+def _row_key(row):
+    return tuple(
+        sorted((k, str(v)) for k, v in row.items())
+    )

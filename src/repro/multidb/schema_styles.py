@@ -1,0 +1,109 @@
+"""Schema-style detection and conversion.
+
+The three styles of the running example differ in *where the stock
+lives*: in the data (euter), in the attribute names (chwab) or in the
+relation names (ource). This module converts any style to the canonical
+long form — ``(date, stk, price)`` triples — and back, and guesses the
+style of an unlabeled member database; the federation uses the guess to
+pick the right transparency rules.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FederationError
+
+LONG_COLUMNS = ("date", "stk", "price")
+
+
+def to_long(relations, style):
+    """Render ``{rel: rows}`` of a given style as sorted long triples."""
+    quotes = []
+    if style == "euter":
+        for row in relations.get("r", []):
+            quotes.append((row["date"], row["stkCode"], row["clsPrice"]))
+    elif style == "chwab":
+        for row in relations.get("r", []):
+            date = row["date"]
+            for attr, value in row.items():
+                if attr != "date" and value is not None:
+                    quotes.append((date, attr, value))
+    elif style == "ource":
+        for rel_name, rows in relations.items():
+            for row in rows:
+                quotes.append((row["date"], rel_name, row["clsPrice"]))
+    else:
+        raise FederationError(f"unknown schema style {style!r}")
+    return sorted(quotes)
+
+
+def from_long(quotes, style):
+    """Render long triples as ``{rel: rows}`` of the requested style."""
+    if style == "euter":
+        return {
+            "r": [
+                {"date": date, "stkCode": stk, "clsPrice": price}
+                for date, stk, price in sorted(quotes)
+            ]
+        }
+    if style == "chwab":
+        by_date = {}
+        for date, stk, price in sorted(quotes):
+            by_date.setdefault(date, {"date": date})[stk] = price
+        return {"r": [by_date[date] for date in sorted(by_date)]}
+    if style == "ource":
+        by_stock = {}
+        for date, stk, price in sorted(quotes):
+            by_stock.setdefault(stk, []).append(
+                {"date": date, "clsPrice": price}
+            )
+        return by_stock
+    raise FederationError(f"unknown schema style {style!r}")
+
+
+def convert(relations, from_style, to_style):
+    """Convert a member database between schema styles."""
+    return from_long(to_long(relations, from_style), to_style)
+
+
+def detect_style(relations):
+    """Guess the schema style of ``{rel: rows}``.
+
+    Heuristics, in order:
+
+    * many relations each shaped ``(date, clsPrice)``  -> ource;
+    * a single relation whose columns are exactly the euter triple ->
+      euter;
+    * a single relation with a ``date`` column and other (stock-like)
+      columns -> chwab.
+    """
+    names = sorted(relations)
+    if not names:
+        return None
+    shapes = {}
+    for rel_name, rows in relations.items():
+        columns = set()
+        for row in rows:
+            columns |= set(row)
+        shapes[rel_name] = columns
+
+    if len(names) > 1 and all(
+        shapes[name] <= {"date", "clsPrice"} for name in names
+    ):
+        return "ource"
+    if len(names) == 1:
+        [only] = names
+        columns = shapes[only]
+        if columns == {"date", "stkCode", "clsPrice"}:
+            return "euter"
+        if columns <= {"date", "clsPrice"}:
+            return "ource"
+        if "date" in columns and "stkCode" not in columns:
+            return "chwab"
+    return None
+
+
+def styles_equivalent(left_relations, left_style, right_relations, right_style):
+    """Do two member databases carry exactly the same quotes?"""
+    return to_long(left_relations, left_style) == to_long(
+        right_relations, right_style
+    )

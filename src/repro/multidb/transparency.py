@@ -1,0 +1,196 @@
+"""Transparency program generators (paper Section 6 + Figure 1).
+
+Given the member databases and their schema styles, generate the IDL
+programs that provide:
+
+* **database transparency** — the unified view ``dbI.p(date, stk,
+  price)`` spanning every member, optionally through name-mapping
+  relations (``mapCE``-style) when members use private stock codes;
+* **integration transparency** — one customized view per user group,
+  shaped like the schema that group used before integration (euter-,
+  chwab- or ource-style, the last one a *higher-order* view);
+* **update transparency** — the delStk / rmStk / insStk update programs
+  translating logical updates to every member, and the view-update
+  programs that make the customized views updatable.
+
+All generators return IDL source text, so the administrator can read,
+audit and amend what will be installed — the paper's stance is exactly
+that these translations are administrator-authored artifacts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FederationError
+
+STYLES = ("euter", "chwab", "ource")
+
+
+def _check_style(style):
+    if style not in STYLES:
+        raise FederationError(f"unknown schema style {style!r}")
+
+
+# ---------------------------------------------------------------------------
+# Unified view
+# ---------------------------------------------------------------------------
+
+
+def member_view_rule(member, style, unified_db="dbI", relation="p",
+                     mapping=None):
+    """The rule contributing one member to the unified view.
+
+    ``mapping`` is an optional ``(db, rel, from_attr, to_attr)`` tuple
+    naming a binary name-mapping relation (Section 6's mapCE/mapOE).
+    """
+    _check_style(style)
+    head = f".{unified_db}.{relation}(.date=D, .stk=S, .price=P)"
+    if style == "euter":
+        return f"{head} <- .{member}.r(.date=D, .stkCode=S, .clsPrice=P)"
+    if style == "chwab":
+        if mapping is None:
+            return f"{head} <- .{member}.r(.date=D, .S=P), S != date"
+        db, rel, from_attr, to_attr = mapping
+        return (
+            f"{head} <- .{member}.r(.date=D, .SC=P),"
+            f" .{db}.{rel}(.{from_attr}=SC, .{to_attr}=S)"
+        )
+    if mapping is None:
+        return f"{head} <- .{member}.S(.date=D, .clsPrice=P)"
+    db, rel, from_attr, to_attr = mapping
+    return (
+        f"{head} <- .{member}.SO(.date=D, .clsPrice=P),"
+        f" .{db}.{rel}(.{from_attr}=SO, .{to_attr}=S)"
+    )
+
+
+def unified_view_rules(members, unified_db="dbI", relation="p", mappings=None):
+    """Rules for the whole unified view. ``members`` maps database name
+    to style; ``mappings`` maps member name to a mapping tuple."""
+    mappings = mappings or {}
+    return "\n".join(
+        member_view_rule(
+            member, style, unified_db, relation, mappings.get(member)
+        )
+        for member, style in members.items()
+    )
+
+
+def reconciliation_rule(unified_db="dbI", relation="p", reconciled="pnew"):
+    """The paper's pnew: pick a unique (highest) price per (date, stk)."""
+    return (
+        f".{unified_db}.{reconciled}(.date=D, .stk=S, .price=P) <- "
+        f".{unified_db}.{relation}(.date=D, .stk=S, .price=P), "
+        f".{unified_db}.{relation}~(.date=D, .stk=S, .price>P)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Customized (user) views
+# ---------------------------------------------------------------------------
+
+
+def customized_view_rule(user_db, style, unified_db="dbI", relation="p"):
+    """Returns ``(rule_source, merge_on)`` for a user group's view."""
+    _check_style(style)
+    body = f".{unified_db}.{relation}(.date=D, .stk=S, .price=P)"
+    if style == "euter":
+        return (
+            f".{user_db}.r(.date=D, .stkCode=S, .clsPrice=P) <- {body}",
+            (),
+        )
+    if style == "chwab":
+        # Merge on date: one tuple per day, one attribute per stock.
+        return (f".{user_db}.r(.date=D, .S=P) <- {body}", ("date",))
+    # ource: a higher-order view — one relation per stock.
+    return (f".{user_db}.S(.date=D, .clsPrice=P) <- {body}", ())
+
+
+# ---------------------------------------------------------------------------
+# Update programs
+# ---------------------------------------------------------------------------
+
+
+def _del_clause(program, member, style):
+    if style == "euter":
+        return f"{program} -> .{member}.r-(.stkCode=S, .date=D)"
+    if style == "chwab":
+        return f"{program} -> .{member}.r(.S-=X, .date=D)"
+    return f"{program} -> .{member}.S-(.date=D)"
+
+
+def _rm_clause(program, member, style):
+    if style == "euter":
+        return f"{program} -> .{member}.r-(.stkCode=S)"
+    if style == "chwab":
+        return f"{program} -> .{member}.r(-.S)"
+    return f"{program} -> .{member}-.S"
+
+
+def _ins_clauses(program, member, style):
+    if style == "euter":
+        return [f"{program} -> .{member}.r+(.date=D, .stkCode=S, .clsPrice=P)"]
+    if style == "chwab":
+        return [
+            f"{program} -> .{member}.r(.date=D, +.S=P)",
+            f"{program} -> ~.{member}.r(.date=D), .{member}.r+(.date=D, .S=P)",
+        ]
+    # ource: insert into the stock's relation; a brand-new stock first
+    # needs its relation created (a metadata update, Section 7.1).
+    return [
+        f"{program} -> .{member}.S+(.date=D, .clsPrice=P)",
+        f"{program} -> ~.{member}.S, .{member}+.S(.date=D, .clsPrice=P)",
+    ]
+
+
+def maintenance_programs(members, control_db="dbU"):
+    """delStk / rmStk / insStk clauses covering every member database."""
+    del_head = f".{control_db}.delStk(.stk=S, .date=D)"
+    rm_head = f".{control_db}.rmStk(.stk=S)"
+    ins_head = f".{control_db}.insStk(.stk=S, .date=D, .price=P)"
+    clauses = []
+    for member, style in members.items():
+        _check_style(style)
+        clauses.append(_del_clause(del_head, member, style))
+    for member, style in members.items():
+        clauses.append(_rm_clause(rm_head, member, style))
+    for member, style in members.items():
+        clauses.extend(_ins_clauses(ins_head, member, style))
+    return "\n".join(clauses)
+
+
+def view_update_programs(users, control_db="dbU"):
+    """View-update programs wiring customized views to the maintenance
+    programs (Section 7.2). chwab-style cell updates are exposed as the
+    named programs setPrice/delPrice — the '+' argument shape would
+    itself be higher-order."""
+    clauses = []
+    for user_db, style in users.items():
+        _check_style(style)
+        if style == "euter":
+            clauses.append(
+                f".{user_db}.r+(.date=D, .stkCode=S, .clsPrice=P) -> "
+                f".{control_db}.insStk(.stk=S, .date=D, .price=P)"
+            )
+            clauses.append(
+                f".{user_db}.r-(.date=D, .stkCode=S) -> "
+                f".{control_db}.delStk(.stk=S, .date=D)"
+            )
+        elif style == "ource":
+            clauses.append(
+                f".{user_db}.S+(.date=D, .clsPrice=P) -> "
+                f".{control_db}.insStk(.stk=S, .date=D, .price=P)"
+            )
+            clauses.append(
+                f".{user_db}.S-(.date=D) -> "
+                f".{control_db}.delStk(.stk=S, .date=D)"
+            )
+        else:  # chwab
+            clauses.append(
+                f".{user_db}.setPrice(.stk=S, .date=D, .price=P) -> "
+                f".{control_db}.insStk(.stk=S, .date=D, .price=P)"
+            )
+            clauses.append(
+                f".{user_db}.delPrice(.stk=S, .date=D) -> "
+                f".{control_db}.delStk(.stk=S, .date=D)"
+            )
+    return "\n".join(clauses)

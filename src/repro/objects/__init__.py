@@ -1,0 +1,53 @@
+"""The IDL object model (paper Section 3).
+
+Three categories of value-based objects — atoms, tuples and sets — model
+everything from a single closing price up to the whole universe of
+databases. Public names:
+
+* :class:`Atom`, :class:`TupleObject`, :class:`SetObject` — concrete objects
+* :class:`Universe` — the top-level tuple of named databases
+* :func:`from_python` / :func:`to_python` — encode/decode plain structures
+* :class:`MergedTuple` / :class:`MergedSet` — read-only overlay views
+"""
+
+from repro.objects.atom import Atom, compare_values, null, values_equal
+from repro.objects.base import ATOM, CATEGORIES, SET, TUPLE, IdlObject, same_value
+from repro.objects.encode import database, from_python, relation, rows, to_python
+from repro.objects.merged import MergedSet, MergedTuple, merge_objects
+from repro.objects.path import (
+    ensure_set_at,
+    ensure_tuple_path,
+    get_path,
+    get_path_or_none,
+)
+from repro.objects.set import SetObject
+from repro.objects.tuple import TupleObject
+from repro.objects.universe import Universe
+
+__all__ = [
+    "ATOM",
+    "CATEGORIES",
+    "SET",
+    "TUPLE",
+    "Atom",
+    "IdlObject",
+    "MergedSet",
+    "MergedTuple",
+    "SetObject",
+    "TupleObject",
+    "Universe",
+    "compare_values",
+    "database",
+    "ensure_set_at",
+    "ensure_tuple_path",
+    "from_python",
+    "get_path",
+    "get_path_or_none",
+    "merge_objects",
+    "null",
+    "relation",
+    "rows",
+    "same_value",
+    "to_python",
+    "values_equal",
+]

@@ -1,0 +1,82 @@
+"""Conversion between plain Python structures and IDL objects.
+
+The mapping is the obvious one:
+
+* scalars (str/int/float/bool) and ``None``  <->  :class:`Atom`
+* dict with string keys                       <->  :class:`TupleObject`
+* list / tuple / set / frozenset              <->  :class:`SetObject`
+
+``to_python`` renders sets as lists (in deterministic insertion order) so
+round-tripping is possible for acyclic data. Convenience builders for the
+common "relation = list of row dicts" and "database = dict of relations"
+shapes are included because every substrate and workload uses them.
+"""
+
+from __future__ import annotations
+
+from repro.objects.atom import Atom
+from repro.objects.base import IdlObject
+from repro.objects.set import SetObject
+from repro.objects.tuple import TupleObject
+
+_SCALARS = (str, int, float, bool)
+
+
+def from_python(value):
+    """Build an IdlObject from a nested Python structure."""
+    if isinstance(value, IdlObject):
+        return value
+    if value is None or isinstance(value, _SCALARS):
+        return Atom(value)
+    if isinstance(value, dict):
+        return TupleObject((name, from_python(child)) for name, child in value.items())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return SetObject(from_python(child) for child in value)
+    raise TypeError(f"cannot encode {type(value).__name__} as an IDL object")
+
+
+def to_python(obj):
+    """Inverse of :func:`from_python`; sets become lists."""
+    if obj.is_atom:
+        return obj.value
+    if obj.is_tuple:
+        return {name: to_python(obj.get(name)) for name in obj.attr_names()}
+    if obj.is_set:
+        return [to_python(element) for element in obj.elements()]
+    raise TypeError(f"unknown object category {obj.category!r}")
+
+
+def relation(rows):
+    """Build a relation from an iterable of rows.
+
+    Rows are typically dicts, but IDL relations are heterogeneous sets:
+    any encodable value is accepted as an element.
+    """
+    return SetObject(from_python(row) for row in rows)
+
+
+def database(relations):
+    """Build a database tuple from ``{relation_name: rows}``.
+
+    Each value may be an iterable of row dicts or an already-built
+    IdlObject (so callers can mix).
+    """
+    db = TupleObject()
+    for name, rows in relations.items():
+        if isinstance(rows, IdlObject):
+            db.set(name, rows)
+        else:
+            db.set(name, relation(rows))
+    return db
+
+
+def rows(relation_obj):
+    """Render a relation (set of tuple objects) back to a list of dicts.
+
+    Non-tuple elements (legal in IDL's heterogeneous sets) are rendered
+    via :func:`to_python`.
+    """
+    out = []
+    for element in relation_obj.elements():
+        out.append(to_python(element))
+    return out

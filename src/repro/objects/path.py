@@ -1,0 +1,82 @@
+"""Paths into the nested object model.
+
+A path is a sequence of attribute names descending through nested tuples,
+written ``.db.rel`` in IDL source. Paths are used by the engine to locate
+relations, by the update evaluator to navigate to update targets, and by
+the federation layer to address members of the universe.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnknownNameError
+from repro.objects.set import SetObject
+from repro.objects.tuple import TupleObject
+
+
+def get_path(obj, path):
+    """Follow ``path`` (iterable of names) through nested tuples.
+
+    Raises :class:`UnknownNameError` if any step is missing or lands on a
+    non-tuple before the path is exhausted.
+    """
+    current = obj
+    for index, name in enumerate(path):
+        if not current.is_tuple:
+            raise UnknownNameError(
+                f"path {'.'.join(path[: index + 1])!r} descends into a "
+                f"{current.category} object"
+            )
+        if not current.has(name):
+            raise UnknownNameError(f"no attribute {'.'.join(path[: index + 1])!r}")
+        current = current.get(name)
+    return current
+
+
+def get_path_or_none(obj, path):
+    """Like :func:`get_path` but returns None instead of raising."""
+    current = obj
+    for name in path:
+        if not current.is_tuple or not current.has(name):
+            return None
+        current = current.get(name)
+    return current
+
+
+def ensure_tuple_path(obj, path):
+    """Follow ``path``, creating missing intermediate tuples.
+
+    Returns the object at the end of the path, creating a fresh empty
+    TupleObject at each missing step. Raises if an existing step is not a
+    tuple (we never silently overwrite data).
+    """
+    current = obj
+    for index, name in enumerate(path):
+        if not current.is_tuple:
+            raise UnknownNameError(
+                f"cannot create {'.'.join(path[: index + 1])!r} inside a "
+                f"{current.category} object"
+            )
+        if not current.has(name):
+            current.set(name, TupleObject())
+        current = current.get(name)
+    return current
+
+
+def ensure_set_at(obj, path):
+    """Ensure the object at ``path`` is a set, creating it if missing.
+
+    All intermediate steps are created as tuples; the final step is
+    created as an empty SetObject when absent.
+    """
+    if not path:
+        raise ValueError("ensure_set_at requires a non-empty path")
+    parent = ensure_tuple_path(obj, path[:-1])
+    leaf = path[-1]
+    if not parent.has(leaf):
+        parent.set(leaf, SetObject())
+    target = parent.get(leaf)
+    if not target.is_set:
+        raise UnknownNameError(
+            f"object at {'.'.join(path)!r} is a {target.category}, not a set"
+        )
+    return target

@@ -1,0 +1,118 @@
+"""Set IDL objects.
+
+A set object is a value-based collection of objects. Unlike relational
+tables, IDL sets may be **heterogeneous**: elements can be tuples of
+varying arity, atoms and sets mixed together (Section 3). This is what
+makes per-tuple attribute deletion (Section 5.2's chwab example)
+expressible.
+
+Duplicates are eliminated by deep value: inserting an element equal to an
+existing one is a no-op. Insertion order of surviving elements is
+preserved, giving deterministic iteration for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.objects.base import SET, IdlObject
+
+
+class SetObject(IdlObject):
+    """A mutable, deduplicated, heterogeneous collection of IdlObjects."""
+
+    __slots__ = ("_elements",)
+
+    category = SET
+
+    def __init__(self, elements=None):
+        # value_key -> element; dicts preserve insertion order.
+        self._elements = {}
+        if elements:
+            for obj in elements:
+                self.add(obj)
+
+    # -- read interface -------------------------------------------------
+
+    def elements(self):
+        """The elements, in insertion order."""
+        return list(self._elements.values())
+
+    def __iter__(self):
+        return iter(list(self._elements.values()))
+
+    def __len__(self):
+        return len(self._elements)
+
+    def contains_value(self, obj):
+        """Value-based membership test."""
+        return obj.value_key() in self._elements
+
+    @property
+    def is_empty(self):
+        return not self._elements
+
+    # -- write interface ------------------------------------------------
+
+    def add(self, obj):
+        """Insert ``obj``; returns True if the set changed."""
+        if not isinstance(obj, IdlObject):
+            raise TypeError(f"set elements are IdlObjects, got {type(obj).__name__}")
+        key = obj.value_key()
+        if key in self._elements:
+            return False
+        self._elements[key] = obj
+        return True
+
+    def discard_value(self, obj):
+        """Remove the element equal to ``obj``; returns True if removed."""
+        return self._elements.pop(obj.value_key(), None) is not None
+
+    def remove_where(self, predicate):
+        """Remove every element for which ``predicate(element)`` is true.
+
+        Returns the list of removed elements. The predicate runs against a
+        snapshot, so it may itself evaluate expressions over the set.
+        """
+        removed = [obj for obj in self._elements.values() if predicate(obj)]
+        for obj in removed:
+            del self._elements[obj.value_key()]
+        return removed
+
+    def clear(self):
+        self._elements.clear()
+
+    def refresh(self, obj):
+        """Re-index ``obj`` after in-place mutation of a member.
+
+        Elements are keyed by value; callers that mutate a member *in
+        place* (the update evaluator does, for tuple/atomic updates inside
+        set expressions) must call this with the mutated element so the
+        index stays consistent and value-duplicates collapse.
+        """
+        stale_keys = [
+            key for key, element in self._elements.items() if element is obj
+        ]
+        for key in stale_keys:
+            del self._elements[key]
+        self._elements[obj.value_key()] = obj
+
+    def reindex(self):
+        """Rebuild the whole value index (after bulk in-place mutation)."""
+        fresh = {}
+        for obj in self._elements.values():
+            fresh[obj.value_key()] = obj
+        self._elements = fresh
+
+    # -- value semantics --------------------------------------------------
+
+    def value_key(self):
+        return (SET, frozenset(self._elements))
+
+    def copy(self):
+        fresh = SetObject()
+        for key, obj in self._elements.items():
+            fresh._elements[key] = obj.copy()
+        return fresh
+
+    def __repr__(self):
+        inner = ", ".join(repr(obj) for obj in self._elements.values())
+        return f"SetObject({{{inner}}})"

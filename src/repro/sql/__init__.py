@@ -1,0 +1,42 @@
+"""The first-order relational baseline: algebra + a mini-SQL dialect.
+
+This is the class of language the paper argues is insufficient for
+interoperability: table and column names are fixed identifiers, so a
+query like "did any stock close above 200" against the chwab or ource
+schema requires one query *per stock*, generated from the catalog by a
+host program — see ``repro.multidb.firstorder`` and benchmark B8.
+"""
+
+from repro.sql.algebra import (
+    Aggregate,
+    CrossProduct,
+    Difference,
+    HashJoin,
+    IndexLookup,
+    Limit,
+    OrderBy,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from repro.sql.executor import SqlEngine
+from repro.sql.sqlparser import parse_sql
+
+__all__ = [
+    "Aggregate",
+    "CrossProduct",
+    "Difference",
+    "HashJoin",
+    "IndexLookup",
+    "Limit",
+    "OrderBy",
+    "Project",
+    "Rename",
+    "Scan",
+    "Select",
+    "SqlEngine",
+    "Union",
+    "parse_sql",
+]

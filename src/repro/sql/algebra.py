@@ -1,0 +1,314 @@
+"""Relational algebra over stored relations.
+
+The first-order baseline: composable operators producing iterators of
+row dicts. This is what a conventional (SQL-class) language can do — and
+precisely what it *cannot* do is range over relation or attribute names,
+which is the paper's Section 2 argument. The federation layer uses these
+operators for member-local work; benchmark B8 compares them against IDL
+on first-order-expressible queries.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlError
+
+COMPARATORS = {
+    "isnull": lambda a, b: a is None,
+    "=": lambda a, b: a is not None and b is not None and a == b,
+    "!=": lambda a, b: a is not None and b is not None and a != b,
+    "<": lambda a, b: _ordered(a, b) and a < b,
+    "<=": lambda a, b: _ordered(a, b) and a <= b,
+    ">": lambda a, b: _ordered(a, b) and a > b,
+    ">=": lambda a, b: _ordered(a, b) and a >= b,
+}
+
+
+def _ordered(a, b):
+    if a is None or b is None:
+        return False
+    if isinstance(a, bool) or isinstance(b, bool):
+        return isinstance(a, bool) and isinstance(b, bool)
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return True
+    return type(a) is type(b)
+
+
+class Operator:
+    """Abstract iterator-producing operator."""
+
+    def rows(self):
+        raise NotImplementedError
+
+    def __iter__(self):
+        return iter(self.rows())
+
+    def to_list(self):
+        return list(self.rows())
+
+
+class Scan(Operator):
+    """Full scan of a stored relation (or a plain list of row dicts)."""
+
+    def __init__(self, source, name=None):
+        self.source = source
+        self.name = name
+
+    def rows(self):
+        if hasattr(self.source, "scan"):
+            for row in self.source.scan():
+                yield dict(row)
+        else:
+            for row in self.source:
+                yield dict(row)
+
+
+class IndexLookup(Operator):
+    """Equality lookup through a relation's hash index (B6's fast path)."""
+
+    def __init__(self, relation, **equalities):
+        self.relation = relation
+        self.equalities = equalities
+
+    def rows(self):
+        for row in self.relation.lookup(**self.equalities):
+            yield dict(row)
+
+
+class IndexRangeScan(Operator):
+    """Range lookup through a relation's sorted index."""
+
+    def __init__(self, relation, column, low=None, high=None,
+                 inclusive=(True, True)):
+        self.relation = relation
+        self.column = column
+        self.low = low
+        self.high = high
+        self.inclusive = inclusive
+
+    def rows(self):
+        for row in self.relation.range_lookup(
+            self.column, self.low, self.high, self.inclusive
+        ):
+            yield dict(row)
+
+
+class Select(Operator):
+    """σ — filter by a predicate or by (column, op, value/column) triples."""
+
+    def __init__(self, child, predicate=None, conditions=()):
+        self.child = child
+        self.predicate = predicate
+        self.conditions = tuple(conditions)
+
+    def rows(self):
+        for row in self.child:
+            if self.predicate is not None and not self.predicate(row):
+                continue
+            if all(self._check(row, *condition) for condition in self.conditions):
+                yield row
+
+    @staticmethod
+    def _check(row, column, op, value, is_column=False):
+        left = row.get(column)
+        right = row.get(value) if is_column else value
+        comparator = COMPARATORS.get(op)
+        if comparator is None:
+            raise SqlError(f"unknown comparison operator {op!r}")
+        return comparator(left, right)
+
+
+class Project(Operator):
+    """π — keep (and optionally rename) columns; set semantics optional."""
+
+    def __init__(self, child, columns, distinct=False):
+        self.child = child
+        # columns: list of names or (name, alias) pairs
+        self.columns = [
+            column if isinstance(column, tuple) else (column, column)
+            for column in columns
+        ]
+        self.distinct = distinct
+
+    def rows(self):
+        seen = set()
+        for row in self.child:
+            projected = {}
+            for name, alias in self.columns:
+                if name == "*":
+                    projected.update(row)
+                else:
+                    projected[alias] = row.get(name)
+            if self.distinct:
+                key = tuple(sorted(projected.items(), key=lambda kv: kv[0]))
+                if key in seen:
+                    continue
+                seen.add(key)
+            yield projected
+
+
+class Rename(Operator):
+    """ρ — prefix every column with an alias (for self-joins)."""
+
+    def __init__(self, child, alias):
+        self.child = child
+        self.alias = alias
+
+    def rows(self):
+        for row in self.child:
+            yield {f"{self.alias}.{name}": value for name, value in row.items()}
+
+
+class HashJoin(Operator):
+    """⋈ — equi-join on column pairs, hash-partitioned on the right."""
+
+    def __init__(self, left, right, pairs):
+        if not pairs:
+            raise SqlError("a join needs at least one column pair")
+        self.left = left
+        self.right = right
+        self.pairs = tuple(pairs)
+
+    def rows(self):
+        table = {}
+        for row in self.right:
+            key = tuple(row.get(right_col) for _, right_col in self.pairs)
+            if any(value is None for value in key):
+                continue  # nulls never join
+            table.setdefault(key, []).append(row)
+        for row in self.left:
+            key = tuple(row.get(left_col) for left_col, _ in self.pairs)
+            if any(value is None for value in key):
+                continue
+            for match in table.get(key, ()):
+                merged = dict(match)
+                merged.update(row)
+                yield merged
+
+
+class CrossProduct(Operator):
+    """× — cartesian product (right side materialized)."""
+
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+    def rows(self):
+        right_rows = list(self.right)
+        for left_row in self.left:
+            for right_row in right_rows:
+                merged = dict(right_row)
+                merged.update(left_row)
+                yield merged
+
+
+class Union(Operator):
+    """∪ — set union by full-row value."""
+
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+    def rows(self):
+        seen = set()
+        for child in (self.left, self.right):
+            for row in child:
+                key = tuple(sorted(row.items(), key=lambda kv: kv[0]))
+                if key not in seen:
+                    seen.add(key)
+                    yield row
+
+
+class Difference(Operator):
+    """− — rows of left absent from right (by full-row value)."""
+
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+    def rows(self):
+        blocked = {
+            tuple(sorted(row.items(), key=lambda kv: kv[0])) for row in self.right
+        }
+        seen = set()
+        for row in self.left:
+            key = tuple(sorted(row.items(), key=lambda kv: kv[0]))
+            if key not in blocked and key not in seen:
+                seen.add(key)
+                yield row
+
+
+class OrderBy(Operator):
+    """Sort by columns; ``descending`` flags align with columns."""
+
+    def __init__(self, child, columns, descending=None):
+        self.child = child
+        self.columns = tuple(columns)
+        self.descending = tuple(descending or (False,) * len(self.columns))
+
+    def rows(self):
+        materialized = list(self.child)
+        for column, desc in reversed(list(zip(self.columns, self.descending))):
+            materialized.sort(
+                key=lambda row: (row.get(column) is None, row.get(column)),
+                reverse=desc,
+            )
+        return iter(materialized)
+
+
+class Limit(Operator):
+    def __init__(self, child, count):
+        self.child = child
+        self.count = count
+
+    def rows(self):
+        emitted = 0
+        for row in self.child:
+            if emitted >= self.count:
+                return
+            emitted += 1
+            yield row
+
+
+_AGGREGATES = {
+    "count": lambda values: len(values),
+    "min": lambda values: min(values) if values else None,
+    "max": lambda values: max(values) if values else None,
+    "sum": lambda values: sum(values) if values else 0,
+    "avg": lambda values: (sum(values) / len(values)) if values else None,
+}
+
+
+class Aggregate(Operator):
+    """γ — group by columns and compute aggregates.
+
+    ``aggregates`` is a list of ``(function, column, alias)``;
+    ``column`` may be "*" for count.
+    """
+
+    def __init__(self, child, group_by, aggregates):
+        self.child = child
+        self.group_by = tuple(group_by)
+        self.aggregates = tuple(aggregates)
+        for function, _, _ in self.aggregates:
+            if function not in _AGGREGATES:
+                raise SqlError(f"unknown aggregate {function!r}")
+
+    def rows(self):
+        groups = {}
+        for row in self.child:
+            key = tuple(row.get(column) for column in self.group_by)
+            groups.setdefault(key, []).append(row)
+        for key in sorted(groups, key=lambda k: tuple(str(part) for part in k)):
+            members = groups[key]
+            out = dict(zip(self.group_by, key))
+            for function, column, alias in self.aggregates:
+                if column == "*":
+                    values = [1] * len(members)
+                else:
+                    values = [
+                        row.get(column)
+                        for row in members
+                        if row.get(column) is not None
+                    ]
+                out[alias] = _AGGREGATES[function](values)
+            yield out

@@ -1,0 +1,266 @@
+"""Planner/executor: mini-SQL statements over a StorageDatabase.
+
+Planning is deliberately simple and predictable:
+
+* single-table queries scan (or use a covering hash index for pure
+  equality conditions);
+* multi-table queries build a left-deep plan, turning cross-alias
+  equality conditions into hash joins and keeping everything else as a
+  post-join filter;
+* aggregates/grouping, ordering, limit, distinct are applied on top.
+
+Column references are rewritten to alias-qualified names whenever more
+than one table is in scope, so self-joins behave.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlError
+from repro.sql import algebra
+from repro.sql.sqlparser import (
+    CreateTableStatement,
+    DeleteStatement,
+    InsertStatement,
+    SelectStatement,
+    UpdateStatement,
+    parse_sql,
+)
+
+
+class SqlEngine:
+    """Executes the mini-SQL dialect against one storage database."""
+
+    def __init__(self, database):
+        self.database = database
+
+    def execute(self, sql):
+        """Execute a statement; SELECT returns rows, DML returns counts."""
+        statement = parse_sql(sql) if isinstance(sql, str) else sql
+        if isinstance(statement, SelectStatement):
+            return self._execute_select(statement)
+        if isinstance(statement, InsertStatement):
+            return self._execute_insert(statement)
+        if isinstance(statement, DeleteStatement):
+            return self._execute_delete(statement)
+        if isinstance(statement, UpdateStatement):
+            return self._execute_update(statement)
+        if isinstance(statement, CreateTableStatement):
+            self.database.create_relation(
+                statement.table, statement.columns, key=statement.key
+            )
+            return 0
+        raise SqlError(f"cannot execute {type(statement).__name__}")
+
+    # -- SELECT -----------------------------------------------------------
+
+    def _execute_select(self, statement):
+        qualified = len(statement.tables) > 1
+        plan = self._plan_from_where(statement, qualified)
+
+        if statement.group_by or any(item[0] == "agg" for item in statement.items):
+            plan = self._plan_aggregate(statement, plan, qualified)
+        else:
+            columns = []
+            for item in statement.items:
+                if item[0] == "star":
+                    columns.append(("*", "*"))
+                else:
+                    _, ref, alias = item
+                    columns.append((self._qualify(ref, statement, qualified), alias))
+            plan = algebra.Project(plan, columns, distinct=statement.distinct)
+
+        if statement.order_by:
+            refs = []
+            descending = []
+            for ref, desc in statement.order_by:
+                # After projection, order-by refers to output column names.
+                refs.append(ref.split(".")[-1])
+                descending.append(desc)
+            plan = algebra.OrderBy(plan, refs, descending)
+        if statement.limit is not None:
+            plan = algebra.Limit(plan, statement.limit)
+        return plan.to_list()
+
+    def _plan_from_where(self, statement, qualified):
+        scans = {}
+        for table, alias in statement.tables:
+            relation = self.database.relation(table)
+            source = algebra.Scan(relation, name=alias)
+            scans[alias] = algebra.Rename(source, alias) if qualified else source
+
+        join_conditions = []
+        filters = []
+        for left, op, right in statement.conditions:
+            left_ref = self._qualify(left, statement, qualified)
+            if right[0] == "col":
+                right_ref = self._qualify(right[1], statement, qualified)
+                if (
+                    qualified
+                    and op == "="
+                    and left_ref.split(".")[0] != right_ref.split(".")[0]
+                ):
+                    join_conditions.append((left_ref, right_ref))
+                    continue
+                filters.append((left_ref, op, right_ref, True))
+            else:
+                if right[1] is None and op == "=":
+                    # ``col = null`` is a null test in our dialect.
+                    filters.append((left_ref, "isnull", None, False))
+                else:
+                    filters.append((left_ref, op, right[1], False))
+
+        if not qualified:
+            [(table, alias)] = statement.tables
+            indexed = self._maybe_index_scan(table, filters)
+            if indexed is None:
+                plan, remaining = scans[alias], filters
+            else:
+                plan, remaining = indexed
+            if remaining:
+                plan = algebra.Select(plan, conditions=remaining)
+            return plan
+
+        # Left-deep join over the FROM order.
+        order = [alias for _, alias in statement.tables]
+        joined = {order[0]}
+        plan = scans[order[0]]
+        pending = list(join_conditions)
+        for alias in order[1:]:
+            pairs = []
+            for left_ref, right_ref in list(pending):
+                left_alias = left_ref.split(".")[0]
+                right_alias = right_ref.split(".")[0]
+                if left_alias in joined and right_alias == alias:
+                    pairs.append((left_ref, right_ref))
+                    pending.remove((left_ref, right_ref))
+                elif right_alias in joined and left_alias == alias:
+                    pairs.append((right_ref, left_ref))
+                    pending.remove((left_ref, right_ref))
+            if pairs:
+                plan = algebra.HashJoin(plan, scans[alias], pairs)
+            else:
+                plan = algebra.CrossProduct(plan, scans[alias])
+            joined.add(alias)
+        for left_ref, right_ref in pending:
+            filters.append((left_ref, "=", right_ref, True))
+        if filters:
+            plan = algebra.Select(plan, conditions=filters)
+        return plan
+
+    def _maybe_index_scan(self, table, filters):
+        """An index access path covering part of the filters, or None.
+
+        Returns ``(plan, remaining_filters)``: a hash-index lookup when
+        one covers the literal-equality conditions, else a sorted-index
+        range scan for the first literal range condition.
+        """
+        relation = self.database.relation(table)
+        equalities = {
+            column: value
+            for column, op, value, is_column in filters
+            if op == "=" and not is_column
+        }
+        if equalities:
+            index = relation.index_on(tuple(sorted(equalities)))
+            if index is not None:
+                remaining = [
+                    condition for condition in filters
+                    if condition[1] != "=" or condition[3]
+                ]
+                return algebra.IndexLookup(relation, **equalities), remaining
+        for position, (column, op, value, is_column) in enumerate(filters):
+            if is_column or op not in ("<", "<=", ">", ">="):
+                continue
+            if relation.sorted_index_on(column) is None:
+                continue
+            remaining = filters[:position] + filters[position + 1:]
+            if op in (">", ">="):
+                plan = algebra.IndexRangeScan(
+                    relation, column, low=value, inclusive=(op == ">=", True)
+                )
+            else:
+                plan = algebra.IndexRangeScan(
+                    relation, column, high=value, inclusive=(True, op == "<=")
+                )
+            return plan, remaining
+        return None
+
+    def _plan_aggregate(self, statement, plan, qualified):
+        group_by = [self._qualify(ref, statement, qualified) for ref in statement.group_by]
+        aggregates = []
+        projected = []
+        for item in statement.items:
+            if item[0] == "agg":
+                _, function, ref, alias = item
+                column = "*" if ref == "*" else self._qualify(ref, statement, qualified)
+                aggregates.append((function, column, alias))
+                projected.append((alias, alias))
+            elif item[0] == "col":
+                _, ref, alias = item
+                column = self._qualify(ref, statement, qualified)
+                if column not in group_by:
+                    raise SqlError(
+                        f"column {ref!r} must appear in GROUP BY or an aggregate"
+                    )
+                projected.append((column, alias))
+            else:
+                raise SqlError("SELECT * cannot be combined with aggregates")
+        plan = algebra.Aggregate(plan, group_by, aggregates)
+        return algebra.Project(plan, projected)
+
+    def _qualify(self, ref, statement, qualified):
+        if not qualified:
+            return ref.split(".")[-1]
+        if "." in ref:
+            alias = ref.split(".")[0]
+            if alias not in {alias for _, alias in statement.tables}:
+                raise SqlError(f"unknown table alias in {ref!r}")
+            return ref
+        # Unqualified in a multi-table query: find the unique owner.
+        owners = []
+        for table, alias in statement.tables:
+            schema = self.database.catalog.schema_of(table)
+            if schema.has_column(ref):
+                owners.append(alias)
+        if len(owners) != 1:
+            raise SqlError(f"ambiguous or unknown column {ref!r}")
+        return f"{owners[0]}.{ref}"
+
+    # -- DML -----------------------------------------------------------------
+
+    def _execute_insert(self, statement):
+        for values in statement.rows:
+            row = dict(zip(statement.columns, values))
+            self.database.insert(statement.table, row)
+        return len(statement.rows)
+
+    def _conditions_predicate(self, conditions):
+        def predicate(row):
+            for left, op, right in conditions:
+                left_value = row.get(left.split(".")[-1])
+                right_value = (
+                    row.get(right[1].split(".")[-1]) if right[0] == "col" else right[1]
+                )
+                if op == "=" and right_value is None:
+                    # SQL-ish: `col = null` matches nulls in our dialect.
+                    if left_value is not None:
+                        return False
+                    continue
+                comparator = algebra.COMPARATORS[op]
+                if not comparator(left_value, right_value):
+                    return False
+            return True
+
+        return predicate
+
+    def _execute_delete(self, statement):
+        return self.database.delete(
+            statement.table, predicate=self._conditions_predicate(statement.conditions)
+        )
+
+    def _execute_update(self, statement):
+        return self.database.update(
+            statement.table,
+            statement.changes,
+            predicate=self._conditions_predicate(statement.conditions),
+        )

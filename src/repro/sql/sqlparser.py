@@ -1,0 +1,383 @@
+"""A miniature SQL dialect for the first-order baseline.
+
+Supported statements::
+
+    SELECT [DISTINCT] items FROM table [alias] [, table [alias]]...
+        [WHERE cond AND cond ...] [GROUP BY cols] [ORDER BY col [DESC],...]
+        [LIMIT n]
+    INSERT INTO table (cols) VALUES (literals) [, (literals)]...
+    DELETE FROM table [WHERE ...]
+    UPDATE table SET col = literal [, ...] [WHERE ...]
+    CREATE TABLE table (col type [NOT NULL], ..., [PRIMARY KEY (cols)])
+
+Items are columns (optionally ``alias.col`` and ``AS name``), ``*``, or
+aggregates ``count/min/max/sum/avg(col|*)``. Conditions compare a column
+against a literal or another column with ``= != < <= > >=``.
+
+First-order on purpose: table and column names are fixed identifiers —
+there is no way to quantify over them, which is exactly the limitation
+the paper's Section 2 identifies in relational languages.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SqlError
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<number>-?\d+\.\d+|-?\d+)"
+    r"|(?P<string>'(?:[^'\\]|\\.)*')"
+    r"|(?P<word>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op><=|>=|!=|<>|=|<|>)"
+    r"|(?P<punct>[(),.*]))"
+)
+
+_KEYWORDS = {
+    "select", "distinct", "from", "where", "and", "group", "by", "order",
+    "limit", "insert", "into", "values", "delete", "update", "set",
+    "create", "table", "as", "desc", "asc", "not", "null", "primary", "key",
+}
+
+
+class _Tokens:
+    def __init__(self, text):
+        self.items = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN.match(text, position)
+            if match is None:
+                if text[position:].strip() == "":
+                    break
+                raise SqlError(f"cannot tokenize SQL at: {text[position:][:20]!r}")
+            position = match.end()
+            if match.lastgroup == "number":
+                raw = match.group("number")
+                self.items.append(("number", float(raw) if "." in raw else int(raw)))
+            elif match.lastgroup == "string":
+                self.items.append(
+                    ("string", match.group("string")[1:-1].replace("\\'", "'"))
+                )
+            elif match.lastgroup == "word":
+                word = match.group("word")
+                lowered = word.lower()
+                if lowered in _KEYWORDS:
+                    self.items.append(("kw", lowered))
+                else:
+                    self.items.append(("name", word))
+            elif match.lastgroup == "op":
+                op = match.group("op")
+                self.items.append(("op", "!=" if op == "<>" else op))
+            else:
+                self.items.append(("punct", match.group("punct")))
+        self.position = 0
+
+    def peek(self, offset=0):
+        index = self.position + offset
+        return self.items[index] if index < len(self.items) else ("eof", None)
+
+    def next(self):
+        token = self.peek()
+        self.position += 1
+        return token
+
+    def accept_kw(self, *keywords):
+        kind, value = self.peek()
+        if kind == "kw" and value in keywords:
+            self.position += 1
+            return value
+        return None
+
+    def expect_kw(self, keyword):
+        if not self.accept_kw(keyword):
+            raise SqlError(f"expected {keyword.upper()}, found {self.peek()!r}")
+
+    def expect_punct(self, punct):
+        kind, value = self.peek()
+        if kind != "punct" or value != punct:
+            raise SqlError(f"expected {punct!r}, found {self.peek()!r}")
+        self.position += 1
+
+    def accept_punct(self, punct):
+        kind, value = self.peek()
+        if kind == "punct" and value == punct:
+            self.position += 1
+            return True
+        return False
+
+    def expect_name(self):
+        kind, value = self.peek()
+        if kind != "name":
+            raise SqlError(f"expected a name, found {self.peek()!r}")
+        self.position += 1
+        return value
+
+    @property
+    def exhausted(self):
+        return self.peek()[0] == "eof"
+
+
+# -- parsed statement shapes ---------------------------------------------------
+
+
+class SelectStatement:
+    def __init__(self, items, tables, conditions, group_by, order_by, limit,
+                 distinct):
+        self.items = items  # list of ('col', ref, alias) | ('star',) | ('agg', fn, ref, alias)
+        self.tables = tables  # list of (table, alias)
+        self.conditions = conditions  # list of (left_ref, op, ('lit'|'col', value))
+        self.group_by = group_by
+        self.order_by = order_by  # list of (ref, descending)
+        self.limit = limit
+        self.distinct = distinct
+
+
+class InsertStatement:
+    def __init__(self, table, columns, rows):
+        self.table = table
+        self.columns = columns
+        self.rows = rows
+
+
+class DeleteStatement:
+    def __init__(self, table, conditions):
+        self.table = table
+        self.conditions = conditions
+
+
+class UpdateStatement:
+    def __init__(self, table, changes, conditions):
+        self.table = table
+        self.changes = changes
+        self.conditions = conditions
+
+
+class CreateTableStatement:
+    def __init__(self, table, columns, key):
+        self.table = table
+        self.columns = columns  # list of (name, type, nullable)
+        self.key = key
+
+
+def parse_sql(text):
+    """Parse one SQL statement."""
+    tokens = _Tokens(text)
+    keyword = tokens.accept_kw("select", "insert", "delete", "update", "create")
+    if keyword == "select":
+        statement = _parse_select(tokens)
+    elif keyword == "insert":
+        statement = _parse_insert(tokens)
+    elif keyword == "delete":
+        statement = _parse_delete(tokens)
+    elif keyword == "update":
+        statement = _parse_update(tokens)
+    elif keyword == "create":
+        statement = _parse_create(tokens)
+    else:
+        raise SqlError(f"unknown statement start: {tokens.peek()!r}")
+    if not tokens.exhausted:
+        raise SqlError(f"trailing tokens: {tokens.peek()!r}")
+    return statement
+
+
+def _parse_column_ref(tokens):
+    first = tokens.expect_name()
+    if tokens.accept_punct("."):
+        return f"{first}.{tokens.expect_name()}"
+    return first
+
+
+def _parse_select(tokens):
+    distinct = bool(tokens.accept_kw("distinct"))
+    items = []
+    while True:
+        kind, value = tokens.peek()
+        if kind == "punct" and value == "*":
+            tokens.next()
+            items.append(("star",))
+        elif kind == "name" and value.lower() in ("count", "min", "max", "sum", "avg") and (
+            tokens.peek(1) == ("punct", "(")
+        ):
+            function = tokens.expect_name().lower()
+            tokens.expect_punct("(")
+            if tokens.accept_punct("*"):
+                ref = "*"
+            else:
+                ref = _parse_column_ref(tokens)
+            tokens.expect_punct(")")
+            alias = f"{function}_{ref.replace('.', '_') if ref != '*' else 'all'}"
+            if tokens.accept_kw("as"):
+                alias = tokens.expect_name()
+            items.append(("agg", function, ref, alias))
+        else:
+            ref = _parse_column_ref(tokens)
+            alias = ref.split(".")[-1]
+            if tokens.accept_kw("as"):
+                alias = tokens.expect_name()
+            items.append(("col", ref, alias))
+        if not tokens.accept_punct(","):
+            break
+
+    tokens.expect_kw("from")
+    tables = []
+    while True:
+        table = tokens.expect_name()
+        alias = table
+        if tokens.peek()[0] == "name":
+            alias = tokens.expect_name()
+        tables.append((table, alias))
+        if not tokens.accept_punct(","):
+            break
+
+    conditions = _parse_where(tokens)
+
+    group_by = []
+    if tokens.accept_kw("group"):
+        tokens.expect_kw("by")
+        while True:
+            group_by.append(_parse_column_ref(tokens))
+            if not tokens.accept_punct(","):
+                break
+
+    order_by = []
+    if tokens.accept_kw("order"):
+        tokens.expect_kw("by")
+        while True:
+            ref = _parse_column_ref(tokens)
+            descending = bool(tokens.accept_kw("desc"))
+            tokens.accept_kw("asc")
+            order_by.append((ref, descending))
+            if not tokens.accept_punct(","):
+                break
+
+    limit = None
+    if tokens.accept_kw("limit"):
+        kind, value = tokens.next()
+        if kind != "number" or not isinstance(value, int):
+            raise SqlError("LIMIT takes an integer")
+        limit = value
+
+    return SelectStatement(items, tables, conditions, group_by, order_by, limit,
+                           distinct)
+
+
+def _parse_where(tokens):
+    conditions = []
+    if tokens.accept_kw("where"):
+        while True:
+            left = _parse_column_ref(tokens)
+            kind, op = tokens.next()
+            if kind != "op":
+                raise SqlError(f"expected a comparison, found {(kind, op)!r}")
+            kind, value = tokens.peek()
+            if kind in ("number", "string"):
+                tokens.next()
+                right = ("lit", value)
+            elif kind == "kw" and value == "null":
+                tokens.next()
+                right = ("lit", None)
+            else:
+                right = ("col", _parse_column_ref(tokens))
+            conditions.append((left, op, right))
+            if not tokens.accept_kw("and"):
+                break
+    return conditions
+
+
+def _parse_literal_list(tokens):
+    tokens.expect_punct("(")
+    values = []
+    while True:
+        kind, value = tokens.next()
+        if kind == "kw" and value == "null":
+            values.append(None)
+        elif kind in ("number", "string"):
+            values.append(value)
+        else:
+            raise SqlError(f"expected a literal, found {(kind, value)!r}")
+        if not tokens.accept_punct(","):
+            break
+    tokens.expect_punct(")")
+    return values
+
+
+def _parse_insert(tokens):
+    tokens.expect_kw("into")
+    table = tokens.expect_name()
+    tokens.expect_punct("(")
+    columns = []
+    while True:
+        columns.append(tokens.expect_name())
+        if not tokens.accept_punct(","):
+            break
+    tokens.expect_punct(")")
+    tokens.expect_kw("values")
+    rows = [_parse_literal_list(tokens)]
+    while tokens.accept_punct(","):
+        rows.append(_parse_literal_list(tokens))
+    for row in rows:
+        if len(row) != len(columns):
+            raise SqlError("VALUES arity does not match the column list")
+    return InsertStatement(table, columns, rows)
+
+
+def _parse_delete(tokens):
+    tokens.expect_kw("from")
+    table = tokens.expect_name()
+    return DeleteStatement(table, _parse_where(tokens))
+
+
+def _parse_update(tokens):
+    table = tokens.expect_name()
+    tokens.expect_kw("set")
+    changes = {}
+    while True:
+        column = tokens.expect_name()
+        kind, op = tokens.next()
+        if (kind, op) != ("op", "="):
+            raise SqlError("SET expects column = literal")
+        kind, value = tokens.next()
+        if kind == "kw" and value == "null":
+            changes[column] = None
+        elif kind in ("number", "string"):
+            changes[column] = value
+        else:
+            raise SqlError(f"expected a literal, found {(kind, value)!r}")
+        if not tokens.accept_punct(","):
+            break
+    return UpdateStatement(table, changes, _parse_where(tokens))
+
+
+def _parse_create(tokens):
+    tokens.expect_kw("table")
+    table = tokens.expect_name()
+    tokens.expect_punct("(")
+    columns = []
+    key = ()
+    while True:
+        if tokens.accept_kw("primary"):
+            tokens.expect_kw("key")
+            tokens.expect_punct("(")
+            key_columns = [tokens.expect_name()]
+            while tokens.accept_punct(","):
+                key_columns.append(tokens.expect_name())
+            tokens.expect_punct(")")
+            key = tuple(key_columns)
+        else:
+            name = tokens.expect_name()
+            type_name = tokens.expect_name().lower()
+            if type_name not in ("str", "int", "float", "bool", "any", "text",
+                                 "varchar", "integer", "real"):
+                raise SqlError(f"unknown column type {type_name!r}")
+            type_name = {
+                "text": "str", "varchar": "str", "integer": "int", "real": "float",
+            }.get(type_name, type_name)
+            nullable = True
+            if tokens.accept_kw("not"):
+                tokens.expect_kw("null")
+                nullable = False
+            columns.append((name, type_name, nullable))
+        if not tokens.accept_punct(","):
+            break
+    tokens.expect_punct(")")
+    return CreateTableStatement(table, columns, key)

@@ -1,0 +1,34 @@
+"""The relational storage substrate.
+
+Each federation member is an autonomous relational database; this
+package provides that database: typed schemas, heap row storage, hash
+indexes (primary and secondary), undo-log transactions with savepoints,
+and a reflective catalog. The paper's host systems (Iris/Pegasus) are
+proprietary; this substrate preserves what matters for the reproduction
+— autonomous schemata, queryable metadata, transactional updates.
+"""
+
+from repro.storage.catalog import Catalog
+from repro.storage.database import StorageDatabase
+from repro.storage.heap import RowHeap
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.relation import StoredRelation
+from repro.storage.schema import ANY, BOOL, FLOAT, INT, STR, Column, Schema
+from repro.storage.transaction import Transaction
+
+__all__ = [
+    "ANY",
+    "BOOL",
+    "Catalog",
+    "Column",
+    "FLOAT",
+    "HashIndex",
+    "INT",
+    "RowHeap",
+    "SortedIndex",
+    "STR",
+    "Schema",
+    "StorageDatabase",
+    "StoredRelation",
+    "Transaction",
+]

@@ -1,0 +1,71 @@
+"""The system catalog: metadata exposed as data.
+
+A storage database's catalog records its relations and columns — and can
+render them *as relations* (``_relations``, ``_columns``), the classic
+reflective move. This is exactly the bridge the paper builds on: the IDL
+universe makes one database's catalog queryable by another database's
+data (Section 2: "metadata ... explicitly represented").
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+
+
+class Catalog:
+    """Schema registry for one storage database."""
+
+    def __init__(self):
+        self._schemas = {}
+
+    def register(self, relation_name, schema):
+        if relation_name in self._schemas:
+            raise SchemaError(f"relation {relation_name!r} already exists")
+        self._schemas[relation_name] = schema
+
+    def unregister(self, relation_name):
+        try:
+            del self._schemas[relation_name]
+        except KeyError:
+            raise SchemaError(f"no relation named {relation_name!r}") from None
+
+    def schema_of(self, relation_name):
+        try:
+            return self._schemas[relation_name]
+        except KeyError:
+            raise SchemaError(f"no relation named {relation_name!r}") from None
+
+    def relation_names(self):
+        return sorted(self._schemas)
+
+    def has(self, relation_name):
+        return relation_name in self._schemas
+
+    # -- reflection: the catalog as relations ---------------------------------
+
+    def relations_table(self):
+        """Rows describing every relation: name, arity, key columns."""
+        return [
+            {
+                "relname": name,
+                "arity": len(schema.columns),
+                "keycols": ",".join(schema.key),
+            }
+            for name, schema in sorted(self._schemas.items())
+        ]
+
+    def columns_table(self):
+        """Rows describing every column of every relation."""
+        rows = []
+        for name, schema in sorted(self._schemas.items()):
+            for position, column in enumerate(schema.columns):
+                rows.append(
+                    {
+                        "relname": name,
+                        "colname": column.name,
+                        "position": position,
+                        "type": column.type,
+                        "nullable": 1 if column.nullable else 0,
+                    }
+                )
+        return rows

@@ -1,0 +1,61 @@
+"""Row storage: a heap of rows addressed by row id.
+
+Deliberately simple — an append-mostly dict with a free list — but with
+the interface a real heap file would have (allocate/read/delete/scan),
+so the relation and index layers are written against the right shape.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+
+
+class RowHeap:
+    """Row-id addressed storage for one relation."""
+
+    __slots__ = ("_rows", "_next_id", "_free")
+
+    def __init__(self):
+        self._rows = {}
+        self._next_id = 0
+        self._free = []
+
+    def insert(self, row):
+        """Store ``row`` and return its row id."""
+        if self._free:
+            rid = self._free.pop()
+        else:
+            rid = self._next_id
+            self._next_id += 1
+        self._rows[rid] = row
+        return rid
+
+    def read(self, rid):
+        try:
+            return self._rows[rid]
+        except KeyError:
+            raise StorageError(f"no row with id {rid}") from None
+
+    def replace(self, rid, row):
+        if rid not in self._rows:
+            raise StorageError(f"no row with id {rid}")
+        self._rows[rid] = row
+
+    def delete(self, rid):
+        try:
+            row = self._rows.pop(rid)
+        except KeyError:
+            raise StorageError(f"no row with id {rid}") from None
+        self._free.append(rid)
+        return row
+
+    def scan(self):
+        """Yield ``(rid, row)`` pairs in row-id order (deterministic)."""
+        for rid in sorted(self._rows):
+            yield rid, self._rows[rid]
+
+    def __len__(self):
+        return len(self._rows)
+
+    def __contains__(self, rid):
+        return rid in self._rows

@@ -1,0 +1,165 @@
+"""Indexes over stored relations.
+
+* :class:`HashIndex` — equality lookup on one or more columns: the
+  workhorse for federation-side joins (benchmark B6);
+* :class:`SortedIndex` — a single-column ordered index (bisect-based)
+  serving range predicates; nulls are not indexed, mixed types order by
+  a type rank so heterogeneous columns stay indexable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+
+from repro.errors import StorageError
+
+
+class HashIndex:
+    """A (possibly non-unique) hash index on a tuple of columns."""
+
+    __slots__ = ("columns", "unique", "_buckets")
+
+    def __init__(self, columns, unique=False):
+        if not columns:
+            raise StorageError("an index needs at least one column")
+        self.columns = tuple(columns)
+        self.unique = unique
+        self._buckets = {}
+
+    def key_of(self, row):
+        return tuple(row.get(column) for column in self.columns)
+
+    def insert(self, rid, row):
+        key = self.key_of(row)
+        bucket = self._buckets.setdefault(key, set())
+        if self.unique and bucket:
+            raise StorageError(
+                f"unique index on {self.columns} violated by key {key}"
+            )
+        bucket.add(rid)
+
+    def delete(self, rid, row):
+        key = self.key_of(row)
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.discard(rid)
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, key):
+        """Row ids matching the key tuple (sorted, deterministic)."""
+        if not isinstance(key, tuple):
+            key = (key,)
+        return sorted(self._buckets.get(key, ()))
+
+    def rebuild(self, heap):
+        self._buckets.clear()
+        for rid, row in heap.scan():
+            self.insert(rid, row)
+
+    def __len__(self):
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def __repr__(self):
+        kind = "unique " if self.unique else ""
+        return f"HashIndex({kind}{','.join(self.columns)})"
+
+
+def _type_rank(value):
+    if isinstance(value, bool):
+        return 0
+    if isinstance(value, (int, float)):
+        return 1
+    return 2
+
+
+def _sort_key(value):
+    return (_type_rank(value), value)
+
+
+class SortedIndex:
+    """A single-column ordered index supporting range lookups."""
+
+    __slots__ = ("column", "_entries")
+
+    def __init__(self, column):
+        if isinstance(column, (list, tuple)):
+            if len(column) != 1:
+                raise StorageError("sorted indexes cover exactly one column")
+            [column] = column
+        self.column = column
+        self._entries = []  # sorted list of (sort_key, rid)
+
+    @property
+    def columns(self):
+        return (self.column,)
+
+    @property
+    def unique(self):
+        return False
+
+    def insert(self, rid, row):
+        value = row.get(self.column)
+        if value is None:
+            return  # nulls are not indexed
+        insort(self._entries, (_sort_key(value), rid))
+
+    def delete(self, rid, row):
+        value = row.get(self.column)
+        if value is None:
+            return
+        entry = (_sort_key(value), rid)
+        position = bisect_left(self._entries, entry)
+        if position < len(self._entries) and self._entries[position] == entry:
+            del self._entries[position]
+
+    def lookup(self, key):
+        """Equality lookup (HashIndex-compatible shape)."""
+        if isinstance(key, tuple):
+            [key] = key
+        return self.range_lookup(key, key)
+
+    def range_lookup(self, low=None, high=None, inclusive=(True, True)):
+        """Row ids with ``low <(=) value <(=) high``; None is unbounded.
+
+        Only values of the bound's own type class participate (a numeric
+        range never returns strings).
+        """
+        if low is not None:
+            bound = (_sort_key(low), -1 if inclusive[0] else float("inf"))
+            start = (
+                bisect_left(self._entries, bound)
+                if inclusive[0]
+                else bisect_right(self._entries, (_sort_key(low), float("inf")))
+            )
+        else:
+            start = 0
+        if high is not None:
+            end = (
+                bisect_right(self._entries, (_sort_key(high), float("inf")))
+                if inclusive[1]
+                else bisect_left(self._entries, (_sort_key(high), -1))
+            )
+        else:
+            end = len(self._entries)
+        rank = _type_rank(low if low is not None else high) if (
+            low is not None or high is not None
+        ) else None
+        rids = []
+        for (key_rank, _), rid in (
+            (entry[0], entry[1]) for entry in self._entries[start:end]
+        ):
+            if rank is None or key_rank == rank:
+                rids.append(rid)
+        return rids  # in value order (ties by row id)
+
+    def rebuild(self, heap):
+        self._entries = []
+        for rid, row in heap.scan():
+            self.insert(rid, row)
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __repr__(self):
+        return f"SortedIndex({self.column})"

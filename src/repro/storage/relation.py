@@ -1,0 +1,198 @@
+"""Stored relations: schema + heap + indexes.
+
+A :class:`StoredRelation` enforces its schema on every write, maintains
+a unique index on the primary key and any number of secondary hash
+indexes, and exposes scan/lookup/insert/delete/update. All mutation
+reports what changed, so the transaction layer can undo it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError, StorageError
+from repro.storage.heap import RowHeap
+from repro.storage.index import HashIndex
+
+
+class StoredRelation:
+    """One relation of a storage database."""
+
+    def __init__(self, name, schema):
+        self.name = name
+        self.schema = schema
+        self.heap = RowHeap()
+        self.indexes = {}
+        if schema.key:
+            self.create_index("__key__", schema.key, unique=True)
+
+    # -- indexes -----------------------------------------------------------
+
+    def create_index(self, index_name, columns, unique=False, kind="hash"):
+        if index_name in self.indexes:
+            raise StorageError(f"index {index_name!r} already exists")
+        for column in columns:
+            self.schema.column(column)  # validates existence
+        if kind == "hash":
+            index = HashIndex(columns, unique=unique)
+        elif kind == "sorted":
+            from repro.storage.index import SortedIndex
+
+            index = SortedIndex(columns)
+        else:
+            raise StorageError(f"unknown index kind {kind!r}")
+        index.rebuild(self.heap)
+        self.indexes[index_name] = index
+        return index
+
+    def drop_index(self, index_name):
+        if index_name == "__key__":
+            raise StorageError("cannot drop the primary-key index")
+        try:
+            del self.indexes[index_name]
+        except KeyError:
+            raise StorageError(f"no index named {index_name!r}") from None
+
+    def index_on(self, columns):
+        """An existing index exactly covering ``columns``, or None."""
+        columns = tuple(columns)
+        for index in self.indexes.values():
+            if index.columns == columns:
+                return index
+        return None
+
+    def sorted_index_on(self, column):
+        """An existing SortedIndex on ``column``, or None."""
+        from repro.storage.index import SortedIndex
+
+        for index in self.indexes.values():
+            if isinstance(index, SortedIndex) and index.column == column:
+                return index
+        return None
+
+    def range_lookup(self, column, low=None, high=None,
+                     inclusive=(True, True)):
+        """Rows with ``column`` in the given range, via a sorted index
+        when one exists, else by scan."""
+        index = self.sorted_index_on(column)
+        if index is not None:
+            return [
+                dict(self.heap.read(rid))
+                for rid in index.range_lookup(low, high, inclusive)
+            ]
+        from repro.objects.atom import compare_values
+
+        low_op = ">=" if inclusive[0] else ">"
+        high_op = "<=" if inclusive[1] else "<"
+        out = []
+        for row in self.scan():
+            value = row.get(column)
+            if low is not None and not compare_values(value, low_op, low):
+                continue
+            if high is not None and not compare_values(value, high_op, high):
+                continue
+            out.append(row)
+        return out
+
+    # -- reads ------------------------------------------------------------
+
+    def scan(self):
+        """Yield row dicts (copies) in deterministic order."""
+        for _, row in self.heap.scan():
+            yield dict(row)
+
+    def scan_with_ids(self):
+        for rid, row in self.heap.scan():
+            yield rid, dict(row)
+
+    def lookup(self, **equalities):
+        """Rows matching the column=value equalities, via an index when
+        one covers them, else by scan."""
+        columns = tuple(sorted(equalities))
+        index = self.index_on(columns)
+        if index is not None:
+            key = tuple(equalities[column] for column in index.columns)
+            return [dict(self.heap.read(rid)) for rid in index.lookup(key)]
+        return [
+            row
+            for row in self.scan()
+            if all(row.get(column) == value for column, value in equalities.items())
+        ]
+
+    def get_by_key(self, *key_values):
+        """The unique row with the given primary key, or None."""
+        if not self.schema.key:
+            raise StorageError(f"relation {self.name!r} has no primary key")
+        rids = self.indexes["__key__"].lookup(tuple(key_values))
+        if not rids:
+            return None
+        return dict(self.heap.read(rids[0]))
+
+    def __len__(self):
+        return len(self.heap)
+
+    # -- writes ------------------------------------------------------------
+
+    def insert(self, row):
+        """Insert one row; returns its row id. Schema- and key-checked."""
+        normalized = self.schema.validate_row(row)
+        if self.schema.key is not None and self.schema.key:
+            key = self.schema.key_of(normalized)
+            if any(value is None for value in key):
+                raise SchemaError(
+                    f"primary key of {self.name!r} cannot contain nulls"
+                )
+        rid = self.heap.insert(normalized)
+        try:
+            for index in self.indexes.values():
+                index.insert(rid, normalized)
+        except StorageError:
+            # Roll back the partial insert (e.g. unique violation).
+            for index in self.indexes.values():
+                index.delete(rid, normalized)
+            self.heap.delete(rid)
+            raise
+        return rid
+
+    def delete_rid(self, rid):
+        """Delete by row id; returns the removed row."""
+        row = self.heap.read(rid)
+        for index in self.indexes.values():
+            index.delete(rid, row)
+        return self.heap.delete(rid)
+
+    def delete_where(self, predicate):
+        """Delete all rows satisfying ``predicate``; returns (rid, row)s."""
+        doomed = [
+            (rid, dict(row))
+            for rid, row in self.heap.scan()
+            if predicate(dict(row))
+        ]
+        for rid, _ in doomed:
+            self.delete_rid(rid)
+        return doomed
+
+    def update_rid(self, rid, changes):
+        """Apply a partial row update; returns (old_row, new_row)."""
+        old = dict(self.heap.read(rid))
+        new = dict(old)
+        new.update(changes)
+        normalized = self.schema.validate_row(new)
+        for index in self.indexes.values():
+            index.delete(rid, old)
+        try:
+            for index in self.indexes.values():
+                index.insert(rid, normalized)
+        except StorageError:
+            for index in self.indexes.values():
+                index.delete(rid, normalized)
+            for index in self.indexes.values():
+                index.insert(rid, old)
+            raise
+        self.heap.replace(rid, normalized)
+        return old, normalized
+
+    def restore_row(self, rid_hint, row):
+        """Re-insert a deleted row (transaction rollback path)."""
+        rid = self.heap.insert(row)
+        for index in self.indexes.values():
+            index.insert(rid, row)
+        return rid

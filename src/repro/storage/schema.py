@@ -1,0 +1,130 @@
+"""Relation schemas for the storage substrate.
+
+The paper's member databases sit on conventional relational systems;
+this module provides their schema layer: typed, named columns with
+nullability and an optional primary key. The IDL layer above is
+schema-flexible (heterogeneous sets), so the adapter in
+:mod:`repro.multidb.adapters` is where rigid meets flexible.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+
+STR = "str"
+INT = "int"
+FLOAT = "float"
+BOOL = "bool"
+ANY = "any"
+
+TYPES = (STR, INT, FLOAT, BOOL, ANY)
+
+_PYTHON_TYPES = {
+    STR: (str,),
+    INT: (int,),
+    FLOAT: (int, float),
+    BOOL: (bool,),
+}
+
+
+class Column:
+    """One typed column."""
+
+    __slots__ = ("name", "type", "nullable")
+
+    def __init__(self, name, type=ANY, nullable=True):
+        if not isinstance(name, str) or not name:
+            raise SchemaError("column names are non-empty strings")
+        if type not in TYPES:
+            raise SchemaError(f"unknown column type {type!r}")
+        self.name = name
+        self.type = type
+        self.nullable = nullable
+
+    def validate(self, value):
+        """Check ``value`` against the column; raises SchemaError."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return
+        if self.type == ANY:
+            return
+        expected = _PYTHON_TYPES[self.type]
+        if self.type in (INT, FLOAT) and isinstance(value, bool):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.type}, got bool"
+            )
+        if not isinstance(value, expected):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.type}, "
+                f"got {type(value).__name__}"
+            )
+
+    def __repr__(self):
+        suffix = "" if self.nullable else " not null"
+        return f"Column({self.name} {self.type}{suffix})"
+
+
+class Schema:
+    """An ordered collection of columns with an optional primary key."""
+
+    __slots__ = ("columns", "key", "_by_name")
+
+    def __init__(self, columns, key=()):
+        self.columns = tuple(
+            column if isinstance(column, Column) else Column(*column)
+            if isinstance(column, tuple)
+            else Column(column)
+            for column in columns
+        )
+        self._by_name = {column.name: column for column in self.columns}
+        if len(self._by_name) != len(self.columns):
+            raise SchemaError("duplicate column names")
+        self.key = tuple(key)
+        for key_column in self.key:
+            if key_column not in self._by_name:
+                raise SchemaError(f"key column {key_column!r} is not in the schema")
+
+    def column_names(self):
+        return [column.name for column in self.columns]
+
+    def column(self, name):
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"no column named {name!r}") from None
+
+    def has_column(self, name):
+        return name in self._by_name
+
+    def validate_row(self, row):
+        """Validate a row dict; unknown columns are rejected, missing
+        nullable columns default to None. Returns the normalized row."""
+        unknown = set(row) - set(self._by_name)
+        if unknown:
+            raise SchemaError(f"unknown columns: {sorted(unknown)}")
+        normalized = {}
+        for column in self.columns:
+            value = row.get(column.name)
+            column.validate(value)
+            normalized[column.name] = value
+        return normalized
+
+    def key_of(self, row):
+        """The primary-key tuple of a (normalized) row, or None."""
+        if not self.key:
+            return None
+        return tuple(row[column] for column in self.key)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Schema)
+            and [(c.name, c.type, c.nullable) for c in self.columns]
+            == [(c.name, c.type, c.nullable) for c in other.columns]
+            and self.key == other.key
+        )
+
+    def __repr__(self):
+        cols = ", ".join(repr(column) for column in self.columns)
+        key = f", key={self.key}" if self.key else ""
+        return f"Schema([{cols}]{key})"

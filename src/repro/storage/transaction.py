@@ -1,0 +1,130 @@
+"""Transactions for the storage substrate: undo logging + savepoints.
+
+Single-writer (no concurrency control — the engine is single-threaded),
+but full atomicity: every mutation appends an undo record; abort (or
+rollback-to-savepoint) replays the log backwards. The update-program
+executor uses this to guarantee that a failed multi-database request
+leaves the storage members unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransactionError
+
+ACTIVE = "active"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+
+class _UndoRecord:
+    __slots__ = ("kind", "relation", "rid", "row", "old_row")
+
+    def __init__(self, kind, relation, rid, row=None, old_row=None):
+        self.kind = kind  # 'insert' | 'delete' | 'update' | 'create' | 'drop'
+        self.relation = relation
+        self.rid = rid
+        self.row = row
+        self.old_row = old_row
+
+
+class Transaction:
+    """One transaction over a :class:`~repro.storage.database.StorageDatabase`."""
+
+    def __init__(self, database):
+        self.database = database
+        self.status = ACTIVE
+        self._log = []
+        self._savepoints = {}
+
+    # -- logging hooks (called by the database) ---------------------------
+
+    def log_insert(self, relation_name, rid):
+        self._log.append(_UndoRecord("insert", relation_name, rid))
+
+    def log_delete(self, relation_name, rid, row):
+        self._log.append(_UndoRecord("delete", relation_name, rid, row=row))
+
+    def log_update(self, relation_name, rid, old_row):
+        self._log.append(_UndoRecord("update", relation_name, rid, old_row=old_row))
+
+    def log_create_relation(self, relation_name):
+        self._log.append(_UndoRecord("create", relation_name, None))
+
+    def log_drop_relation(self, relation_name, relation):
+        self._log.append(_UndoRecord("drop", relation_name, None, row=relation))
+
+    # -- control -----------------------------------------------------------
+
+    def savepoint(self, name):
+        self._require_active()
+        self._savepoints[name] = len(self._log)
+
+    def rollback_to(self, name):
+        self._require_active()
+        if name not in self._savepoints:
+            raise TransactionError(f"no savepoint named {name!r}")
+        mark = self._savepoints[name]
+        self._undo_suffix(mark)
+        del self._log[mark:]
+        # Savepoints taken after this one are invalidated.
+        self._savepoints = {
+            sp: position for sp, position in self._savepoints.items() if position <= mark
+        }
+
+    def commit(self):
+        self._require_active()
+        self.status = COMMITTED
+        self._log.clear()
+        self.database._end_transaction(self)
+
+    def abort(self):
+        self._require_active()
+        self._undo_suffix(0)
+        self._log.clear()
+        self.status = ABORTED
+        self.database._end_transaction(self)
+
+    def _require_active(self):
+        if self.status != ACTIVE:
+            raise TransactionError(f"transaction is {self.status}")
+
+    def _undo_suffix(self, mark):
+        for record in reversed(self._log[mark:]):
+            self._undo(record)
+
+    def _undo(self, record):
+        database = self.database
+        if record.kind == "insert":
+            relation = database.relation(record.relation)
+            relation.delete_rid(record.rid)
+        elif record.kind == "delete":
+            relation = database.relation(record.relation)
+            relation.restore_row(record.rid, record.row)
+        elif record.kind == "update":
+            relation = database.relation(record.relation)
+            # Re-apply the old image wholesale.
+            current = dict(relation.heap.read(record.rid))
+            for index in relation.indexes.values():
+                index.delete(record.rid, current)
+            relation.heap.replace(record.rid, record.old_row)
+            for index in relation.indexes.values():
+                index.insert(record.rid, record.old_row)
+        elif record.kind == "create":
+            database._drop_relation_raw(record.relation)
+        elif record.kind == "drop":
+            database._restore_relation_raw(record.relation, record.row)
+        else:  # pragma: no cover - defensive
+            raise TransactionError(f"unknown undo record {record.kind!r}")
+
+    # -- context manager -----------------------------------------------------
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self.status == ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+        return False

@@ -1,0 +1,5 @@
+"""Developer tools: the interactive IDL console and query explanation."""
+
+from repro.tools.repl import IdlRepl
+
+__all__ = ["IdlRepl"]

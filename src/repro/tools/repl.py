@@ -1,0 +1,243 @@
+"""An interactive IDL console.
+
+Reads IDL statements line by line and executes them against an
+:class:`~repro.core.engine.IdlEngine`:
+
+* ``?...``            — query (answers printed as a table) or update
+                        request (result summary printed); program calls
+                        are dispatched automatically;
+* ``head <- body``    — define a view rule;
+* ``head -> body``    — define an update program clause;
+* ``:``-commands      — console controls (see ``:help``).
+
+Designed to be driven programmatically (tests, scripted demos): pass
+any iterable of lines and a writable stream.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import format_table
+from repro.core import ast
+from repro.core.engine import IdlEngine
+from repro.core.explain import explain_query
+from repro.core.parser import parse_program
+from repro.core.program import parse_call_shape
+from repro.errors import IdlError
+
+HELP = """\
+IDL console commands:
+  ?<expr>              query, or update request (+/- or program calls)
+  <head> <- <body>     define a view rule
+  <head> -> <body>     define an update program clause
+  :dbs                 list databases
+  :rels <db>           list relations of a database
+  :program             show loaded rules and update programs
+  :explain ?<expr>     show the evaluation plan of a query
+  :profile ?<expr>     evaluate with node-visit counters
+  :load <path>         load a program file (rules + clauses)
+  :save <path>         persist the engine (data + program) to JSON
+  :open <path>         replace the engine from a persisted JSON file
+  :keys                list declared integrity constraints
+  :help                this text
+  :quit                leave
+"""
+
+
+class IdlRepl:
+    """A scriptable read-eval-print loop over one engine."""
+
+    def __init__(self, engine=None, out=None):
+        self.engine = engine if engine is not None else IdlEngine()
+        self.out = out if out is not None else sys.stdout
+        self.running = True
+
+    # -- output ------------------------------------------------------------
+
+    def write(self, text=""):
+        self.out.write(text + "\n")
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, lines):
+        """Process an iterable of input lines until exhausted or :quit."""
+        for line in lines:
+            if not self.running:
+                break
+            self.handle(line)
+        return self
+
+    def handle(self, line):
+        line = line.strip()
+        if not line or line.startswith("%") or line.startswith("#"):
+            return
+        try:
+            if line.startswith(":"):
+                self._command(line)
+            else:
+                self._statement(line)
+        except IdlError as exc:
+            self.write(f"error: {exc}")
+        except OSError as exc:
+            self.write(f"error: {exc}")
+
+    # -- commands ------------------------------------------------------------
+
+    def _command(self, line):
+        parts = line.split(None, 1)
+        command = parts[0]
+        argument = parts[1].strip() if len(parts) > 1 else ""
+
+        if command in (":quit", ":q", ":exit"):
+            self.running = False
+            self.write("bye")
+        elif command == ":help":
+            self.write(HELP.rstrip())
+        elif command == ":dbs":
+            for name in self.engine.universe.database_names():
+                self.write(f"  {name}")
+        elif command == ":rels":
+            if not argument:
+                self.write("usage: :rels <db>")
+                return
+            for name in self.engine.universe.relation_names(argument):
+                size = len(self.engine.universe.relation(argument, name))
+                self.write(f"  {name} ({size} elements)")
+        elif command == ":program":
+            from repro.core.pretty import to_source
+
+            if not self.engine.program.rules and not self.engine.program.clauses:
+                self.write("  (empty)")
+            for analyzed in self.engine.program.rules:
+                suffix = (
+                    f"   % merge on {', '.join(analyzed.merge_on)}"
+                    if analyzed.merge_on
+                    else ""
+                )
+                self.write(f"  {to_source(analyzed.rule)}{suffix}")
+            for name in self.engine.program.program_names():
+                self.write(f"  program {name}")
+        elif command == ":explain":
+            if not argument:
+                self.write("usage: :explain ?<expr>")
+                return
+            self.write(explain_query(argument).render())
+        elif command == ":profile":
+            if not argument:
+                self.write("usage: :profile ?<expr>")
+                return
+            from repro.core.explain import profile_query
+
+            results, counters = profile_query(
+                argument, self.engine.materialized_view()
+            )
+            self.write(f"answers: {len(results)}")
+            for kind in sorted(counters):
+                self.write(f"  {kind:<12} {counters[kind]}")
+        elif command == ":load":
+            with open(argument) as handle:
+                self.engine.load(handle.read())
+            self.write(f"loaded {argument}")
+        elif command == ":save":
+            from repro.io import save_engine
+
+            save_engine(self.engine, argument)
+            self.write(f"saved {argument}")
+        elif command == ":open":
+            from repro.io import load_engine
+
+            self.engine = load_engine(argument)
+            self.write(f"opened {argument}")
+        elif command == ":keys":
+            rendered = self.engine.constraints.as_relations()
+            for row in rendered["keys"]:
+                self.write(f"  key  .{row['db']}.{row['rel']} ({row['columns']})")
+            for row in rendered["types"]:
+                nullable = "" if row["nullable"] else " not null"
+                self.write(
+                    f"  type .{row['db']}.{row['rel']}.{row['attr']} "
+                    f": {row['type']}{nullable}"
+                )
+            if not rendered["keys"] and not rendered["types"]:
+                self.write("  (none)")
+        else:
+            self.write(f"unknown command {command}; try :help")
+
+    # -- statements ------------------------------------------------------------
+
+    def _statement(self, line):
+        statements = parse_program(line)
+        for statement in statements:
+            if isinstance(statement, ast.Rule):
+                self.engine.define(statement)
+                self.write("rule defined")
+            elif isinstance(statement, ast.UpdateClause):
+                self.engine.define_update(statement)
+                self.write("update program defined")
+            elif isinstance(statement, ast.Query):
+                self._query_or_update(statement)
+            else:  # pragma: no cover - parser yields only the above
+                self.write(f"cannot execute {statement!r}")
+
+    def _is_update(self, statement):
+        if statement.is_update_request:
+            return True
+        for conjunct in ast.conjuncts_of(statement.expr):
+            shape = parse_call_shape(conjunct)
+            if shape is not None:
+                clauses, _ = self.engine.program.clauses_for(*shape[:3])
+                if clauses:
+                    return True
+        return False
+
+    def _query_or_update(self, statement):
+        if self._is_update(statement):
+            result = self.engine.update(statement)
+            status = "ok" if result.succeeded else "no match"
+            self.write(
+                f"{status}: +{result.inserted} -{result.deleted} "
+                f"~{result.modified}"
+            )
+            return
+        answers = self.engine.query(statement)
+        if not answers:
+            names = sorted(statement.variables())
+            self.write("false" if not names else "(no answers)")
+            return
+        names = sorted(answers[0].keys())
+        if not names:
+            self.write("true")
+            return
+        rows = [
+            {name: answer[name] for name in names} for answer in answers
+        ]
+        self.write(format_table(names, rows))
+        self.write(f"({len(rows)} answer{'s' if len(rows) != 1 else ''})")
+
+
+def main(argv=None):  # pragma: no cover - thin CLI wrapper
+    """Entry point: ``python -m repro.tools.repl [saved-engine.json]``."""
+    argv = argv if argv is not None else sys.argv[1:]
+    engine = None
+    if argv:
+        from repro.io import load_engine
+
+        engine = load_engine(argv[0])
+    repl = IdlRepl(engine=engine)
+    repl.write("IDL console — :help for commands")
+    try:
+        while repl.running:
+            repl.out.write("idl> ")
+            repl.out.flush()
+            line = sys.stdin.readline()
+            if not line:
+                break
+            repl.handle(line)
+    except KeyboardInterrupt:
+        repl.write("")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Synthetic workload generators (substitute for the paper's real-world
+stock feeds, per the reproduction's substitution rule).
+
+* :mod:`repro.workloads.stocks` — the running example in all three
+  schema styles, scalable in stocks/days, with optional name conflicts
+  and the Section 6 mapping relations;
+* :mod:`repro.workloads.empdept` — the Section 2 emp/dept view-update
+  workload;
+* :mod:`repro.workloads.generators` — seeded primitives.
+"""
+
+from repro.workloads.budgets import BudgetWorkload
+from repro.workloads.budgets import UNIFIED_RULES as BUDGET_UNIFIED_RULES
+from repro.workloads.empdept import (
+    CHANGE_DEPT_MGR_PROGRAM,
+    EMP_MGR_RULE,
+    MOVE_EMPLOYEE_PROGRAM,
+)
+from repro.workloads.empdept import build_universe as empdept_universe
+from repro.workloads.generators import (
+    random_walk_prices,
+    rng,
+    ticker_symbols,
+    trading_days,
+)
+from repro.workloads.stocks import STYLES, StockWorkload, paper_universe
+
+__all__ = [
+    "BUDGET_UNIFIED_RULES",
+    "BudgetWorkload",
+    "CHANGE_DEPT_MGR_PROGRAM",
+    "EMP_MGR_RULE",
+    "MOVE_EMPLOYEE_PROGRAM",
+    "STYLES",
+    "StockWorkload",
+    "empdept_universe",
+    "paper_universe",
+    "random_walk_prices",
+    "rng",
+    "ticker_symbols",
+    "trading_days",
+]

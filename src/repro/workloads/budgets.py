@@ -1,0 +1,111 @@
+"""A second schematic-discrepancy domain: departmental budgets.
+
+The classic pivot discrepancy (later literature's favourite SchemaSQL
+example): one agency records budgets *long* —
+
+    fin:  budget(dept, year, amount)
+
+another *wide*, with one column per fiscal year —
+
+    plan: budget(dept, y1990, y1991, ...)
+
+and a third keeps one relation per department —
+
+    acct: <dept>(year, amount)
+
+Same information; the year lives in data, attribute names, or the rows
+of per-department relations. Everything the stock federation does —
+higher-order queries, unifying rules, update programs — applies
+unchanged, which is the point: the machinery is domain-agnostic.
+"""
+
+from __future__ import annotations
+
+from repro.objects.universe import Universe
+from repro.workloads.generators import rng
+
+DEPARTMENTS = ("sales", "eng", "ops", "hr", "legal")
+
+# The wide rule joins the yearName mapping: the higher-order variable YL
+# ranges over plan.budget's column names; the join both filters out the
+# 'dept' column and translates labels ('y1990') to numeric years.
+UNIFIED_RULES = """
+.dbB.b(.dept=D, .year=Y, .amount=A) <- .fin.budget(.dept=D, .year=Y, .amount=A)
+.dbB.b(.dept=D, .year=Y, .amount=A) <- .plan.budget(.dept=D, .YL=A), .dbU.yearName(.label=YL, .year=Y)
+.dbB.b(.dept=D, .year=Y, .amount=A) <- .acct.D(.year=Y, .amount=A)
+"""
+
+
+class BudgetWorkload:
+    """Deterministic budgets for n departments x n years, per style."""
+
+    def __init__(self, n_departments=4, n_years=5, first_year=1988, seed=7):
+        if not (1 <= n_departments <= len(DEPARTMENTS)):
+            raise ValueError(f"1..{len(DEPARTMENTS)} departments supported")
+        self.departments = list(DEPARTMENTS[:n_departments])
+        self.years = [first_year + offset for offset in range(n_years)]
+        generator = rng((seed, "budget"))
+        self.amounts = {
+            (dept, year): round(generator.uniform(50, 500), 1)
+            for dept in self.departments
+            for year in self.years
+        }
+
+    def entries(self):
+        return [
+            (dept, year, self.amounts[(dept, year)])
+            for dept in self.departments
+            for year in self.years
+        ]
+
+    @staticmethod
+    def year_label(year):
+        return f"y{year}"
+
+    # -- the three styles ----------------------------------------------------
+
+    def fin_relations(self):
+        """Long form: years are data."""
+        return {
+            "budget": [
+                {"dept": dept, "year": year, "amount": amount}
+                for dept, year, amount in self.entries()
+            ]
+        }
+
+    def plan_relations(self):
+        """Wide form: years are attribute names (labels like 'y1990')."""
+        rows = []
+        for dept in self.departments:
+            row = {"dept": dept}
+            for year in self.years:
+                row[self.year_label(year)] = self.amounts[(dept, year)]
+            rows.append(row)
+        return {"budget": rows}
+
+    def acct_relations(self):
+        """Relation-per-department form: departments are relation names."""
+        return {
+            dept: [
+                {"year": year, "amount": self.amounts[(dept, year)]}
+                for year in self.years
+            ]
+            for dept in self.departments
+        }
+
+    def year_name_rows(self):
+        """The label <-> year mapping relation the wide rule joins on."""
+        return [
+            {"label": self.year_label(year), "year": year}
+            for year in self.years
+        ]
+
+    def universe(self):
+        return Universe.from_python(
+            {
+                "fin": self.fin_relations(),
+                "plan": self.plan_relations(),
+                "acct": self.acct_relations(),
+                "dbU": {"yearName": self.year_name_rows()},
+            }
+        )

@@ -1,0 +1,80 @@
+"""The employee/department workload (paper Section 2).
+
+The paper's view-update discussion uses the classic
+
+    empMgr(Name, Mgr) <- emp(Name, Dno), dept(Dno, Mgr)
+
+view to show why update translation is ambiguous (change the employee's
+department, or change the department's manager?). This workload
+generates the two base relations and provides both administrator-chosen
+translations as update programs, so tests and benchmarks can exercise
+each policy.
+"""
+
+from __future__ import annotations
+
+from repro.objects.universe import Universe
+from repro.workloads.generators import rng
+
+EMP_MGR_RULE = (
+    ".hr.empMgr(.name=N, .mgr=M) <- "
+    ".hr.emp(.name=N, .dno=D), .hr.dept(.dno=D, .mgr=M)"
+)
+
+# Policy A (paper: "the Dno of the employee can be changed"): move the
+# employee into some department the new manager runs.
+MOVE_EMPLOYEE_PROGRAM = (
+    ".hr.setMgr(.name=N, .mgr=M) -> "
+    ".hr.dept(.dno=D, .mgr=M), "
+    ".hr.emp-(.name=N), .hr.emp+(.name=N, .dno=D)"
+)
+
+# Policy B ("or the Mgr in the dept relation can be changed"): promote
+# the new manager over the employee's current department.
+CHANGE_DEPT_MGR_PROGRAM = (
+    ".hr.setDeptMgr(.name=N, .mgr=M) -> "
+    ".hr.emp(.name=N, .dno=D), "
+    ".hr.dept-(.dno=D), .hr.dept+(.dno=D, .mgr=M)"
+)
+
+
+def employee_names(count, seed=11):
+    generator = rng((seed, "emp"))
+    first = ["ana", "bo", "cy", "dee", "ed", "flo", "gus", "hal", "ida", "jo"]
+    names = []
+    index = 0
+    while len(names) < count:
+        base = first[index % len(first)]
+        suffix = index // len(first)
+        names.append(base if suffix == 0 else f"{base}{suffix}")
+        index += 1
+    generator.shuffle(names)
+    return names
+
+
+def build_universe(n_employees=20, n_departments=4, seed=11):
+    """An ``hr`` database with emp(name, dno) and dept(dno, mgr).
+
+    Managers are employees of the same department where possible, which
+    produces the join ambiguity the paper discusses.
+    """
+    if n_departments < 1 or n_employees < n_departments:
+        raise ValueError("need at least one employee per department")
+    generator = rng((seed, "assign"))
+    names = employee_names(n_employees, seed=seed)
+    departments = [f"d{index + 1}" for index in range(n_departments)]
+
+    emp_rows = []
+    by_department = {dno: [] for dno in departments}
+    for index, name in enumerate(names):
+        dno = departments[index % n_departments]
+        emp_rows.append({"name": name, "dno": dno})
+        by_department[dno].append(name)
+
+    dept_rows = []
+    for dno in departments:
+        members = by_department[dno]
+        manager = members[generator.randrange(len(members))]
+        dept_rows.append({"dno": dno, "mgr": manager})
+
+    return Universe.from_python({"hr": {"emp": emp_rows, "dept": dept_rows}})

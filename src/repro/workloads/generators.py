@@ -1,0 +1,84 @@
+"""Shared generator utilities for synthetic workloads.
+
+Everything is deterministic under a seed — benchmarks and property tests
+depend on reproducible data. No wall-clock access anywhere.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from datetime import date, timedelta
+
+_CONSONANTS = "bcdfghjklmnpqrstvwz"
+_VOWELS = "aeiou"
+
+
+def rng(seed):
+    """A dedicated Random instance (never the global one).
+
+    Accepts any hashable seed; composites (tuples) are stringified so
+    call sites can namespace streams: ``rng((seed, "prices"))``.
+    """
+    if not isinstance(seed, (int, float, str, bytes, bytearray, type(None))):
+        seed = repr(seed)
+    return random.Random(seed)
+
+
+def ticker_symbols(count, seed=7):
+    """``count`` distinct lowercase ticker-like symbols.
+
+    The first symbols are the paper's own examples (hp, ibm, ...) so tiny
+    workloads read like the paper; the rest are generated pronounceable
+    strings, deduplicated.
+    """
+    named = ["hp", "ibm", "sun", "dec", "att", "xerox", "intel", "apple"]
+    symbols = list(named[:count])
+    generator = rng(seed)
+    seen = set(symbols)
+    while len(symbols) < count:
+        length = generator.randint(2, 4)
+        word = "".join(
+            generator.choice(_CONSONANTS if index % 2 == 0 else _VOWELS)
+            for index in range(length)
+        )
+        suffix = generator.choice(string.ascii_lowercase)
+        candidate = word + suffix
+        if candidate not in seen:
+            seen.add(candidate)
+            symbols.append(candidate)
+    return symbols
+
+
+def trading_days(count, start=(1985, 3, 1)):
+    """``count`` consecutive weekday dates as ``m/d/yy`` strings.
+
+    The paper writes dates like ``3/3/85``; we follow suit (they lex as
+    string literals).
+    """
+    current = date(*start)
+    days = []
+    while len(days) < count:
+        if current.weekday() < 5:
+            days.append(f"{current.month}/{current.day}/{current.year % 100:02d}")
+        current += timedelta(days=1)
+    return days
+
+
+def random_walk_prices(generator, count, start=100.0, volatility=0.03,
+                       minimum=1.0):
+    """A seeded geometric-ish random walk, rounded to cents."""
+    prices = []
+    price = start
+    for _ in range(count):
+        price = max(minimum, price * (1.0 + generator.uniform(-volatility, volatility)))
+        prices.append(round(price, 2))
+    return prices
+
+
+def pick_subset(generator, items, fraction):
+    """A stable-order random subset containing ~``fraction`` of items."""
+    kept = [item for item in items if generator.random() < fraction]
+    if not kept and items:
+        kept = [items[generator.randrange(len(items))]]
+    return kept

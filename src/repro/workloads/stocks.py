@@ -1,0 +1,218 @@
+"""The paper's stock-market workload, in all three schema styles.
+
+The running example (paper Section 1): three databases record the same
+information — the closing price of each stock on each day — under
+schematically discrepant schemata:
+
+* **euter**: one relation ``r(date, stkCode, clsPrice)`` — stocks are
+  plain data;
+* **chwab**: one relation ``r(date, stk1, stk2, ...)`` — stocks are
+  attribute names;
+* **ource**: one relation per stock, ``stkN(date, clsPrice)`` — stocks
+  are relation names.
+
+:class:`StockWorkload` generates a seeded quote stream and renders it in
+any of the styles, optionally with per-database stock/date subsets (the
+paper: "they may deal with different stocks, dates, or closing prices")
+and optionally with per-database *naming conventions* plus the
+``mapCE``/``mapOE`` name-mapping relations of Section 6.
+"""
+
+from __future__ import annotations
+
+from repro.objects.universe import Universe
+from repro.workloads.generators import (
+    pick_subset,
+    random_walk_prices,
+    rng,
+    ticker_symbols,
+    trading_days,
+)
+
+STYLES = ("euter", "chwab", "ource")
+
+
+class StockWorkload:
+    """A deterministic quote universe, renderable per schema style."""
+
+    def __init__(self, n_stocks=8, n_days=10, seed=1985, overlap=1.0,
+                 start_price=100.0, volatility=0.03):
+        if n_stocks < 1 or n_days < 1:
+            raise ValueError("need at least one stock and one day")
+        self.n_stocks = n_stocks
+        self.n_days = n_days
+        self.seed = seed
+        self.overlap = overlap
+        self.symbols = ticker_symbols(n_stocks, seed=seed)
+        self.days = trading_days(n_days)
+        generator = rng((seed, "prices"))
+        self.prices = {}
+        for symbol in self.symbols:
+            walk = random_walk_prices(
+                generator, n_days, start=start_price, volatility=volatility
+            )
+            for day, price in zip(self.days, walk):
+                self.prices[(day, symbol)] = price
+
+    # -- quote access ----------------------------------------------------
+
+    def quotes(self, symbols=None, days=None):
+        """``(day, symbol, price)`` triples, restricted if asked."""
+        symbols = self.symbols if symbols is None else symbols
+        days = self.days if days is None else days
+        return [
+            (day, symbol, self.prices[(day, symbol)])
+            for day in days
+            for symbol in symbols
+        ]
+
+    def price(self, day, symbol):
+        return self.prices[(day, symbol)]
+
+    def member_symbols(self, db_name):
+        """The stock subset a member database carries (overlap < 1 makes
+        members disagree, as autonomous databases do)."""
+        if self.overlap >= 1.0:
+            return list(self.symbols)
+        generator = rng((self.seed, "membership", db_name))
+        return pick_subset(generator, self.symbols, self.overlap)
+
+    # -- schema styles ----------------------------------------------------
+
+    def euter_relations(self, symbols=None):
+        """``{"r": rows}`` in the euter style (stocks as data)."""
+        rows = [
+            {"date": day, "stkCode": symbol, "clsPrice": price}
+            for day, symbol, price in self.quotes(symbols)
+        ]
+        return {"r": rows}
+
+    def chwab_relations(self, symbols=None):
+        """``{"r": rows}`` in the chwab style (stocks as attributes)."""
+        symbols = self.symbols if symbols is None else symbols
+        rows = []
+        for day in self.days:
+            row = {"date": day}
+            for symbol in symbols:
+                row[symbol] = self.prices[(day, symbol)]
+            rows.append(row)
+        return {"r": rows}
+
+    def ource_relations(self, symbols=None):
+        """``{symbol: rows}`` in the ource style (stocks as relations)."""
+        symbols = self.symbols if symbols is None else symbols
+        return {
+            symbol: [
+                {"date": day, "clsPrice": self.prices[(day, symbol)]}
+                for day in self.days
+            ]
+            for symbol in symbols
+        }
+
+    def relations_for(self, style, symbols=None):
+        if style == "euter":
+            return self.euter_relations(symbols)
+        if style == "chwab":
+            return self.chwab_relations(symbols)
+        if style == "ource":
+            return self.ource_relations(symbols)
+        raise ValueError(f"unknown schema style {style!r}")
+
+    # -- universes ----------------------------------------------------------
+
+    def universe(self, members=None):
+        """A universe with one member database per schema style.
+
+        ``members`` maps database name -> style, defaulting to the
+        paper's euter/chwab/ource trio. With ``overlap < 1`` each member
+        carries its own stock subset.
+        """
+        members = members or {style: style for style in STYLES}
+        universe = Universe()
+        for db_name, style in members.items():
+            symbols = self.member_symbols(db_name)
+            universe.add_database(db_name)
+            for rel_name, rows in self.relations_for(style, symbols).items():
+                universe.add_relation(db_name, rel_name, rows)
+        return universe
+
+    def universe_with_name_conflicts(self):
+        """The Section 6 ending: member databases use their own stock
+        codes; ``mapCE`` / ``mapOE`` map chwab/ource names to euter's.
+
+        chwab prefixes codes with ``c_`` and ource with ``o_``, so no
+        name is shared across members — queries must go through the
+        mapping relations.
+        """
+        universe = Universe()
+        universe.add_database("euter")
+        for rel_name, rows in self.euter_relations().items():
+            universe.add_relation("euter", rel_name, rows)
+
+        chwab_names = {symbol: f"c_{symbol}" for symbol in self.symbols}
+        ource_names = {symbol: f"o_{symbol}" for symbol in self.symbols}
+
+        universe.add_database("chwab")
+        rows = []
+        for day in self.days:
+            row = {"date": day}
+            for symbol in self.symbols:
+                row[chwab_names[symbol]] = self.prices[(day, symbol)]
+            rows.append(row)
+        universe.add_relation("chwab", "r", rows)
+
+        universe.add_database("ource")
+        for symbol in self.symbols:
+            universe.add_relation(
+                "ource",
+                ource_names[symbol],
+                [
+                    {"date": day, "clsPrice": self.prices[(day, symbol)]}
+                    for day in self.days
+                ],
+            )
+
+        universe.add_database("dbU")
+        universe.add_relation(
+            "dbU",
+            "mapCE",
+            [{"c": chwab_names[s], "e": s} for s in self.symbols],
+        )
+        universe.add_relation(
+            "dbU",
+            "mapOE",
+            [{"o": ource_names[s], "e": s} for s in self.symbols],
+        )
+        return universe
+
+
+def paper_universe():
+    """The tiny hand-written universe used throughout the paper's text."""
+    return Universe.from_python(
+        {
+            "euter": {
+                "r": [
+                    {"date": "3/3/85", "stkCode": "hp", "clsPrice": 50},
+                    {"date": "3/4/85", "stkCode": "hp", "clsPrice": 65},
+                    {"date": "3/3/85", "stkCode": "ibm", "clsPrice": 160},
+                    {"date": "3/4/85", "stkCode": "ibm", "clsPrice": 155},
+                ]
+            },
+            "chwab": {
+                "r": [
+                    {"date": "3/3/85", "hp": 50, "ibm": 160},
+                    {"date": "3/4/85", "hp": 65, "ibm": 155},
+                ]
+            },
+            "ource": {
+                "hp": [
+                    {"date": "3/3/85", "clsPrice": 50},
+                    {"date": "3/4/85", "clsPrice": 65},
+                ],
+                "ibm": [
+                    {"date": "3/3/85", "clsPrice": 160},
+                    {"date": "3/4/85", "clsPrice": 155},
+                ],
+            },
+        }
+    )

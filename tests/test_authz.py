@@ -1,0 +1,127 @@
+"""Tests for the authorization extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IdlEngine
+from repro.errors import AuthorizationError
+from repro.multidb.authz import AccessPolicy, AuthorizedSession, restrict_view
+from repro.workloads.stocks import paper_universe
+
+
+@pytest.fixture
+def engine():
+    built = IdlEngine(universe=paper_universe())
+    built.universe.add_database("dbU")
+    built.define(
+        ".dbI.p(.date=D, .stk=S, .price=P) <- "
+        ".euter.r(.date=D, .stkCode=S, .clsPrice=P)"
+    )
+    built.define_update(
+        ".dbU.del(.s=S) -> .euter.r-(.stkCode=S)\n"
+        ".dbU.del(.s=S) -> .ource.S-()"
+    )
+    return built
+
+
+@pytest.fixture
+def policy():
+    built = AccessPolicy()
+    built.grant("quant", "euter", actions=("read", "write"))
+    built.grant("quant", "dbI", actions=("read",))
+    built.grant("intern", "dbI", "p", actions=("read",))
+    built.grant("*", "dbU", actions=("read",))
+    return built
+
+
+class TestPolicy:
+    def test_exact_and_wildcard_grants(self, policy):
+        assert policy.can("quant", "read", "euter", "r")
+        assert policy.can("quant", "write", "euter", "r")
+        assert not policy.can("quant", "write", "dbI", "p")
+        assert policy.can("intern", "read", "dbI", "p")
+        assert not policy.can("intern", "read", "dbI", "other")
+        assert policy.can("anyone", "read", "dbU", "whatever")
+
+    def test_revoke(self, policy):
+        assert policy.revoke("intern", "dbI", "p") == 1
+        assert not policy.can("intern", "read", "dbI", "p")
+        assert policy.revoke("intern", "dbI", "p") == 0
+
+    def test_bad_action_rejected(self, policy):
+        with pytest.raises(ValueError):
+            policy.grant("x", "db", actions=("admin",))
+
+    def test_reflection(self, policy):
+        rows = policy.as_relations()["grants"]
+        assert {"principal": "intern", "db": "dbI", "rel": "p",
+                "actions": "read"} in rows
+
+
+class TestReads:
+    def test_filtered_query(self, engine, policy):
+        session = AuthorizedSession(engine, "quant", policy)
+        assert session.ask("?.euter.r(.stkCode=hp)")
+        assert session.ask("?.dbI.p(.stk=hp)")
+        # chwab/ource are invisible, not errors: queries just fail.
+        assert not session.ask("?.chwab.r(.hp=P)")
+        assert not session.ask("?.ource.hp(.clsPrice=P)")
+
+    def test_higher_order_queries_see_only_granted(self, engine, policy):
+        session = AuthorizedSession(engine, "intern", policy)
+        rows = session.query("?.X.Y")
+        assert {(row["X"], row["Y"]) for row in rows} == {("dbI", "p")}
+
+    def test_restrict_view_shares_objects(self, engine):
+        view = engine.materialized_view()
+        filtered = restrict_view(view, lambda db, rel: db == "euter")
+        assert filtered.attr_names() == ["euter"]
+        # Shared, not copied:
+        assert filtered.get("euter").get("r") is not None
+
+    def test_principals_are_isolated(self, engine, policy):
+        quant = AuthorizedSession(engine, "quant", policy)
+        intern = AuthorizedSession(engine, "intern", policy)
+        assert quant.ask("?.euter.r")
+        assert not intern.ask("?.euter.r")
+
+
+class TestWrites:
+    def test_granted_write_succeeds(self, engine, policy):
+        session = AuthorizedSession(engine, "quant", policy)
+        result = session.update(
+            "?.euter.r+(.date=9/9/99, .stkCode=hp, .clsPrice=1)"
+        )
+        assert result.succeeded
+        assert engine.ask("?.euter.r(.date=9/9/99)")
+
+    def test_ungranted_write_rolls_back(self, engine, policy):
+        session = AuthorizedSession(engine, "quant", policy)
+        with pytest.raises(AuthorizationError):
+            session.update("?.chwab.r+(.date=9/9/99, .hp=1)")
+        assert not engine.ask("?.chwab.r(.date=9/9/99)")
+
+    def test_program_fanout_is_fully_checked(self, engine, policy):
+        """dbU.del writes euter AND ource; quant only holds euter, so the
+        whole call rolls back — no partial cross-member updates."""
+        session = AuthorizedSession(engine, "quant", policy)
+        with pytest.raises(AuthorizationError):
+            session.call("dbU", "del", s="hp")
+        # Both members untouched.
+        assert engine.ask("?.euter.r(.stkCode=hp)")
+        assert engine.ask("?.ource.hp(.clsPrice=P)")
+
+    def test_wildcard_write_covers_program_fanout(self, engine):
+        policy = AccessPolicy()
+        policy.grant("admin", "*", actions=("read", "write"))
+        session = AuthorizedSession(engine, "admin", policy)
+        result = session.call("dbU", "del", s="hp")
+        assert result.succeeded
+        assert not engine.ask("?.euter.r(.stkCode=hp)")
+
+    def test_no_match_write_is_allowed(self, engine, policy):
+        # Nothing touched, nothing to authorize.
+        session = AuthorizedSession(engine, "intern", policy)
+        result = session.update("?.euter.r(.stkCode=zzz, .clsPrice-=C)")
+        assert not result.succeeded

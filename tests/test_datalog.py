@@ -1,0 +1,189 @@
+"""Unit tests for the first-order Datalog engine and the IDL compiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.core.terms import Const, Var
+from repro.datalog import (
+    Comparison,
+    DatalogEngine,
+    answers_via_datalog,
+    compile_query,
+    encode_universe,
+    lit,
+    notlit,
+)
+from repro.datalog.rules import DatalogRule, NegatedConjunction
+from repro.errors import DatalogError, RewriteError, StratificationError
+from repro.workloads.stocks import paper_universe
+
+
+@pytest.fixture
+def tc_engine():
+    engine = DatalogEngine()
+    for a, b in [(1, 2), (2, 3), (3, 4), (5, 6)]:
+        engine.fact("edge", a, b)
+    engine.rule(lit("tc", "X", "Y"), lit("edge", "X", "Y"))
+    engine.rule(lit("tc", "X", "Y"), lit("tc", "X", "Z"), lit("edge", "Z", "Y"))
+    return engine
+
+
+class TestEvaluation:
+    def test_transitive_closure(self, tc_engine):
+        idb = tc_engine.evaluate()
+        assert idb.facts("tc") == {
+            (1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4), (5, 6),
+        }
+
+    def test_naive_agrees_with_seminaive(self, tc_engine):
+        assert tc_engine.evaluate("naive").facts("tc") == tc_engine.evaluate(
+            "seminaive"
+        ).facts("tc")
+
+    def test_query_with_constants(self, tc_engine):
+        results = tc_engine.query([lit("tc", 1, "Y")])
+        assert {row["Y"] for row in results} == {2, 3, 4}
+
+    def test_comparison_builtin(self, tc_engine):
+        results = tc_engine.query(
+            [lit("tc", "X", "Y"), Comparison(Var("Y"), ">", Const(3))]
+        )
+        assert {(row["X"], row["Y"]) for row in results} == {
+            (1, 4), (2, 4), (3, 4), (5, 6),
+        }
+
+    def test_negated_literal_requires_bound_vars(self, tc_engine):
+        tc_engine.rule(lit("node", "X"), lit("edge", "X", "Y"))
+        # Y unbound in the negation -> rejected at rule construction.
+        with pytest.raises(DatalogError):
+            tc_engine.rule(
+                lit("source", "X"), lit("node", "X"), notlit("tc", "Y", "X"),
+            )
+
+    def test_sources_via_negated_conjunction(self, tc_engine):
+        tc_engine.rule(lit("node", "X"), lit("edge", "X", "Y"))
+        tc_engine.rule(
+            lit("source", "X"),
+            lit("node", "X"),
+            NegatedConjunction([lit("edge", "Y", "X")]),
+        )
+        assert tc_engine.evaluate().facts("source") == {(1,), (5,)}
+
+    def test_negation_semantics(self):
+        engine = DatalogEngine()
+        engine.fact("p", 1)
+        engine.fact("p", 2)
+        engine.fact("q", 1)
+        engine.rule(lit("only_p", "X"), lit("p", "X"), notlit("q", "X"))
+        assert engine.evaluate().facts("only_p") == {(2,)}
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(DatalogError):
+            DatalogRule(lit("h", "X", "Y"), [lit("p", "X")])
+        with pytest.raises(DatalogError):
+            DatalogRule(lit("h", "X"), [lit("p", "X"), notlit("q", "Z")])
+
+    def test_negation_through_recursion_rejected(self):
+        engine = DatalogEngine()
+        engine.fact("p", 1)
+        engine.rule(lit("a", "X"), lit("p", "X"), notlit("b", "X"))
+        engine.rule(lit("b", "X"), lit("a", "X"))
+        with pytest.raises(StratificationError):
+            engine.evaluate()
+
+    def test_stratified_negation(self):
+        engine = DatalogEngine()
+        for value in (1, 2, 3):
+            engine.fact("p", value)
+        engine.fact("bad", 2)
+        engine.rule(lit("good", "X"), lit("p", "X"), notlit("bad", "X"))
+        engine.rule(lit("best", "X"), lit("good", "X"), notlit("bad", "X"))
+        assert engine.evaluate().facts("best") == {(1,), (3,)}
+
+    def test_inline_negated_conjunction(self):
+        engine = DatalogEngine()
+        engine.fact("p", 1, 10)
+        engine.fact("p", 2, 20)
+        engine.fact("p", 1, 5)
+        # max per key: p(K, V) with no p(K, W), W > V
+        body = [
+            lit("p", "K", "V"),
+            NegatedConjunction(
+                [lit("p", "K", "W"), Comparison(Var("W"), ">", Var("V"))]
+            ),
+        ]
+        results = engine.query(body)
+        assert {(row["K"], row["V"]) for row in results} == {(1, 10), (2, 20)}
+
+
+class TestEncoding:
+    def test_encode_paper_universe(self):
+        edb = encode_universe(paper_universe())
+        assert edb.count("db") == 3
+        assert edb.count("rel") == 4
+        # euter: 4 rows x 3 attrs; chwab: 2 x 3; ource: 4 x 2
+        assert edb.count("cell") == 12 + 6 + 8
+
+    def test_encode_rejects_nested_objects(self):
+        from repro.objects import Universe
+
+        universe = Universe.from_python({"d": {"r": [{"a": {"deep": 1}}]}})
+        with pytest.raises(RewriteError):
+            encode_universe(universe)
+
+
+class TestCompilation:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "?.euter.r(.stkCode=S, .clsPrice>60)",
+            "?.euter.r(.stkCode=hp, .clsPrice>60, .date=D),"
+            " .euter.r(.stkCode=ibm, .clsPrice>150, .date=D)",
+            "?.euter.r(.stkCode=hp, .clsPrice=P, .date=D),"
+            " .euter.r~(.stkCode=hp, .clsPrice>P)",
+            "?.chwab.r(.S>100), S != date",
+            "?.ource.S(.clsPrice>100)",
+            "?.X.Y",
+            "?.X.hp",
+            "?.X.Y(.stkCode)",
+            "?.chwab.r(.date=D, .S=P), .ource.S(.date=D, .clsPrice=P)",
+            "?.euter.Y, .chwab.Y, .ource.Y",
+        ],
+    )
+    def test_compiled_agrees_with_interpreter(self, source):
+        """The headline equivalence: compiled Datalog == IDL interpreter
+        on every paper query."""
+        from repro.core.evaluator import answers
+
+        universe = paper_universe()
+        query = parse_query(source)
+        via_idl = {
+            tuple(sorted((name, obj.value) for name, obj in a.as_dict().items()))
+            for a in answers(query, universe)
+        }
+        via_datalog = {
+            tuple(sorted(row.items()))
+            for row in answers_via_datalog(query, universe)
+        }
+        assert via_idl == via_datalog
+
+    def test_update_expressions_rejected(self):
+        with pytest.raises(RewriteError):
+            compile_query(parse_query("?.euter.r+(.stkCode=hp)"))
+
+    def test_whole_set_binding_rejected(self):
+        with pytest.raises(RewriteError):
+            compile_query(parse_query("?.euter.r=X"))
+
+    def test_compiled_shape(self):
+        compiled = compile_query(parse_query("?.ource.S(.clsPrice>100)"))
+        predicates = [
+            item.predicate
+            for item in compiled.body
+            if hasattr(item, "predicate")
+        ]
+        assert predicates[0] == "rel"
+        assert "cell" in predicates
+        assert compiled.variables == ["S"]

@@ -1,0 +1,85 @@
+"""Tests for the Datalog concrete syntax."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.terms import Const, Var
+from repro.datalog import DatalogEngine
+from repro.datalog.parser import load_program, parse_datalog
+from repro.datalog.rules import Comparison
+from repro.errors import DatalogError
+
+
+class TestParsing:
+    def test_facts(self):
+        facts, rules, goals = parse_datalog("edge(1, 2). p('a b', x).")
+        assert facts == [("edge", (1, 2)), ("p", ("a b", "x"))]
+        assert rules == [] and goals == []
+
+    def test_rules_and_variables(self):
+        _, [rule], _ = parse_datalog("tc(X, Y) :- edge(X, Y).")
+        assert rule.head.predicate == "tc"
+        assert rule.head.args == (Var("X"), Var("Y"))
+
+    def test_negation_and_comparison(self):
+        _, [rule], _ = parse_datalog(
+            "good(X) :- p(X), not bad(X), X >= 3."
+        )
+        literal = rule.body[1]
+        assert literal.negated
+        comparison = rule.body[2]
+        assert isinstance(comparison, Comparison) and comparison.op == ">="
+        assert comparison.right == Const(3)
+
+    def test_goals(self):
+        _, _, [goal] = parse_datalog("?- tc(1, Y), Y != 2.")
+        assert len(goal) == 2
+
+    def test_comments_and_whitespace(self):
+        facts, _, _ = parse_datalog("% nothing\n  p(1). % trailing\n")
+        assert facts == [("p", (1,))]
+
+    def test_underscore_variables(self):
+        _, [rule], _ = parse_datalog("has_edge(X) :- edge(X, _Y).")
+        assert Var("_Y") in rule.body[0].args
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "p(X).",             # non-ground fact
+            "not p(1).",         # negated fact
+            "P(1).",             # uppercase predicate
+            "p(1)",              # missing period
+            "p(1) :- q(X.",      # broken body
+            "p(@).",             # bad character
+            "h(X) :- X > 1.",    # unsafe (comparison only)
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(DatalogError):
+            parse_datalog(bad)
+
+
+class TestLoadAndRun:
+    def test_full_program(self):
+        engine = DatalogEngine()
+        goals = load_program(
+            engine,
+            """
+            parent(ann, bob). parent(bob, cy). parent(cy, dee).
+            anc(X, Y) :- parent(X, Y).
+            anc(X, Y) :- anc(X, Z), parent(Z, Y).
+            ?- anc(ann, W).
+            """,
+        )
+        results = engine.query(goals[0])
+        assert {row["W"] for row in results} == {"bob", "cy", "dee"}
+
+    def test_unsafe_negation_rejected_at_load(self):
+        engine = DatalogEngine()
+        with pytest.raises(DatalogError):
+            load_program(
+                engine,
+                "isolated(X) :- node(X), not edge(X, Y).",
+            )

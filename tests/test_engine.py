@@ -1,0 +1,146 @@
+"""Unit tests for the IdlEngine facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IdlEngine
+from repro.errors import (
+    SemanticError,
+    UnknownNameError,
+    UpdateError,
+)
+from repro.objects import to_python
+from tests.conftest import answers_set
+
+
+@pytest.fixture
+def engine():
+    built = IdlEngine()
+    built.add_database(
+        "euter",
+        {"r": [
+            {"date": "d1", "stkCode": "hp", "clsPrice": 50},
+            {"date": "d2", "stkCode": "hp", "clsPrice": 65},
+        ]},
+    )
+    return built
+
+
+class TestQueries:
+    def test_query_returns_python_values(self, engine):
+        [answer] = engine.query("?.euter.r(.date=d1, .stkCode=S, .clsPrice=P)")
+        assert answer["S"] == "hp" and answer["P"] == 50
+        assert answer.get("missing") is None
+        assert set(answer.keys()) == {"S", "P"}
+
+    def test_query_with_parameters(self, engine):
+        results = engine.query("?.euter.r(.date=D, .clsPrice=P)", D="d2")
+        assert answers_set(results, "P") == {65}
+
+    def test_ask(self, engine):
+        assert engine.ask("?.euter.r(.clsPrice>60)")
+        assert not engine.ask("?.euter.r(.clsPrice>600)")
+
+    def test_query_rejects_update_requests(self, engine):
+        with pytest.raises(SemanticError):
+            engine.query("?.euter.r+(.date=d3)")
+        with pytest.raises(SemanticError):
+            engine.ask("?.euter.r-(.date=d1)")
+
+    def test_query_rejects_multiple_statements(self, engine):
+        with pytest.raises(SemanticError):
+            engine.query("?.euter.r\n?.euter.r")
+
+    def test_aggregate_variable_binding(self, engine):
+        [answer] = engine.query("?.euter.r=R")
+        assert isinstance(answer["R"], list) and len(answer["R"]) == 2
+
+
+class TestUpdatesAndTransactions:
+    def test_update_applies_and_invalidates(self, engine):
+        engine.define(".v.prices(.p=P) <- .euter.r(.clsPrice=P)")
+        assert answers_set(engine.query("?.v.prices(.p=P)"), "P") == {50, 65}
+        engine.update("?.euter.r+(.date=d3, .stkCode=hp, .clsPrice=70)")
+        assert answers_set(engine.query("?.v.prices(.p=P)"), "P") == {50, 65, 70}
+
+    def test_atomic_update_rolls_back_on_error(self, engine):
+        before = to_python(engine.universe)
+        # Second conjunct errors (atomic plus on a set); first applied.
+        with pytest.raises(UpdateError):
+            engine.update(
+                "?.euter.r+(.date=d9, .stkCode=x, .clsPrice=1), .euter.r+=5"
+            )
+        assert to_python(engine.universe) == before
+
+    def test_non_atomic_update_keeps_partial_work(self, engine):
+        with pytest.raises(UpdateError):
+            engine.update(
+                "?.euter.r+(.date=d9, .stkCode=x, .clsPrice=1), .euter.r+=5",
+                atomic=False,
+            )
+        assert engine.ask("?.euter.r(.date=d9)")
+
+    def test_failed_request_is_not_an_error(self, engine):
+        # A request that matches nothing simply does not succeed.
+        result = engine.update("?.euter.r(.date=zzz, .clsPrice=C), .euter.r-(.clsPrice=C)")
+        assert not result.succeeded
+
+    def test_call_quotes_string_arguments(self, engine):
+        engine.universe.add_database("ctl")
+        engine.invalidate()
+        engine.define_update(".ctl.del(.d=D) -> .euter.r-(.date=D)")
+        result = engine.call("ctl", "del", d="d1")
+        assert result.deleted == 1
+
+    def test_call_rejects_unrepresentable_arguments(self, engine):
+        engine.universe.add_database("ctl")
+        engine.define_update(".ctl.del(.d=D) -> .euter.r-(.date=D)")
+        with pytest.raises(SemanticError):
+            engine.call("ctl", "del", d=True)
+
+    def test_update_reindexes_mutated_sets(self, engine):
+        # Atomic update mutates a tuple in place inside the set; the
+        # set's value index must be rebuilt so value lookups stay sound.
+        engine.update("?.euter.r(.date=d1, .clsPrice+=51)")
+        relation = engine.universe.relation("euter", "r")
+        from repro.objects import from_python
+
+        assert relation.contains_value(
+            from_python({"date": "d1", "stkCode": "hp", "clsPrice": 51})
+        )
+
+
+class TestMaterializationCache:
+    def test_overlay_is_cached_until_invalidated(self, engine):
+        engine.define(".v.all(.p=P) <- .euter.r(.clsPrice=P)")
+        first = engine.overlay
+        assert engine.overlay is first
+        engine.invalidate()
+        assert engine.overlay is not first
+
+    def test_no_rules_means_no_overlay_cost(self, engine):
+        assert engine.materialized_view() is engine.universe
+
+    def test_fixpoint_stats_exposed(self, engine):
+        engine.define(".v.all(.p=P) <- .euter.r(.clsPrice=P)")
+        stats = engine.fixpoint_stats
+        assert stats.rounds >= 1 and stats.derivations == 2
+
+    def test_define_invalidates(self, engine):
+        engine.define(".v.a(.p=P) <- .euter.r(.clsPrice=P)")
+        engine.overlay
+        engine.define(".v.b(.p=P) <- .euter.r(.clsPrice=P)")
+        assert engine.overlay.get("v").has("b")
+
+
+class TestDatabaseManagement:
+    def test_add_and_drop(self, engine):
+        engine.add_database("tmp", {"t": [{"a": 1}]})
+        assert engine.ask("?.tmp.t(.a=1)")
+        engine.drop_database("tmp")
+        with pytest.raises(UnknownNameError):
+            engine.universe.database("tmp")
+
+    def test_repr(self, engine):
+        assert "euter" in repr(engine)

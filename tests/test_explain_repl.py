@@ -1,0 +1,172 @@
+"""Tests for the explain facility and the interactive console."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import IdlEngine
+from repro.core.explain import explain_query, higher_order_variables
+from repro.core.parser import parse_expression
+from repro.tools.repl import IdlRepl
+from repro.workloads.stocks import paper_universe
+
+
+class TestExplain:
+    def test_variable_classification(self):
+        report = explain_query("?.chwab.r(.date=D, .S=P)")
+        assert report.variables == {"D", "S", "P"}
+        assert report.higher_order == {"S"}
+
+    def test_higher_order_detection_all_positions(self):
+        expr = parse_expression("?.X.Y(.A=V)")
+        assert higher_order_variables(expr) == {"X", "Y", "A"}
+
+    def test_schedule_reordering_is_visible(self):
+        report = explain_query("?.a.r(.x>P), .b.s(.y=P)")
+        assert report.safe
+        assert report.schedule[0].source.startswith(".b.s")
+        assert "P" in report.schedule[0].produces
+        assert "P" in report.schedule[1].consumes
+
+    def test_unsafe_query_reported(self):
+        report = explain_query("?.a.r(.x>P)")
+        assert not report.safe
+        assert "P" in report.safety_error
+        assert "UNSAFE" in report.render()
+
+    def test_negation_and_update_flags(self):
+        report = explain_query("?.a.r(.x=P), .a.r~(.x>P), .a.r-(.x=P)")
+        flags = {plan.source: (plan.negated, plan.is_update)
+                 for plan in report.schedule}
+        assert flags[".a.r~(.x>P)"][0] is True
+        assert flags[".a.r-(.x=P)"][1] is True
+
+    def test_bound_parameters_make_queries_safe(self):
+        report = explain_query("?.a.r(.x>P)", bound={"P"})
+        assert report.safe
+
+    def test_render_is_stable(self):
+        text = explain_query("?.ource.S(.clsPrice>100)").render()
+        assert "higher-order" in text and ".ource.S" in text
+
+    def test_profile_counts_visits(self):
+        from repro.core.explain import profile_query
+
+        universe = paper_universe()
+        results, counters = profile_query(
+            "?.euter.r(.stkCode=S, .clsPrice>100)", universe
+        )
+        assert len(results) == 1
+        assert counters["visits"] > 4
+        assert counters["AtomicExpr"] >= 4  # one comparison per tuple
+
+    def test_profiling_off_by_default(self):
+        from repro.core.evaluator import EvalContext
+
+        assert EvalContext().counters is None
+        context = EvalContext(profile=True)
+        context.count("x")
+        assert context.counters == {"x": 1}
+
+
+@pytest.fixture
+def repl():
+    out = io.StringIO()
+    console = IdlRepl(engine=IdlEngine(universe=paper_universe()), out=out)
+    return console, out
+
+
+def feed(console, *lines):
+    console.run(lines)
+    return console.out.getvalue()
+
+
+class TestRepl:
+    def test_query_table(self, repl):
+        console, out = repl
+        text = feed(console, "?.euter.r(.stkCode=S, .clsPrice>100)")
+        assert "ibm" in text and "(1 answer)" in text
+
+    def test_boolean_answers(self, repl):
+        console, _ = repl
+        text = feed(console, "?.euter.r(.stkCode=hp)", "?.euter.r(.stkCode=zzz)")
+        assert "true" in text and "false" in text
+
+    def test_define_and_query_view(self, repl):
+        console, _ = repl
+        text = feed(
+            console,
+            ".v.p(.s=S) <- .euter.r(.stkCode=S)",
+            "?.v.p(.s=S)",
+        )
+        assert "rule defined" in text and "hp" in text
+
+    def test_update_request_summary(self, repl):
+        console, _ = repl
+        text = feed(console, "?.euter.r-(.stkCode=hp)")
+        assert "-2" in text
+
+    def test_program_call_dispatch(self, repl):
+        console, _ = repl
+        text = feed(
+            console,
+            ".u.del(.s=S) -> .euter.r-(.stkCode=S)",
+            "?.u.del(.s=hp)",
+            "?.euter.r(.stkCode=hp)",
+        )
+        assert "update program defined" in text
+        assert "false" in text
+
+    def test_errors_are_caught(self, repl):
+        console, _ = repl
+        text = feed(console, "?.euter.r(.x>", ":rels nosuchdb", "?.a.r(.x>P)")
+        assert text.count("error:") == 3
+        assert console.running  # errors never kill the loop
+
+    def test_commands(self, repl):
+        console, _ = repl
+        text = feed(console, ":help", ":dbs", ":rels ource", ":keys", ":program")
+        assert ":explain" in text
+        assert "euter" in text and "hp (2 elements)" in text
+        assert "(none)" in text and "(empty)" in text
+
+    def test_quit_stops(self, repl):
+        console, _ = repl
+        feed(console, ":quit", "?.euter.r")
+        assert not console.running
+
+    def test_save_and_open(self, repl, tmp_path):
+        console, _ = repl
+        path = tmp_path / "engine.json"
+        text = feed(
+            console,
+            ".v.p(.s=S) <- .euter.r(.stkCode=S)",
+            f":save {path}",
+            f":open {path}",
+            "?.v.p(.s=hp)",
+        )
+        assert "saved" in text and "opened" in text and "true" in text
+
+    def test_load_program_file(self, repl, tmp_path):
+        console, _ = repl
+        path = tmp_path / "prog.idl"
+        path.write_text(".v.p(.s=S) <- .euter.r(.stkCode=S)\n")
+        text = feed(console, f":load {path}", "?.v.p(.s=ibm)")
+        assert "loaded" in text and "true" in text
+
+    def test_explain_command(self, repl):
+        console, _ = repl
+        text = feed(console, ":explain ?.ource.S(.clsPrice>100)")
+        assert "higher-order" in text
+
+    def test_profile_command(self, repl):
+        console, _ = repl
+        text = feed(console, ":profile ?.ource.S(.clsPrice>100)")
+        assert "answers: 1" in text and "visits" in text
+
+    def test_comments_and_blanks_ignored(self, repl):
+        console, out = repl
+        feed(console, "", "% comment", "# comment")
+        assert out.getvalue() == ""

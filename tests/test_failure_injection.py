@@ -1,0 +1,162 @@
+"""Failure injection: partial failures must never leave torn state.
+
+The update pipeline has several places a request can die mid-flight —
+an evaluation error after some conjuncts applied, a constraint check at
+commit, a storage fault while flushing a member. Each must leave the
+observable state exactly as before the request.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IdlEngine
+from repro.errors import IdlError, IntegrityError, StorageError, UpdateError
+from repro.multidb import Federation
+from repro.objects import to_python
+from repro.storage import StorageDatabase
+from repro.workloads.stocks import StockWorkload
+
+
+def snapshot(engine):
+    return to_python(engine.universe)
+
+
+class TestEngineAtomicity:
+    @pytest.fixture
+    def engine(self):
+        built = IdlEngine()
+        built.add_database("d", {"r": [{"k": 1, "v": 10}], "s": [{"x": 1}]})
+        return built
+
+    def test_error_after_partial_application_rolls_back(self, engine):
+        before = snapshot(engine)
+        with pytest.raises(UpdateError):
+            # First two conjuncts apply, the third is a category error.
+            engine.update(
+                "?.d.r+(.k=2, .v=20), .d.s-(.x=1), .d.r(.k=2, .v(+.z=1))"
+            )
+        assert snapshot(engine) == before
+
+    def test_constraint_failure_after_full_application(self, engine):
+        engine.declare_key("d", "r", ("k",))
+        before = snapshot(engine)
+        with pytest.raises(IntegrityError):
+            # Both inserts apply; validation then finds the duplicate.
+            engine.update("?.d.r+(.k=9, .v=1), .d.r+(.k=9, .v=2)")
+        assert snapshot(engine) == before
+
+    def test_failure_inside_update_program_call(self, engine):
+        engine.universe.add_database("u")
+        engine.invalidate()
+        engine.define_update(
+            ".u.bad(.k=K) -> .d.r+(.k=K, .v=0)\n"
+            ".u.bad(.k=K) -> .d.s(.x(+.boom=1))"  # category error
+        )
+        before = snapshot(engine)
+        with pytest.raises(IdlError):
+            engine.call("u", "bad", k=5)
+        assert snapshot(engine) == before
+
+    def test_non_atomic_failure_invalidates_view_cache(self, engine):
+        engine.define(".v.p(.k=K) <- .d.r(.k=K)")
+        assert not engine.ask("?.v.p(.k=2)")  # cache built
+        with pytest.raises(UpdateError):
+            engine.update("?.d.r+(.k=2, .v=1), .d.r+=5", atomic=False)
+        # Partial work kept, and the view reflects it (no stale cache).
+        assert engine.ask("?.d.r(.k=2)")
+        assert engine.ask("?.v.p(.k=2)")
+
+    def test_view_cache_consistent_after_rollback(self, engine):
+        engine.define(".v.p(.k=K) <- .d.r(.k=K)")
+        assert engine.ask("?.v.p(.k=1)")
+        with pytest.raises(UpdateError):
+            engine.update("?.d.r+(.k=2, .v=1), .d.r+=5")
+        # The overlay must reflect the rolled-back base, not the partial.
+        assert not engine.ask("?.v.p(.k=2)")
+        assert engine.ask("?.v.p(.k=1)")
+
+
+class _FaultyRelationProxy:
+    """Wraps a StoredRelation, failing the nth insert."""
+
+    def __init__(self, relation, fail_at):
+        self._relation = relation
+        self._fail_at = fail_at
+        self._count = 0
+
+    def __getattr__(self, name):
+        return getattr(self._relation, name)
+
+    def __len__(self):
+        return len(self._relation)
+
+    def insert(self, row):
+        self._count += 1
+        if self._count == self._fail_at:
+            raise StorageError("injected fault")
+        return self._relation.insert(row)
+
+
+class TestStorageFaults:
+    def test_transaction_survives_injected_insert_fault(self):
+        storage = StorageDatabase("m")
+        storage.create_relation("r", [("k", "int")])
+        storage.insert("r", {"k": 0})
+        real = storage._relations["r"]
+        storage._relations["r"] = _FaultyRelationProxy(real, fail_at=3)
+        with pytest.raises(StorageError):
+            with storage.begin():
+                storage.insert("r", {"k": 1})
+                storage.insert("r", {"k": 2})
+                storage.insert("r", {"k": 3})  # injected fault
+        storage._relations["r"] = real
+        assert storage.scan("r") == [{"k": 0}]
+
+    def test_federation_storage_fault_leaves_member_clean(self):
+        workload = StockWorkload(n_stocks=2, n_days=2, seed=1)
+        storage = StorageDatabase("euter")
+        storage.create_relation(
+            "r",
+            [("date", "str", False), ("stkCode", "str", False),
+             ("clsPrice", "float")],
+            key=("date", "stkCode"),
+        )
+        for day, symbol, price in workload.quotes():
+            storage.insert("r", {"date": day, "stkCode": symbol,
+                                 "clsPrice": price})
+        federation = Federation()
+        federation.add_member("euter", "euter", storage=storage)
+        federation.install()
+
+        rows_before = storage.scan("r")
+        real = storage._relations["r"]
+        storage._relations["r"] = _FaultyRelationProxy(real, fail_at=2)
+        with pytest.raises(StorageError):
+            federation.insert_quote("nova", "9/9/99", 1.0)
+        storage._relations["r"] = real
+        # The storage member rolled its flush back entirely.
+        assert storage.scan("r") == rows_before
+
+
+class TestReplResilience:
+    def test_repl_survives_every_error_kind(self):
+        import io
+
+        from repro.tools.repl import IdlRepl
+
+        out = io.StringIO()
+        console = IdlRepl(engine=IdlEngine(), out=out)
+        console.run(
+            [
+                "?.nosuch.r(.x=1)",        # empty answer, fine
+                "?.a.r(.x>",                # parse error
+                "?.a.r(.x>P)",              # safety error
+                ":open /nonexistent.json",  # OS error
+                ":rels nosuchdb",           # unknown name
+                "?.x.y+(.a=1)",             # update on missing db (fails)
+            ]
+        )
+        assert console.running
+        text = out.getvalue()
+        assert text.count("error:") >= 3

@@ -1,0 +1,99 @@
+"""Property tests for the federation layer with partially-overlapping
+members (autonomous databases "may deal with different stocks")."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multidb import Federation, FirstOrderFederation, to_long
+from repro.storage import StorageDatabase
+from repro.workloads.stocks import StockWorkload
+
+seeds = st.integers(min_value=0, max_value=30)
+overlaps = st.sampled_from([0.3, 0.6, 1.0])
+
+
+@given(seeds, overlaps)
+@settings(max_examples=25, deadline=None)
+def test_unified_view_is_the_union_of_members(seed, overlap):
+    workload = StockWorkload(n_stocks=6, n_days=3, seed=seed, overlap=overlap)
+    federation = Federation()
+    expected = set()
+    for style in ("euter", "chwab", "ource"):
+        symbols = workload.member_symbols(style)
+        federation.add_member(style, style, workload.relations_for(style, symbols))
+        expected |= set(
+            to_long(workload.relations_for(style, symbols), style)
+        )
+    federation.install()
+    assert set(federation.unified_quotes()) == expected
+
+
+@given(seeds)
+@settings(max_examples=20, deadline=None)
+def test_member_deletion_only_affects_that_member(seed):
+    workload = StockWorkload(n_stocks=4, n_days=3, seed=seed)
+    federation = Federation()
+    for style in ("euter", "ource"):
+        federation.add_member(style, style, workload.relations_for(style))
+    federation.install()
+    symbol = workload.symbols[0]
+    day = workload.days[0]
+    federation.engine.update(f"?.euter.r-(.stkCode={symbol}, .date={day})")
+    # The quote survives in the unified view via the other member.
+    price = workload.price(day, symbol)
+    assert federation.ask(f"?.dbI.p(.date={day}, .stk={symbol}, .price={price})")
+
+
+class TestFirstOrderPriceLookup:
+    def build(self, workload):
+        federation = FirstOrderFederation()
+        for style in ("euter", "chwab", "ource"):
+            storage = StorageDatabase(style)
+            if style == "euter":
+                storage.create_relation(
+                    "r",
+                    [("date", "str"), ("stkCode", "str"), ("clsPrice", "float")],
+                )
+                for day, symbol, price in workload.quotes():
+                    storage.insert(
+                        "r",
+                        {"date": day, "stkCode": symbol, "clsPrice": price},
+                    )
+            elif style == "chwab":
+                storage.create_relation(
+                    "r",
+                    [("date", "str")] + [(s, "float") for s in workload.symbols],
+                )
+                for row in workload.chwab_relations()["r"]:
+                    storage.insert("r", row)
+            else:
+                for symbol in workload.symbols:
+                    storage.create_relation(
+                        symbol, [("date", "str"), ("clsPrice", "float")]
+                    )
+                    for row in workload.ource_relations()[symbol]:
+                        storage.insert(symbol, row)
+            federation.add_member(style, storage, style)
+        return federation
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_point_lookup_agrees_across_members(self, seed):
+        workload = StockWorkload(n_stocks=3, n_days=2, seed=seed)
+        federation = self.build(workload)
+        day = workload.days[0]
+        symbol = workload.symbols[0]
+        prices, queries = federation.price_of(symbol, day)
+        # Three members, one style-specific statement each.
+        assert queries == 3
+        assert set(prices) == {workload.price(day, symbol)}
+
+    def test_unknown_stock_skips_metadata_misses(self):
+        workload = StockWorkload(n_stocks=2, n_days=2, seed=1)
+        federation = self.build(workload)
+        prices, queries = federation.price_of("nosuch", workload.days[0])
+        # chwab (no column) and ource (no relation) are skipped without
+        # issuing SQL; euter still runs one (empty) query.
+        assert prices == [] and queries == 1

@@ -1,0 +1,105 @@
+"""Final polish: remaining public-surface behaviours."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IdlEngine, QueryAnswer
+from repro.core.parser import parse_program
+from repro.core.rules import analyze_rule
+from repro.core.stratify import dependency_edges, stratify
+from repro.workloads.stocks import paper_universe
+
+
+class TestQueryAnswer:
+    def test_dict_like_access(self):
+        answer = QueryAnswer({"S": "hp", "P": 50})
+        assert answer["S"] == "hp"
+        assert "P" in answer and "Z" not in answer
+        assert answer.get("Z", 0) == 0
+        assert dict(answer.items()) == {"S": "hp", "P": 50}
+
+    def test_equality_with_dicts(self):
+        answer = QueryAnswer({"S": "hp"})
+        assert answer == {"S": "hp"}
+        assert answer == QueryAnswer({"S": "hp"})
+        assert answer != {"S": "ibm"}
+
+    def test_hashable(self):
+        answers = {QueryAnswer({"S": "hp"}), QueryAnswer({"S": "hp"})}
+        assert len(answers) == 1
+
+
+class TestStratifyInternals:
+    def rules(self, *sources):
+        return [
+            analyze_rule(statement)
+            for source in sources
+            for statement in parse_program(source)
+        ]
+
+    def test_dependency_edges(self):
+        analyzed = self.rules(
+            ".v.a(.x=X) <- .d.r(.x=X)",
+            ".v.b(.x=X) <- .v.a(.x=X), .v.c~(.x=X)",
+            ".v.c(.x=X) <- .d.s(.x=X)",
+        )
+        edges = set(dependency_edges(analyzed))
+        assert (1, 0, True) in edges   # b reads a, positively
+        assert (1, 2, False) in edges  # b reads c under negation
+
+    def test_diamond_topology(self):
+        analyzed = self.rules(
+            ".v.top(.x=X) <- .v.left(.x=X), .v.right(.x=X)",
+            ".v.left(.x=X) <- .v.base(.x=X)",
+            ".v.right(.x=X) <- .v.base(.x=X)",
+            ".v.base(.x=X) <- .d.r(.x=X)",
+        )
+        strata = stratify(analyzed)
+        flat = [rule for stratum in strata for rule in stratum]
+        order = {id(rule): position for position, rule in enumerate(flat)}
+        base, top = analyzed[3], analyzed[0]
+        assert order[id(base)] < order[id(analyzed[1])]
+        assert order[id(base)] < order[id(analyzed[2])]
+        assert order[id(analyzed[1])] < order[id(top)]
+        assert order[id(analyzed[2])] < order[id(top)]
+
+
+class TestStatementSeparators:
+    def test_semicolons_and_newlines_mix(self):
+        statements = parse_program(
+            ".v.a(.x=X) <- .d.r(.x=X); .v.b(.x=X) <- .v.a(.x=X)\n"
+            "?.v.b(.x=1)"
+        )
+        assert len(statements) == 3
+
+    def test_trailing_separators_ignored(self):
+        assert len(parse_program("?.d.r ; \n\n;")) == 1
+
+
+class TestEngineSurface:
+    def test_repr_counts(self):
+        engine = IdlEngine(universe=paper_universe())
+        engine.define(".v.p(.s=S) <- .euter.r(.stkCode=S)")
+        text = repr(engine)
+        assert "rules=1" in text and "euter" in text
+
+    def test_overlay_property_without_rules(self):
+        engine = IdlEngine(universe=paper_universe())
+        assert len(engine.overlay.attr_names()) == 0
+
+    def test_query_accepts_parsed_statements(self):
+        from repro.core.parser import parse_query
+
+        engine = IdlEngine(universe=paper_universe())
+        statement = parse_query("?.euter.r(.stkCode=S, .clsPrice>100)")
+        results = engine.query(statement)
+        assert results and results[0]["S"] == "ibm"
+
+    def test_update_accepts_parsed_statements(self):
+        from repro.core.parser import parse_query
+
+        engine = IdlEngine(universe=paper_universe())
+        statement = parse_query("?.euter.r-(.stkCode=hp)")
+        result = engine.update(statement)
+        assert result.deleted == 2

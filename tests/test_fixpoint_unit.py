@@ -1,0 +1,139 @@
+"""Unit tests for the fixpoint module internals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fixpoint import count_overlay_facts, materialize
+from repro.core.parser import parse_rule
+from repro.core.rules import analyze_rule
+from repro.objects import Universe, to_python
+
+
+def rules(*sources, merge_on=None):
+    analyzed = []
+    for index, source in enumerate(sources):
+        keys = ()
+        if merge_on and index in merge_on:
+            keys = merge_on[index]
+        analyzed.append(analyze_rule(parse_rule(source), merge_on=keys))
+    return analyzed
+
+
+@pytest.fixture
+def graph():
+    return Universe.from_python(
+        {"g": {"edge": [{"a": 1, "b": 2}, {"a": 2, "b": 3}, {"a": 3, "b": 1}]}}
+    )
+
+
+TC = (
+    ".g.tc(.a=X, .b=Y) <- .g.edge(.a=X, .b=Y)",
+    ".g.tc(.a=X, .b=Y) <- .g.tc(.a=X, .b=Z), .g.edge(.a=Z, .b=Y)",
+)
+
+
+class TestMethods:
+    def test_unknown_method_rejected(self, graph):
+        with pytest.raises(ValueError):
+            materialize(rules(*TC), graph, method="magic")
+
+    def test_cycle_closure_is_complete(self, graph):
+        overlay, _ = materialize(rules(*TC), graph)
+        assert len(overlay.get("g").get("tc")) == 9  # 3x3 full closure
+
+    def test_methods_agree_on_cycles(self, graph):
+        naive, _ = materialize(rules(*TC), graph, method="naive")
+        semi, _ = materialize(rules(*TC), graph, method="seminaive")
+        assert naive == semi
+
+    def test_seminaive_does_less_work_on_chains(self):
+        chain = Universe.from_python(
+            {"g": {"edge": [{"a": i, "b": i + 1} for i in range(12)]}}
+        )
+        _, naive_stats = materialize(rules(*TC), chain, method="naive")
+        _, semi_stats = materialize(rules(*TC), chain, method="seminaive")
+        assert semi_stats.rounds <= naive_stats.rounds + 1
+        assert semi_stats.derivations == naive_stats.derivations
+
+    def test_stats_fields(self, graph):
+        _, stats = materialize(rules(*TC), graph)
+        assert stats.strategy == "seminaive"
+        assert stats.rounds >= 2
+        assert "seminaive" in repr(stats)
+
+
+class TestDeltaVariants:
+    def test_mutual_recursion(self):
+        universe = Universe.from_python(
+            {"g": {"zero": [{"n": 0}], "succ": [{"a": i, "b": i + 1}
+                                                for i in range(6)]}}
+        )
+        program = rules(
+            ".g.even(.n=N) <- .g.zero(.n=N)",
+            ".g.even(.n=N) <- .g.odd(.n=M), .g.succ(.a=M, .b=N)",
+            ".g.odd(.n=N) <- .g.even(.n=M), .g.succ(.a=M, .b=N)",
+        )
+        for method in ("naive", "seminaive"):
+            overlay, _ = materialize(program, universe, method=method)
+            evens = {row["n"] for row in to_python(overlay.get("g").get("even"))}
+            odds = {row["n"] for row in to_python(overlay.get("g").get("odd"))}
+            assert evens == {0, 2, 4, 6}
+            assert odds == {1, 3, 5}
+
+    def test_doubly_recursive_rule(self):
+        # Both body conjuncts reference the head: two delta variants.
+        universe = Universe.from_python(
+            {"g": {"edge": [{"a": 1, "b": 2}, {"a": 2, "b": 3},
+                            {"a": 3, "b": 4}, {"a": 4, "b": 5}]}}
+        )
+        program = rules(
+            ".g.tc(.a=X, .b=Y) <- .g.edge(.a=X, .b=Y)",
+            ".g.tc(.a=X, .b=Y) <- .g.tc(.a=X, .b=Z), .g.tc(.a=Z, .b=Y)",
+        )
+        for method in ("naive", "seminaive"):
+            overlay, _ = materialize(program, universe, method=method)
+            assert len(overlay.get("g").get("tc")) == 10
+
+    def test_merge_rule_in_recursive_stratum_falls_back(self):
+        # A merge_on rule mutually recursive with a plain rule still
+        # converges (the merge rule re-evaluates fully each round).
+        universe = Universe.from_python(
+            {"d": {"q": [{"date": "d1", "s": "hp", "p": 1},
+                         {"date": "d1", "s": "ibm", "p": 2}]}}
+        )
+        program = rules(
+            ".v.r(.date=D, .S=P) <- .d.q(.date=D, .s=S, .p=P)",
+            ".v.r(.date=D, .S=P) <- .v.echo(.date=D, .s=S, .p=P)",
+            ".v.echo(.date=D, .s=S, .p=P) <- .d.q(.date=D, .s=S, .p=P)",
+            merge_on={0: ("date",), 1: ("date",)},
+        )
+        overlay, _ = materialize(program, universe)
+        rows = to_python(overlay.get("v").get("r"))
+        assert rows == [{"date": "d1", "hp": 1, "ibm": 2}]
+
+    def test_higher_order_recursive_view(self):
+        # Head relation name data-dependent AND recursive through it.
+        universe = Universe.from_python(
+            {"d": {"q": [{"g": "grp", "n": 1}]},
+             "meta": {"next": [{"a": 1, "b": 2}, {"a": 2, "b": 3}]}}
+        )
+        program = rules(
+            ".v.G(.n=N) <- .d.q(.g=G, .n=N)",
+            ".v.G(.n=N) <- .v.G(.n=M), .meta.next(.a=M, .b=N)",
+        )
+        for method in ("naive", "seminaive"):
+            overlay, _ = materialize(program, universe, method=method)
+            values = {row["n"] for row in to_python(overlay.get("v").get("grp"))}
+            assert values == {1, 2, 3}
+
+
+class TestOverlayHelpers:
+    def test_count_overlay_facts(self, graph):
+        overlay, _ = materialize(rules(*TC), graph)
+        assert count_overlay_facts(overlay) == 9
+
+    def test_base_is_never_mutated(self, graph):
+        before = to_python(graph)
+        materialize(rules(*TC), graph)
+        assert to_python(graph) == before

@@ -1,0 +1,174 @@
+"""Tests for persistence (save/load of universes and engines)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IdlEngine
+from repro.io import (
+    PersistenceError,
+    decode_object,
+    encode_object,
+    engine_from_dict,
+    engine_to_dict,
+    load_engine,
+    load_universe,
+    save_engine,
+    save_universe,
+)
+from repro.objects import from_python, to_python
+from repro.workloads.stocks import paper_universe
+from tests.conftest import (
+    UNIFIED_VIEW_RULES,
+    UPDATE_PROGRAMS,
+    answers_set,
+)
+
+
+class TestObjectCodec:
+    def test_round_trip_nested(self):
+        obj = from_python({"db": {"r": [{"a": 1, "b": None}, {"a": "x"}]}})
+        assert decode_object(encode_object(obj)) == obj
+
+    def test_heterogeneous_set(self):
+        obj = from_python([1, "two", {"three": 3}, [4]])
+        assert decode_object(encode_object(obj)) == obj
+
+    def test_null_atoms_survive(self):
+        obj = from_python({"a": None})
+        again = decode_object(encode_object(obj))
+        assert again.get("a").is_null
+
+    def test_json_safe(self):
+        obj = from_python({"db": {"r": [{"a": 1.5}]}})
+        json.dumps(encode_object(obj))  # must not raise
+
+    def test_malformed_payloads_rejected(self):
+        with pytest.raises(PersistenceError):
+            decode_object({"bad": 1})
+        with pytest.raises(PersistenceError):
+            decode_object([1, 2])
+
+    @given(
+        st.recursive(
+            st.one_of(st.integers(), st.text(max_size=8), st.none()),
+            lambda children: st.one_of(
+                st.dictionaries(st.text(min_size=1, max_size=5), children,
+                                max_size=3),
+                st.lists(children, max_size=3),
+            ),
+            max_leaves=12,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_round_trip(self, value):
+        obj = from_python(value)
+        assert decode_object(encode_object(obj)) == obj
+
+
+class TestUniverseFiles:
+    def test_save_load(self, tmp_path):
+        universe = paper_universe()
+        path = tmp_path / "u.json"
+        save_universe(universe, path)
+        again = load_universe(path)
+        assert to_python(again) == to_python(universe)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"format": "other"}')
+        with pytest.raises(PersistenceError):
+            load_universe(path)
+
+
+class TestEngineFiles:
+    def build(self):
+        engine = IdlEngine(universe=paper_universe())
+        engine.universe.add_database("dbU")
+        engine.define(UNIFIED_VIEW_RULES)
+        engine.define(
+            ".dbC.r(.date=D, .S=P) <- .dbI.p(.date=D, .stk=S, .price=P)",
+            merge_on=("date",),
+        )
+        engine.define_update(UPDATE_PROGRAMS)
+        return engine
+
+    def test_round_trip_preserves_answers(self, tmp_path):
+        engine = self.build()
+        path = tmp_path / "engine.json"
+        save_engine(engine, path)
+        loaded = load_engine(path)
+        for source in (
+            "?.dbI.p(.date=3/3/85, .stk=S, .price=P)",
+            "?.dbC.r(.date=3/3/85, .hp=P)",
+        ):
+            assert answers_set(engine.query(source), "P") == answers_set(
+                loaded.query(source), "P"
+            )
+
+    def test_round_trip_preserves_programs(self, tmp_path):
+        engine = self.build()
+        path = tmp_path / "engine.json"
+        save_engine(engine, path)
+        loaded = load_engine(path)
+        result = loaded.call("dbU", "delStk", stk="hp", date="3/3/85")
+        assert result.succeeded
+        assert not loaded.ask("?.euter.r(.stkCode=hp, .date=3/3/85)")
+
+    def test_merge_on_travels(self, tmp_path):
+        engine = self.build()
+        loaded = engine_from_dict(engine_to_dict(engine))
+        merge_rules = [r for r in loaded.program.rules if r.merge_on]
+        assert merge_rules and merge_rules[0].merge_on == ("date",)
+
+    def test_double_round_trip_is_stable(self):
+        engine = self.build()
+        once = engine_to_dict(engine)
+        twice = engine_to_dict(engine_from_dict(once))
+        assert once == twice
+
+    def test_wildcard_program_round_trip(self, tmp_path):
+        """Higher-order (wildcard) view-update programs survive
+        persistence — their heads are reconstructed from analysis."""
+        from tests.conftest import (
+            CUSTOMIZED_VIEW_RULES,
+            UNIFIED_VIEW_RULES,
+            UPDATE_PROGRAMS,
+            VIEW_UPDATE_PROGRAMS,
+        )
+
+        engine = IdlEngine(universe=paper_universe())
+        engine.universe.add_database("dbU")
+        engine.define(UNIFIED_VIEW_RULES)
+        engine.define(CUSTOMIZED_VIEW_RULES)
+        engine.define_update(UPDATE_PROGRAMS)
+        engine.define_update(VIEW_UPDATE_PROGRAMS)
+        loaded = engine_from_dict(engine_to_dict(engine))
+        assert ("dbO", None, "+") in loaded.program.clauses
+        result = loaded.update("?.dbO.hp+(.date=9/9/99, .clsPrice=5)")
+        assert result.succeeded
+        assert loaded.ask("?.euter.r(.date=9/9/99, .stkCode=hp)")
+
+    def test_constraints_round_trip(self):
+        engine = IdlEngine(universe=paper_universe())
+        engine.declare_key("euter", "r", ("date", "stkCode"))
+        engine.declare_type("euter", "r", "clsPrice", "num", nullable=False)
+        loaded = engine_from_dict(engine_to_dict(engine))
+        assert len(loaded.constraints) == 2
+        from repro.errors import IntegrityError
+
+        with pytest.raises(IntegrityError):
+            loaded.update(
+                "?.euter.r+(.date=3/3/85, .stkCode=hp, .clsPrice=999)"
+            )
+
+    def test_version_check(self):
+        engine = self.build()
+        data = engine_to_dict(engine)
+        data["version"] = 99
+        with pytest.raises(PersistenceError):
+            engine_from_dict(data)

@@ -1,0 +1,125 @@
+"""Unit tests for the IDL tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import lexer as lx
+from repro.errors import LexError
+
+
+def types(source):
+    return [token.type for token in lx.tokenize(source)]
+
+
+def values(source):
+    return [token.value for token in lx.tokenize(source)][:-1]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_simple_query(self):
+        tokens = lx.tokenize("?.euter.r(.stkCode=hp)")
+        assert [t.type for t in tokens] == [
+            lx.QUESTION, lx.DOT, lx.IDENT, lx.DOT, lx.IDENT, lx.LPAREN,
+            lx.DOT, lx.IDENT, lx.COMPARE, lx.IDENT, lx.RPAREN, lx.SEP, lx.EOF,
+        ]
+
+    def test_variables_start_uppercase(self):
+        tokens = lx.tokenize("X Ycd zAb")
+        assert [t.type for t in tokens[:3]] == [lx.VAR, lx.VAR, lx.IDENT]
+
+    def test_numbers(self):
+        assert values("42 3.5") == [42, 3.5, "\n"]
+        assert isinstance(lx.tokenize("42")[0].value, int)
+        assert isinstance(lx.tokenize("3.5")[0].value, float)
+
+    def test_date_literal_is_a_string(self):
+        token = lx.tokenize("3/3/85")[0]
+        assert token.type == lx.STRING and token.value == "3/3/85"
+
+    def test_quoted_strings_and_escapes(self):
+        assert lx.tokenize("'hello world'")[0].value == "hello world"
+        assert lx.tokenize(r"'it\'s'")[0].value == "it's"
+        assert lx.tokenize('"d\\"q"')[0].value == 'd"q'
+
+    def test_comparison_operators(self):
+        ops = [t.value for t in lx.tokenize("< <= = != > >= ≠") if t.type == lx.COMPARE]
+        assert ops == ["<", "<=", "=", "!=", ">", ">=", "!="]
+
+    def test_arrows(self):
+        assert lx.tokenize("<-")[0].type == lx.LARROW
+        assert lx.tokenize("->")[0].type == lx.RARROW
+
+    def test_arrow_vs_comparison_disambiguation(self):
+        assert [t.type for t in lx.tokenize("a <- b")][:3] == [
+            lx.IDENT, lx.LARROW, lx.IDENT,
+        ]
+        assert [t.type for t in lx.tokenize("a <= b")][:3] == [
+            lx.IDENT, lx.COMPARE, lx.IDENT,
+        ]
+
+    def test_negation_ascii_and_unicode(self):
+        assert lx.tokenize("~")[0].type == lx.NEG
+        assert lx.tokenize("¬")[0].type == lx.NEG
+
+
+class TestSeparators:
+    def test_newline_separates_statements(self):
+        tokens = lx.tokenize("?.a\n?.b")
+        separators = [t for t in tokens if t.type == lx.SEP]
+        assert len(separators) == 2
+
+    def test_newline_inside_parens_is_not_a_separator(self):
+        tokens = lx.tokenize("?.a(.x=1,\n.y=2)")
+        separators = [t for t in tokens if t.type == lx.SEP]
+        assert len(separators) == 1  # only the trailing one
+
+    def test_newline_after_continuation_token(self):
+        tokens = lx.tokenize("?.a(.x=1),\n.b(.y=2)")
+        separators = [t for t in tokens if t.type == lx.SEP]
+        assert len(separators) == 1
+
+    def test_newline_after_arrow(self):
+        tokens = lx.tokenize(".h(.x=X) <-\n.b(.x=X)")
+        separators = [t for t in tokens if t.type == lx.SEP]
+        assert len(separators) == 1
+
+    def test_semicolon_separator(self):
+        tokens = lx.tokenize("?.a; ?.b")
+        assert [t.type for t in tokens if t.type == lx.SEP][0] == lx.SEP
+
+    def test_comments_are_skipped(self):
+        tokens = lx.tokenize("?.a % trailing comment\n# whole line\n?.b")
+        idents = [t.value for t in tokens if t.type == lx.IDENT]
+        assert idents == ["a", "b"]
+
+    def test_blank_lines_collapse(self):
+        tokens = lx.tokenize("?.a\n\n\n?.b")
+        separators = [t for t in tokens if t.type == lx.SEP]
+        assert len(separators) == 2
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            lx.tokenize("?.a @ b")
+
+    def test_unbalanced_close_paren(self):
+        with pytest.raises(LexError):
+            lx.tokenize("?.a)")
+
+    def test_error_reports_position(self):
+        with pytest.raises(LexError) as info:
+            lx.tokenize("?.ab\n  @")
+        assert info.value.line == 2
+        assert info.value.column == 3
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = lx.tokenize("?.a\n?.bc")
+        question = [t for t in tokens if t.type == lx.QUESTION]
+        assert question[0].line == 1
+        assert question[1].line == 2
+        bc = [t for t in tokens if t.value == "bc"][0]
+        assert bc.column == 3

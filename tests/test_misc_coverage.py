@@ -1,0 +1,168 @@
+"""Cross-cutting coverage: error hierarchy, deep plans, misc paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IdlEngine
+from repro.errors import (
+    AuthorizationError,
+    BindingError,
+    DatalogError,
+    FederationError,
+    IdlError,
+    IntegrityError,
+    LexError,
+    ParseError,
+    RewriteError,
+    SafetyError,
+    SchemaError,
+    SqlError,
+    StorageError,
+    StratificationError,
+    TransactionError,
+    UpdateError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            AuthorizationError, BindingError, DatalogError, FederationError,
+            IntegrityError, LexError, ParseError, RewriteError, SafetyError,
+            SchemaError, SqlError, StorageError, StratificationError,
+            TransactionError, UpdateError,
+        ],
+    )
+    def test_everything_is_an_idl_error(self, error_type):
+        assert issubclass(error_type, IdlError)
+
+    def test_syntax_errors_carry_positions(self):
+        error = ParseError("boom", line=3, column=7)
+        assert error.line == 3 and "line 3" in str(error)
+
+    def test_integrity_is_an_update_error(self):
+        # so engine.update callers catching UpdateError also see it
+        assert issubclass(IntegrityError, UpdateError)
+
+
+class TestThreeWayJoins:
+    def test_sql_three_table_join(self):
+        from repro.sql import SqlEngine
+        from repro.storage import StorageDatabase
+
+        database = StorageDatabase("j")
+        sql = SqlEngine(database)
+        sql.execute("CREATE TABLE a (k int, x int)")
+        sql.execute("CREATE TABLE b (k int, y int)")
+        sql.execute("CREATE TABLE c (y int, z str)")
+        sql.execute("INSERT INTO a (k, x) VALUES (1, 10), (2, 20)")
+        sql.execute("INSERT INTO b (k, y) VALUES (1, 100), (2, 200)")
+        sql.execute("INSERT INTO c (y, z) VALUES (100, 'hit'), (300, 'miss')")
+        rows = sql.execute(
+            "SELECT p.x, r.z FROM a p, b q, c r"
+            " WHERE p.k = q.k AND q.y = r.y"
+        )
+        assert rows == [{"x": 10, "z": "hit"}]
+
+    def test_idl_three_member_join(self):
+        engine = IdlEngine()
+        engine.add_database("m1", {"r": [{"k": 1, "v": "a"}]})
+        engine.add_database("m2", {"s": [{"k": 1, "w": "b"}]})
+        engine.add_database("m3", {"t": [{"w": "b", "z": 9}]})
+        results = engine.query(
+            "?.m1.r(.k=K, .v=V), .m2.s(.k=K, .w=W), .m3.t(.w=W, .z=Z)"
+        )
+        assert [dict(a.items()) for a in results] == [
+            {"K": 1, "V": "a", "W": "b", "Z": 9}
+        ]
+
+
+class TestEngineOptions:
+    def test_naive_engine_end_to_end(self):
+        engine = IdlEngine(fixpoint_method="naive")
+        engine.add_database("g", {"edge": [{"a": 1, "b": 2}, {"a": 2, "b": 3}]})
+        engine.define(
+            ".g.tc(.a=X, .b=Y) <- .g.edge(.a=X, .b=Y)\n"
+            ".g.tc(.a=X, .b=Y) <- .g.tc(.a=X, .b=Z), .g.edge(.a=Z, .b=Y)"
+        )
+        assert engine.fixpoint_stats is not None
+        assert engine.fixpoint_stats.strategy == "naive"
+        assert len(engine.overlay.get("g").get("tc")) == 3
+
+    def test_parameterless_program_call(self):
+        engine = IdlEngine()
+        engine.add_database("d", {"r": [{"k": 1}], "log": []})
+        engine.add_database("u", {})
+        engine.define_update(".u.clear() -> .d.r-()")
+        result = engine.update("?.u.clear()")
+        assert result.succeeded
+        assert len(engine.universe.relation("d", "r")) == 0
+
+    def test_deep_strata_chain_queries(self):
+        engine = IdlEngine()
+        engine.add_database("d", {"r": [{"x": 1}]})
+        engine.define(".v1.a(.x=X) <- .d.r(.x=X)")
+        engine.define(".v2.b(.x=Y) <- .v1.a(.x=X), Y = X+1")
+        engine.define(".v3.c(.x=Y) <- .v2.b(.x=X), Y = X+1")
+        engine.define(".v4.d(.x=Y) <- .v3.c(.x=X), Y = X+1")
+        assert engine.ask("?.v4.d(.x=4)")
+        # Update ripples through the whole chain.
+        engine.update("?.d.r+(.x=10)")
+        assert engine.ask("?.v4.d(.x=13)")
+
+
+class TestWorkloadDomains:
+    def test_budget_workload_determinism(self):
+        from repro.workloads import BudgetWorkload
+
+        left = BudgetWorkload(n_departments=2, n_years=2, seed=3)
+        right = BudgetWorkload(n_departments=2, n_years=2, seed=3)
+        assert left.amounts == right.amounts
+
+    def test_budget_styles_same_information(self):
+        from repro.workloads import BudgetWorkload
+
+        workload = BudgetWorkload(n_departments=2, n_years=3)
+        from_fin = {
+            (row["dept"], row["year"], row["amount"])
+            for row in workload.fin_relations()["budget"]
+        }
+        from_acct = {
+            (dept, row["year"], row["amount"])
+            for dept, rows in workload.acct_relations().items()
+            for row in rows
+        }
+        from_plan = set()
+        for row in workload.plan_relations()["budget"]:
+            for key, value in row.items():
+                if key != "dept":
+                    from_plan.add((row["dept"], int(key[1:]), value))
+        assert from_fin == from_acct == from_plan == set(workload.entries())
+
+    def test_budget_bounds_validated(self):
+        from repro.workloads import BudgetWorkload
+
+        with pytest.raises(ValueError):
+            BudgetWorkload(n_departments=99)
+
+
+class TestUnicodeAndQuoting:
+    def test_unicode_values_round_trip(self, tmp_path):
+        from repro.io import load_engine, save_engine
+
+        engine = IdlEngine()
+        engine.add_database("d", {"r": [{"name": "ação", "n": 1}]})
+        path = tmp_path / "u.json"
+        save_engine(engine, path)
+        loaded = load_engine(path)
+        assert loaded.ask("?.d.r(.name='ação')")
+
+    def test_quoted_names_everywhere(self):
+        engine = IdlEngine()
+        engine.add_database("d", {"two words": [{"a b": 1}]})
+        assert engine.ask("?.d.'two words'(.'a b'=1)")
+        engine.update("?.d.'two words'+(.'a b'=2)")
+        results = engine.query("?.d.'two words'(.'a b'=V)")
+        assert {answer["V"] for answer in results} == {1, 2}

@@ -1,0 +1,147 @@
+"""Tests for the MSQL compatibility layer (IDL subsumes MSQL)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IdlEngine
+from repro.multidb.msql import MsqlError, MsqlSession, parse_msql
+from repro.workloads.stocks import StockWorkload, paper_universe
+
+
+@pytest.fixture
+def session():
+    return MsqlSession(IdlEngine(universe=paper_universe()))
+
+
+class TestParsing:
+    def test_use(self):
+        statement = parse_msql("USE euter chwab")
+        assert statement.databases == ("euter", "chwab")
+
+    def test_select_shapes(self):
+        statement = parse_msql(
+            "SELECT e.date AS d, e.clsPrice FROM euter.r e, ource.hp h"
+            " WHERE e.date = h.date AND e.clsPrice > 100"
+        )
+        assert len(statement.refs) == 2
+        assert statement.refs[0] == ("euter", "r", "e")
+        assert len(statement.conditions) == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "USE",
+            "DROP TABLE r",
+            "SELECT FROM r",
+            "SELECT a FROM r x, s x",
+            "SELECT x FROM r WHERE a ~ 1",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(MsqlError):
+            parse_msql(bad)
+
+
+class TestScope:
+    def test_use_validates_names(self, session):
+        with pytest.raises(MsqlError):
+            session.execute("USE euter nosuchdb")
+
+    def test_default_scope_is_everything(self, session):
+        rows = session.execute("SELECT date FROM hp")
+        assert all(row["_db"] == "ource" for row in rows)
+
+    def test_use_narrows_broadcast(self, session):
+        session.execute("USE euter chwab")
+        assert session.execute("SELECT date FROM hp") == []
+
+
+class TestBroadcast:
+    def test_broadcast_tags_rows_with_member(self, session):
+        session.execute("USE euter chwab ource")
+        rows = session.execute("SELECT date FROM r WHERE date = '3/3/85'")
+        assert {row["_db"] for row in rows} == {"euter", "chwab"}
+
+    def test_broadcast_respects_relation_presence(self, session):
+        rows = session.execute("SELECT clsPrice FROM ibm")
+        assert all(row["_db"] == "ource" for row in rows)
+        assert {row["clsPrice"] for row in rows} == {160, 155}
+
+    def test_translation_is_idl(self, session):
+        session.execute("USE euter")
+        [source] = session.translate("SELECT stkCode FROM r WHERE clsPrice > 100")
+        assert source.startswith("?.euter.r(")
+        assert ".clsPrice>100" in source
+
+
+class TestSelect:
+    def test_qualified_member(self, session):
+        rows = session.execute(
+            "SELECT e.stkCode AS s FROM euter.r e WHERE e.clsPrice > 100"
+        )
+        assert {row["s"] for row in rows} == {"ibm"}
+        assert all("_db" not in row for row in rows)
+
+    def test_literal_string_condition(self, session):
+        rows = session.execute(
+            "SELECT e.clsPrice AS p FROM euter.r e WHERE e.stkCode = 'hp'"
+        )
+        assert {row["p"] for row in rows} == {50, 65}
+
+    def test_select_star(self, session):
+        rows = session.execute("SELECT * FROM euter.r WHERE clsPrice > 150")
+        assert rows == [
+            {"date": "3/3/85", "stkCode": "ibm", "clsPrice": 160},
+            {"date": "3/4/85", "stkCode": "ibm", "clsPrice": 155},
+        ]
+
+    def test_star_needs_single_reference(self, session):
+        with pytest.raises(MsqlError):
+            session.execute("SELECT * FROM euter.r e, ource.hp h")
+
+    def test_distinct(self, session):
+        rows = session.execute("SELECT DISTINCT e.stkCode AS s FROM euter.r e")
+        assert len(rows) == 2
+
+    def test_unqualified_needs_single_reference(self, session):
+        with pytest.raises(MsqlError):
+            session.execute("SELECT date FROM euter.r e, ource.hp h")
+
+
+class TestInterdatabaseJoins:
+    def test_fixed_member_join(self, session):
+        rows = session.execute(
+            "SELECT e.date AS d FROM euter.r e, ource.hp h"
+            " WHERE e.date = h.date AND e.stkCode = 'hp'"
+            " AND e.clsPrice = h.clsPrice"
+        )
+        assert {row["d"] for row in rows} == {"3/3/85", "3/4/85"}
+
+    def test_inequality_join(self, session):
+        rows = session.execute(
+            "SELECT e.stkCode AS s FROM euter.r e, ource.hp h"
+            " WHERE e.date = h.date AND e.clsPrice > h.clsPrice"
+        )
+        assert {row["s"] for row in rows} == {"ibm"}
+
+    def test_broadcast_join(self, session):
+        # Join a broadcast reference against a fixed member: the _db
+        # column says which member satisfied it.
+        session.execute("USE euter chwab ource")
+        rows = session.execute(
+            "SELECT e.date AS d FROM r e, ource.hp h WHERE e.date = h.date"
+        )
+        assert {row["_db"] for row in rows} == {"euter", "chwab"}
+
+    def test_consistency_across_members(self):
+        workload = StockWorkload(n_stocks=4, n_days=3, seed=8)
+        engine = IdlEngine(universe=workload.universe())
+        session = MsqlSession(engine)
+        symbol = workload.symbols[0]
+        rows = session.execute(
+            f"SELECT e.date AS d, e.clsPrice AS p FROM euter.r e,"
+            f" ource.{symbol} o WHERE e.date = o.date"
+            f" AND e.stkCode = '{symbol}' AND e.clsPrice = o.clsPrice"
+        )
+        assert len(rows) == workload.n_days

@@ -1,0 +1,301 @@
+"""Integration tests for the federation layer (Figure 1, end to end)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FederationError
+from repro.multidb import (
+    Federation,
+    FirstOrderFederation,
+    attach_storage,
+    convert,
+    detect_discrepancies,
+    detect_style,
+    flush_to_storage,
+    from_long,
+    report,
+    styles_equivalent,
+    to_long,
+)
+from repro.storage import StorageDatabase
+from repro.workloads.stocks import StockWorkload
+from tests.conftest import answers_set
+
+
+@pytest.fixture
+def workload():
+    return StockWorkload(n_stocks=4, n_days=3, seed=9)
+
+
+@pytest.fixture
+def federation(workload):
+    fed = Federation()
+    fed.add_member("euter", "euter", workload.euter_relations())
+    fed.add_member("chwab", "chwab", workload.chwab_relations())
+    fed.add_member("ource", "ource", workload.ource_relations())
+    fed.add_user_view("dbE", "euter")
+    fed.add_user_view("dbC", "chwab")
+    fed.add_user_view("dbO", "ource")
+    fed.install()
+    return fed
+
+
+class TestFederation:
+    def test_unified_view_union(self, federation, workload):
+        quotes = federation.unified_quotes()
+        assert quotes == sorted(workload.quotes())
+
+    def test_customized_views_mirror_original_schemas(self, federation, workload):
+        day = workload.days[0]
+        symbol = workload.symbols[0]
+        price = workload.price(day, symbol)
+        assert federation.ask(
+            f"?.dbE.r(.date={day}, .stkCode={symbol}, .clsPrice=P)", P=price
+        )
+        assert federation.ask(f"?.dbC.r(.date={day}, .{symbol}={price})")
+        assert federation.ask(f"?.dbO.{symbol}(.date={day}, .clsPrice={price})")
+
+    def test_higher_order_view_relation_count(self, federation, workload):
+        overlay = federation.engine.overlay
+        assert sorted(overlay.get("dbO").attr_names()) == sorted(workload.symbols)
+
+    def test_insert_quote_reaches_every_member_and_view(self, federation):
+        federation.insert_quote("newco", "4/1/85", 42)
+        assert federation.ask("?.euter.r(.stkCode=newco, .clsPrice=42)")
+        assert federation.ask("?.chwab.r(.date=4/1/85, .newco=42)")
+        assert federation.ask("?.ource.newco(.clsPrice=42)")
+        assert federation.ask("?.dbO.newco(.clsPrice=42)")
+        assert federation.ask("?.dbE.r(.stkCode=newco)")
+
+    def test_delete_quote(self, federation, workload):
+        day = workload.days[0]
+        symbol = workload.symbols[0]
+        federation.delete_quote(symbol, day)
+        assert not federation.ask(f"?.dbE.r(.date={day}, .stkCode={symbol})")
+        # other days survive
+        assert federation.ask(f"?.dbE.r(.stkCode={symbol})")
+
+    def test_remove_stock_updates_metadata_everywhere(self, federation, workload):
+        symbol = workload.symbols[0]
+        federation.remove_stock(symbol)
+        assert symbol not in federation.engine.universe.relation_names("ource")
+        assert not federation.ask(f"?.chwab.r(.{symbol})")
+        assert symbol not in sorted(
+            federation.engine.overlay.get("dbO").attr_names()
+        )
+
+    def test_view_update_through_euter_user_view(self, federation):
+        federation.update("?.dbE.r+(.date=4/2/85, .stkCode=zip, .clsPrice=7)")
+        assert federation.ask("?.ource.zip(.date=4/2/85, .clsPrice=7)")
+
+    def test_duplicate_member_rejected(self, federation, workload):
+        with pytest.raises(FederationError):
+            federation.add_member("euter", "euter", workload.euter_relations())
+
+    def test_style_auto_detection(self, workload):
+        fed = Federation()
+        fed.add_member("a", relations=workload.euter_relations())
+        fed.add_member("b", relations=workload.chwab_relations())
+        fed.add_member("c", relations=workload.ource_relations())
+        assert fed.members == {"a": "euter", "b": "chwab", "c": "ource"}
+        fed.install()
+        assert fed.unified_quotes() == sorted(workload.quotes())
+
+    def test_undetectable_style_rejected(self):
+        fed = Federation()
+        with pytest.raises(FederationError):
+            fed.add_member("weird", relations={"t": [{"q": 1}], "u": [{"z": 2}]})
+
+    def test_discrepancy_report_convenience(self, federation):
+        assert "euter.r.stkCode" in federation.discrepancy_report()
+
+    def test_install_twice_rejected(self, federation):
+        with pytest.raises(FederationError):
+            federation.install()
+
+    def test_reconciliation(self, workload):
+        fed = Federation()
+        fed.add_member("euter", "euter", workload.euter_relations())
+        fed.add_member("chwab", "chwab", workload.chwab_relations())
+        fed.install(reconcile=True)
+        day = workload.days[0]
+        symbol = workload.symbols[0]
+        # introduce a value discrepancy, then pnew picks the max
+        fed.engine.update(f"?.chwab.r(.date={day}, .{symbol}+=99999)")
+        results = fed.query(f"?.dbI.pnew(.date={day}, .stk={symbol}, .price=P)")
+        assert answers_set(results, "P") == {99999}
+
+
+class TestNameMappings:
+    def test_federation_with_private_codes(self, workload):
+        universe_free = Federation()
+        universe_free.add_member("euter", "euter", workload.euter_relations())
+        # chwab uses c_-prefixed codes
+        chwab = {"r": []}
+        for row in workload.chwab_relations()["r"]:
+            renamed = {"date": row["date"]}
+            for key, value in row.items():
+                if key != "date":
+                    renamed[f"c_{key}"] = value
+            chwab["r"].append(renamed)
+        universe_free.add_member("chwab", "chwab", chwab)
+        universe_free.add_mapping_relation(
+            "chwab", "mapCE", {f"c_{s}": s for s in workload.symbols}, "c", "e"
+        )
+        universe_free.install()
+        assert universe_free.unified_quotes() == sorted(workload.quotes())
+
+
+class TestStorageBackedFederation:
+    def _storage_member(self, workload):
+        storage = StorageDatabase("euter")
+        storage.create_relation(
+            "r",
+            [("date", "str", False), ("stkCode", "str", False),
+             ("clsPrice", "float")],
+            key=("date", "stkCode"),
+        )
+        for day, symbol, price in workload.quotes():
+            storage.insert(
+                "r", {"date": day, "stkCode": symbol, "clsPrice": price}
+            )
+        return storage
+
+    def test_attach_and_query(self, workload):
+        storage = self._storage_member(workload)
+        fed = Federation()
+        fed.add_member("euter", "euter", storage=storage)
+        fed.install()
+        assert fed.unified_quotes() == sorted(workload.quotes())
+
+    def test_update_flushes_back_to_storage(self, workload):
+        storage = self._storage_member(workload)
+        fed = Federation()
+        fed.add_member("euter", "euter", storage=storage)
+        fed.install()
+        fed.insert_quote("newco", "4/1/85", 42)
+        assert storage.relation("r").get_by_key("4/1/85", "newco")["clsPrice"] == 42
+        fed.delete_quote("newco", "4/1/85")
+        assert storage.relation("r").get_by_key("4/1/85", "newco") is None
+
+    def test_attach_with_catalog_exposes_metadata_as_data(self, workload):
+        from repro import IdlEngine
+
+        storage = self._storage_member(workload)
+        engine = IdlEngine()
+        attach_storage(engine, "euter", storage, include_catalog=True)
+        results = engine.query("?.euter.'_columns'(.relname=r, .colname=C)")
+        assert answers_set(results, "C") == {"date", "stkCode", "clsPrice"}
+
+
+class TestSchemaStyles:
+    def test_long_round_trip(self, workload):
+        for style in ("euter", "chwab", "ource"):
+            relations = workload.relations_for(style)
+            assert to_long(relations, style) == sorted(workload.quotes())
+            rebuilt = from_long(to_long(relations, style), style)
+            assert to_long(rebuilt, style) == sorted(workload.quotes())
+
+    def test_convert_between_styles(self, workload):
+        chwab = convert(workload.euter_relations(), "euter", "chwab")
+        assert styles_equivalent(
+            chwab, "chwab", workload.ource_relations(), "ource"
+        )
+
+    def test_detect_style(self, workload):
+        assert detect_style(workload.euter_relations()) == "euter"
+        assert detect_style(workload.chwab_relations()) == "chwab"
+        assert detect_style(workload.ource_relations()) == "ource"
+        assert detect_style({}) is None
+
+
+class TestDiscrepancyDetection:
+    def test_detects_both_kinds(self, workload):
+        universe = workload.universe()
+        findings = detect_discrepancies(universe)
+        kinds = {
+            (finding.kind, finding.source[0], finding.target_db)
+            for finding in findings
+        }
+        # euter's stkCode values appear as chwab attributes...
+        assert ("value-vs-attribute", "euter", "chwab") in kinds
+        # ...and as ource relation names.
+        assert ("value-vs-relation", "euter", "ource") in kinds
+
+    def test_scores_are_full_overlap(self, workload):
+        findings = detect_discrepancies(workload.universe())
+        best = [
+            finding for finding in findings
+            if finding.source == ("euter", "r", "stkCode")
+        ]
+        assert best and all(finding.score == 1.0 for finding in best)
+
+    def test_report_renders(self, workload):
+        text = report(detect_discrepancies(workload.universe()))
+        assert "euter.r.stkCode" in text
+
+    def test_no_findings_on_disjoint_universe(self):
+        from repro.objects import Universe
+
+        universe = Universe.from_python(
+            {"a": {"r": [{"x": "one"}]}, "b": {"s": [{"y": "two"}]}}
+        )
+        assert detect_discrepancies(universe) == []
+
+
+class TestFirstOrderCounterfactual:
+    def _members(self, workload):
+        fed = FirstOrderFederation()
+        for style in ("euter", "chwab", "ource"):
+            storage = StorageDatabase(style)
+            if style == "euter":
+                storage.create_relation(
+                    "r", [("date", "str"), ("stkCode", "str"), ("clsPrice", "float")]
+                )
+                for day, symbol, price in workload.quotes():
+                    storage.insert("r", {"date": day, "stkCode": symbol,
+                                         "clsPrice": price})
+            elif style == "chwab":
+                columns = [("date", "str")] + [
+                    (symbol, "float") for symbol in workload.symbols
+                ]
+                storage.create_relation("r", columns)
+                for row in workload.chwab_relations()["r"]:
+                    storage.insert("r", row)
+            else:
+                for symbol in workload.symbols:
+                    storage.create_relation(
+                        symbol, [("date", "str"), ("clsPrice", "float")]
+                    )
+                    for row in workload.ource_relations()[symbol]:
+                        storage.insert(symbol, row)
+            fed.add_member(style, storage, style)
+        return fed
+
+    def test_query_count_explosion(self, workload):
+        fed = self._members(workload)
+        _, queries = fed.stocks_above(0)
+        # euter: 1 query; chwab: one per stock; ource: one per stock.
+        assert queries == 1 + len(workload.symbols) * 2
+
+    def test_agrees_with_idl(self, workload):
+        fed = self._members(workload)
+        prices = [price for _, _, price in workload.quotes()]
+        threshold = sorted(prices)[len(prices) // 2]
+        stocks, _ = fed.stocks_above(threshold)
+
+        from repro import IdlEngine
+
+        idl = IdlEngine(universe=workload.universe())
+        expected = answers_set(
+            idl.query(f"?.euter.r(.stkCode=S, .clsPrice>{threshold})"), "S"
+        )
+        assert stocks == expected
+
+    def test_unified_quotes_match(self, workload):
+        fed = self._members(workload)
+        quotes, queries = fed.unified_quotes()
+        # three copies of the same market collapse into one set
+        assert quotes == sorted(workload.quotes())
+        assert queries == 1 + len(workload.symbols) * 2

@@ -1,0 +1,112 @@
+"""Traceability: the six "typical needs of a multidatabase user" from
+the paper's introduction, each verified end to end on one federation.
+
+    1. same intention, same formal expression, despite discrepancies;
+    2. queries spanning several databases;
+    3. queries about the databases and the information they contain;
+    4. a unified view of all the databases (database transparency);
+    5. seeing all databases as the schema the user knew before
+       integration (integration transparency);
+    6. updating all the databases through the individual views or the
+       unified view (multidatabase view updatability).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.multidb import Federation
+from repro.workloads.stocks import StockWorkload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    workload = StockWorkload(n_stocks=5, n_days=4, seed=1991)
+    federation = Federation()
+    federation.add_member("euter", relations=workload.euter_relations())
+    federation.add_member("chwab", relations=workload.chwab_relations())
+    federation.add_member("ource", relations=workload.ource_relations())
+    federation.add_user_view("dbE", "euter")
+    federation.add_user_view("dbC", "chwab")
+    federation.add_user_view("dbO", "ource")
+    federation.install()
+    return federation, workload
+
+
+def test_need_1_same_intention_same_expression(setup):
+    federation, workload = setup
+    median = sorted(p for _, _, p in workload.quotes())[len(workload.quotes()) // 2]
+    via = {
+        "euter": {a["S"] for a in federation.query(
+            f"?.euter.r(.stkCode=S, .clsPrice>{median})")},
+        "chwab": {a["S"] for a in federation.query(
+            f"?.chwab.r(.S>{median}), S != date")},
+        "ource": {a["S"] for a in federation.query(
+            f"?.ource.S(.clsPrice>{median})")},
+    }
+    assert via["euter"] == via["chwab"] == via["ource"] != set()
+
+
+def test_need_2_queries_spanning_databases(setup):
+    federation, workload = setup
+    # "all stocks that are quoted in all the three databases, for the
+    # same day" — euter by value, chwab by attribute, ource by relation.
+    results = federation.query(
+        "?.euter.r(.date=D, .stkCode=S, .clsPrice=P1),"
+        " .chwab.r(.date=D, .S=P2), .ource.S(.date=D, .clsPrice=P3)"
+    )
+    stocks = {answer["S"] for answer in results}
+    assert stocks == set(workload.symbols)
+
+
+def test_need_3_queries_about_the_databases(setup):
+    federation, workload = setup
+    # "list the stocks in ource and chwab that have the same closing
+    # price" — relation names joined with attribute names via values.
+    results = federation.query(
+        "?.chwab.r(.date=D, .S=P), .ource.S(.date=D, .clsPrice=P)"
+    )
+    assert {answer["S"] for answer in results} == set(workload.symbols)
+    # Catalog browsing across every member at once.
+    pairs = {(a["X"], a["Y"]) for a in federation.query("?.X.Y")}
+    assert ("euter", "r") in pairs and ("ource", workload.symbols[0]) in pairs
+
+
+def test_need_4_database_transparency(setup):
+    federation, workload = setup
+    assert federation.unified_quotes() == sorted(workload.quotes())
+    # One expression answers for every member at once.
+    top = max(p for _, _, p in workload.quotes())
+    assert federation.ask(f"?.dbI.p(.price={top})")
+
+
+def test_need_5_integration_transparency(setup):
+    federation, workload = setup
+    day = workload.days[0]
+    symbol = workload.symbols[0]
+    price = workload.price(day, symbol)
+    # Each user group sees its own pre-integration schema shape.
+    assert federation.ask(
+        f"?.dbE.r(.date={day}, .stkCode={symbol}, .clsPrice={price})"
+    )
+    assert federation.ask(f"?.dbC.r(.date={day}, .{symbol}={price})")
+    assert federation.ask(f"?.dbO.{symbol}(.date={day}, .clsPrice={price})")
+    # ...including the data-dependent relation family.
+    assert sorted(
+        federation.engine.overlay.get("dbO").attr_names()
+    ) == sorted(workload.symbols)
+
+
+def test_need_6_view_updatability(setup):
+    federation, workload = setup
+    federation.update("?.dbE.r+(.date=9/9/99, .stkCode=zeta, .clsPrice=7)")
+    # The update reached every base...
+    assert federation.ask("?.euter.r(.stkCode=zeta)")
+    assert federation.ask("?.chwab.r(.date=9/9/99, .zeta=7)")
+    assert federation.ask("?.ource.zeta(.clsPrice=7)")
+    # ...and every view, including the other groups'.
+    assert federation.ask("?.dbC.r(.date=9/9/99, .zeta=7)")
+    assert federation.ask("?.dbO.zeta(.clsPrice=7)")
+    # Through the higher-order view as well.
+    federation.update("?.dbO.zeta-(.date=9/9/99)")
+    assert not federation.ask("?.euter.r(.stkCode=zeta)")

@@ -1,0 +1,142 @@
+"""E2/E3: every query example from paper Sections 4.2 and 4.3, verbatim.
+
+Each test quotes the paper's query and its English gloss, runs it
+against the paper universe, and checks the expected answers.
+"""
+
+from __future__ import annotations
+
+from tests.conftest import answers_set
+
+
+class TestFirstOrderExamples:
+    """Section 4.2 — queries on the euter database."""
+
+    def test_did_hp_ever_close_above_60(self, engine):
+        # ?.euter.r(.stkCode=hp, .clsPrice>60)
+        assert engine.ask("?.euter.r(.stkCode=hp, .clsPrice>60)") is True
+
+    def test_did_hp_ever_close_above_200(self, engine):
+        assert engine.ask("?.euter.r(.stkCode=hp, .clsPrice>200)") is False
+
+    def test_join_dates_hp_above_60_and_ibm_above_150(self, engine):
+        # "List all dates when hp closed above 60 and ibm closed above 150."
+        results = engine.query(
+            "?.euter.r(.stkCode=hp, .clsPrice>60, .date=D),"
+            " .euter.r(.stkCode=ibm, .clsPrice>150, .date=D)"
+        )
+        assert answers_set(results, "D") == {"3/4/85"}
+
+    def test_all_time_high_via_negation(self, engine):
+        # "List the dates/prices when price of hp closed at its all time high."
+        results = engine.query(
+            "?.euter.r(.stkCode=hp, .clsPrice=P, .date=D),"
+            " .euter.r~(.stkCode=hp, .clsPrice>P)"
+        )
+        assert answers_set(results, "D", "P") == {("3/4/85", 65)}
+
+    def test_did_any_stock_close_above_200(self, engine):
+        # ?.euter.r(.stkCode=S, .clsPrice>200)
+        assert engine.ask("?.euter.r(.stkCode=S, .clsPrice>200)") is False
+        assert engine.ask("?.euter.r(.stkCode=S, .clsPrice>150)") is True
+
+    def test_which_stock_closed_above_150(self, engine):
+        results = engine.query("?.euter.r(.stkCode=S, .clsPrice>150)")
+        assert answers_set(results, "S") == {"ibm"}
+
+    def test_attribute_order_is_immaterial(self, engine):
+        forward = engine.query("?.euter.r(.stkCode=S, .clsPrice=P, .date=D)")
+        backward = engine.query("?.euter.r(.date=D, .clsPrice=P, .stkCode=S)")
+        assert {tuple(sorted(a.items())) for a in forward} == {
+            tuple(sorted(a.items())) for a in backward
+        }
+
+
+class TestHigherOrderExamples:
+    """Section 4.3 — metadata queries, quoted in paper order."""
+
+    def test_list_database_names(self, engine):
+        # ?.X -- "List the database names in the universe."
+        results = engine.query("?.X")
+        assert answers_set(results, "X") == {"euter", "chwab", "ource"}
+
+    def test_list_relations_of_ource_with_constraint(self, engine):
+        # ?.X.Y, X = ource -- footnote 7 form
+        results = engine.query("?.X.Y, X = ource")
+        assert answers_set(results, "Y") == {"hp", "ibm"}
+
+    def test_list_relations_of_ource_directly(self, engine):
+        # ?.ource.Y
+        results = engine.query("?.ource.Y")
+        assert answers_set(results, "Y") == {"hp", "ibm"}
+
+    def test_list_all_database_relation_pairs(self, engine):
+        # ?.X.Y -- "List the database/relation names in all the databases."
+        results = engine.query("?.X.Y")
+        assert answers_set(results, "X", "Y") == {
+            ("euter", "r"),
+            ("chwab", "r"),
+            ("ource", "hp"),
+            ("ource", "ibm"),
+        }
+
+    def test_databases_containing_relation_named_hp(self, engine):
+        # ?.X.hp -- "List the names of databases containing a relation hp."
+        results = engine.query("?.X.hp")
+        assert answers_set(results, "X") == {"ource"}
+
+    def test_databases_with_attribute_stkcode(self, engine):
+        # ?.X.Y(.stkCode) -- "database/relation containing attribute stkCode"
+        results = engine.query("?.X.Y(.stkCode)")
+        assert answers_set(results, "X", "Y") == {("euter", "r")}
+
+    def test_stocks_with_same_price_in_ource_and_chwab(self, engine):
+        # ?.chwab.r(.date=D, .S=P), .ource.S(.date=D, .clsPrice=P)
+        results = engine.query(
+            "?.chwab.r(.date=D, .S=P), .ource.S(.date=D, .clsPrice=P)"
+        )
+        assert answers_set(results, "S") == {"hp", "ibm"}
+
+    def test_relations_occurring_in_all_databases(self, engine):
+        # ?.euter.Y, .chwab.Y, .ource.Y
+        results = engine.query("?.euter.Y, .chwab.Y, .ource.Y")
+        assert results == []  # no relation name is shared by all three
+
+    def test_above_200_in_chwab_schema(self, engine):
+        # ?.chwab.r(.S>200) -- S quantifies over attribute names
+        assert engine.ask("?.chwab.r(.S>200)") is False
+        assert engine.ask("?.chwab.r(.S>150)") is True
+
+    def test_above_200_in_ource_schema(self, engine):
+        # ?.ource.S(.clsPrice>200) -- S quantifies over relation names
+        assert engine.ask("?.ource.S(.clsPrice>200)") is False
+        results = engine.query("?.ource.S(.clsPrice>150)")
+        assert answers_set(results, "S") == {"ibm"}
+
+    def test_same_intention_same_expression_shape(self, engine):
+        """The paper's headline claim: the same intention ("did any stock
+        close above X") is expressible against each schema, and the three
+        phrasings agree for every threshold."""
+        for threshold in (40, 60, 100, 155, 200):
+            via_euter = engine.ask(
+                f"?.euter.r(.stkCode=S, .clsPrice>{threshold})"
+            )
+            via_chwab = engine.ask(f"?.chwab.r(.S>{threshold})")
+            via_ource = engine.ask(f"?.ource.S(.clsPrice>{threshold})")
+            assert via_euter == via_chwab == via_ource
+
+    def test_higher_order_variable_joins_with_data(self, engine):
+        """A higher-order binding (attribute name) joins euter's stkCode
+        *data* — metadata and data share one domain."""
+        results = engine.query(
+            "?.euter.r(.stkCode=S, .date=D, .clsPrice=P), .chwab.r(.date=D, .S=P)"
+        )
+        assert answers_set(results, "S") == {"hp", "ibm"}
+
+    def test_chwab_attribute_enumeration_includes_date(self, engine):
+        """Without a guard, .S=P also matches the date attribute — the
+        reason transparency rules add ``S != date``."""
+        results = engine.query("?.chwab.r(.date=3/3/85, .S=V)")
+        assert "date" in answers_set(results, "S")
+        guarded = engine.query("?.chwab.r(.date=3/3/85, .S=V), S != date")
+        assert "date" not in answers_set(guarded, "S")

@@ -1,0 +1,225 @@
+"""E4: the update-expression examples of paper Section 5, verbatim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.core.updates import apply_request
+from repro.errors import UpdateError
+from repro.objects import to_python
+from tests.conftest import answers_set
+
+
+def rows_of(universe, db, rel):
+    return to_python(universe.relation(db, rel))
+
+
+class TestSetUpdates:
+    def test_insert_tuple(self, universe):
+        # ?.euter.r+(.date=3/3/85, .stkCode=hp, .clsPrice=50) -- idempotent
+        before = len(universe.relation("euter", "r"))
+        result = apply_request(
+            parse_query("?.euter.r+(.date=3/5/85, .stkCode=hp, .clsPrice=50)"),
+            universe,
+        )
+        assert result.succeeded and result.inserted == 1
+        assert len(universe.relation("euter", "r")) == before + 1
+
+    def test_insert_is_value_deduplicated(self, universe):
+        request = parse_query("?.euter.r+(.date=3/3/85, .stkCode=hp, .clsPrice=50)")
+        result = apply_request(request, universe)
+        assert result.inserted == 0  # the tuple already exists
+
+    def test_delete_all_matching(self, universe):
+        # ?.euter.r-(.date=3/3/85, .stkCode=hp)
+        result = apply_request(
+            parse_query("?.euter.r-(.date=3/3/85, .stkCode=hp)"), universe
+        )
+        assert result.deleted == 1
+        remaining = rows_of(universe, "euter", "r")
+        assert {"date": "3/3/85", "stkCode": "hp", "clsPrice": 50} not in remaining
+
+    def test_ground_delete_of_nothing_still_succeeds(self, universe):
+        result = apply_request(
+            parse_query("?.euter.r-(.date=9/9/99, .stkCode=hp)"), universe
+        )
+        assert result.succeeded and result.deleted == 0
+
+    def test_query_dependent_delete_binds_old_values(self, universe):
+        # The paper's equivalent-delete example: the minus expression with
+        # a variable acts as a series of deletes, one per matching value.
+        result = apply_request(
+            parse_query(
+                "?.euter.r(.date=3/3/85, .stkCode=hp, .clsPrice=C),"
+                " .euter.r-(.date=3/3/85, .stkCode=hp, .clsPrice=C)"
+            ),
+            universe,
+        )
+        assert result.deleted == 1
+        assert [s.lookup("C").value for s in result.substitutions] == [50]
+
+
+class TestAtomicAndTupleUpdates:
+    def test_atomic_minus_nulls_the_value(self, universe):
+        # ?.chwab.r(.date=3/3/85, .hp-=C): value nulled, attribute kept
+        result = apply_request(
+            parse_query("?.chwab.r(.date=3/3/85, .hp-=C)"), universe
+        )
+        assert result.modified == 1
+        row = next(
+            r for r in rows_of(universe, "chwab", "r") if r["date"] == "3/3/85"
+        )
+        assert "hp" in row and row["hp"] is None
+        assert [s.lookup("C").value for s in result.substitutions] == [50]
+
+    def test_tuple_minus_deletes_the_attribute(self, universe):
+        # ?.chwab.r(.date=3/3/85, -.hp=C): the attribute itself is removed
+        result = apply_request(
+            parse_query("?.chwab.r(.date=3/3/85, -.hp=C)"), universe
+        )
+        assert result.deleted == 1
+        row = next(
+            r for r in rows_of(universe, "chwab", "r") if r["date"] == "3/3/85"
+        )
+        assert "hp" not in row
+
+    def test_both_deletions_behave_identically_for_queries(self, universe):
+        """Section 5.2: under null semantics the nulled and the dropped
+        attribute satisfy the same (no) atomic expressions."""
+        apply_request(parse_query("?.chwab.r(.date=3/3/85, .hp-=C)"), universe)
+        from repro.core.evaluator import holds
+
+        assert not holds(
+            parse_query("?.chwab.r(.date=3/3/85, .hp=P)"), universe
+        )
+
+    def test_heterogeneous_tuples_after_attribute_deletion(self, universe):
+        """Attribute deletion affects one tuple only — sets may hold
+        tuples of varying arity (a marked contrast to relational DBs)."""
+        apply_request(parse_query("?.chwab.r(.date=3/3/85, -.hp)"), universe)
+        arities = sorted(len(r) for r in rows_of(universe, "chwab", "r"))
+        assert arities == [2, 3]
+
+    def test_atomic_plus_replaces_value(self, universe):
+        result = apply_request(
+            parse_query("?.chwab.r(.date=3/3/85, .hp+=51)"), universe
+        )
+        assert result.modified == 1
+        row = next(
+            r for r in rows_of(universe, "chwab", "r") if r["date"] == "3/3/85"
+        )
+        assert row["hp"] == 51
+
+    def test_tuple_plus_creates_attribute(self, universe):
+        result = apply_request(
+            parse_query("?.chwab.r(.date=3/3/85, +.sun=30)"), universe
+        )
+        assert result.succeeded
+        row = next(
+            r for r in rows_of(universe, "chwab", "r") if r["date"] == "3/3/85"
+        )
+        assert row["sun"] == 30
+
+    def test_tuple_plus_overwrites_existing_object(self, universe):
+        # Section 5.2: the plus first associates an *empty* object,
+        # "implicitly deleting any existing object".
+        apply_request(parse_query("?.chwab.r(.date=3/3/85, +.hp=99)"), universe)
+        row = next(
+            r for r in rows_of(universe, "chwab", "r") if r["date"] == "3/3/85"
+        )
+        assert row["hp"] == 99
+
+
+class TestUpdateComposition:
+    def test_delete_then_insert_is_an_update(self, universe):
+        # ?.chwab.r-(.date=3/3/85, .hp=C), .chwab.r+(.date=3/3/85, .hp=C+10)
+        result = apply_request(
+            parse_query(
+                "?.chwab.r-(.date=3/3/85, .hp=C), .chwab.r+(.date=3/3/85, .hp=C+10)"
+            ),
+            universe,
+        )
+        assert result.succeeded
+        rows = rows_of(universe, "chwab", "r")
+        assert {"date": "3/3/85", "hp": 60} in rows
+
+    def test_reverse_ordering_differs(self, universe):
+        """Section 5.2: "the reverse ordering would not result in the
+        same semantics" — plus first needs C already bound, so the
+        request is rejected as unsafe."""
+        from repro.errors import SafetyError
+
+        with pytest.raises(SafetyError):
+            apply_request(
+                parse_query(
+                    "?.chwab.r+(.date=3/3/85, .hp=C+10), .chwab.r-(.date=3/3/85, .hp=C)"
+                ),
+                universe,
+            )
+
+    def test_in_place_atomic_update_preserves_other_attributes(self, universe):
+        apply_request(
+            parse_query("?.chwab.r(.date=3/3/85, .hp=C), .chwab.r(.date=3/3/85, .hp+=C+10)"),
+            universe,
+        )
+        row = next(
+            r for r in rows_of(universe, "chwab", "r") if r["date"] == "3/3/85"
+        )
+        assert row["hp"] == 60 and row["ibm"] == 160  # ibm untouched
+
+
+class TestUpdateErrors:
+    def test_set_update_on_tuple_object_is_an_error(self, universe):
+        # .euter is a tuple (database), not a set
+        with pytest.raises(UpdateError):
+            apply_request(parse_query("?.euter+(.x=1)"), universe)
+
+    def test_atomic_update_on_set_object_is_an_error(self, universe):
+        with pytest.raises(UpdateError):
+            apply_request(parse_query("?.euter.r+=5"), universe)
+
+    def test_null_fails_every_atomic_expression(self, universe):
+        from repro.core.evaluator import holds
+
+        apply_request(parse_query("?.chwab.r(.date=3/3/85, .hp-=C)"), universe)
+        for comparison in ("=50", ">0", "<999", "!=7"):
+            assert not holds(
+                parse_query(f"?.chwab.r(.date=3/3/85, .hp{comparison})"),
+                universe,
+            )
+
+
+class TestMetadataUpdates:
+    def test_delete_relation_from_database(self, universe):
+        result = apply_request(parse_query("?.ource-.hp"), universe)
+        assert result.deleted == 1
+        assert universe.relation_names("ource") == ["ibm"]
+
+    def test_create_relation_then_populate(self, universe):
+        apply_request(
+            parse_query("?.ource+.sun(), .ource.sun+(.date=3/3/85, .clsPrice=30)"),
+            universe,
+        )
+        assert "sun" in universe.relation_names("ource")
+        assert rows_of(universe, "ource", "sun") == [
+            {"date": "3/3/85", "clsPrice": 30}
+        ]
+
+    def test_update_enumeration_exclusion_rule(self, universe):
+        """delStk's chwab clause: ``.S-=X`` must not null the sibling
+        selector attribute ``date`` (see updates module docstring)."""
+        apply_request(parse_query("?.chwab.r(.S-=X, .date=3/3/85)"), universe)
+        rows = rows_of(universe, "chwab", "r")
+        selected = next(r for r in rows if r["date"] == "3/3/85")
+        untouched = next(r for r in rows if r["date"] == "3/4/85")
+        assert selected == {"date": "3/3/85", "hp": None, "ibm": None}
+        assert untouched == {"date": "3/4/85", "hp": 65, "ibm": 155}
+
+    def test_delete_with_unbound_date_deletes_all_days(self, universe):
+        result = apply_request(parse_query("?.ource.hp-(.date=D)"), universe)
+        assert result.deleted == 2
+        assert rows_of(universe, "ource", "hp") == []
+        assert answers_set(
+            [{"D": s.lookup("D").value} for s in result.substitutions], "D"
+        ) == {"3/3/85", "3/4/85"}

@@ -1,0 +1,249 @@
+"""E1: paper Section 6 and Figure 1 — higher-order views, unified and
+customized, including the name-mapping variant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IdlEngine
+from repro.errors import SemanticError, StratificationError
+from repro.workloads.stocks import StockWorkload
+from tests.conftest import answers_set
+
+
+class TestUnifiedView:
+    """The dbI.p unified view: database transparency."""
+
+    def test_unified_view_holds_every_quote(self, unified_engine):
+        results = unified_engine.query("?.dbI.p(.date=D, .stk=S, .price=P)")
+        assert answers_set(results, "D", "S", "P") == {
+            ("3/3/85", "hp", 50),
+            ("3/4/85", "hp", 65),
+            ("3/3/85", "ibm", 160),
+            ("3/4/85", "ibm", 155),
+        }
+
+    def test_unified_view_spans_members_with_disjoint_stocks(self):
+        engine = IdlEngine()
+        engine.add_database(
+            "euter", {"r": [{"date": "d1", "stkCode": "hp", "clsPrice": 50}]}
+        )
+        engine.add_database("chwab", {"r": [{"date": "d1", "sun": 30}]})
+        engine.add_database("ource", {"dec": [{"date": "d1", "clsPrice": 12}]})
+        engine.define(
+            ".dbI.p(.date=D,.stk=S,.price=P) <- .euter.r(.date=D,.stkCode=S,.clsPrice=P)\n"
+            ".dbI.p(.date=D,.stk=S,.price=P) <- .chwab.r(.date=D,.S=P), S != date\n"
+            ".dbI.p(.date=D,.stk=S,.price=P) <- .ource.S(.date=D,.clsPrice=P)"
+        )
+        results = engine.query("?.dbI.p(.stk=S)")
+        assert answers_set(results, "S") == {"hp", "sun", "dec"}
+
+    def test_query_above_200_once_against_unified_view(self, unified_engine):
+        # Database transparency: one expression for all three databases.
+        assert unified_engine.ask("?.dbI.p(.price>200)") is False
+        assert unified_engine.ask("?.dbI.p(.price>150)") is True
+
+    def test_value_discrepancies_keep_both_prices(self, universe):
+        """Section 6: "If there is any value discrepancy amongst the
+        prices ... then both prices are in the user's view"."""
+        engine = IdlEngine(universe=universe)
+        engine.update("?.chwab.r(.date=3/3/85, .hp+=52)", atomic=False)
+        engine.define(
+            ".dbI.p(.date=D,.stk=S,.price=P) <- .euter.r(.date=D,.stkCode=S,.clsPrice=P)\n"
+            ".dbI.p(.date=D,.stk=S,.price=P) <- .chwab.r(.date=D,.S=P), S != date"
+        )
+        results = engine.query("?.dbI.p(.date=3/3/85, .stk=hp, .price=P)")
+        assert answers_set(results, "P") == {50, 52}
+
+    def test_pnew_reconciles_to_a_unique_price(self, universe):
+        """The pnew redefinition: each stock gets a unique (here: the
+        highest) price, chosen by the schema administrator."""
+        engine = IdlEngine(universe=universe)
+        engine.update("?.chwab.r(.date=3/3/85, .hp+=52)", atomic=False)
+        engine.define(
+            ".dbI.p(.date=D,.stk=S,.price=P) <- .euter.r(.date=D,.stkCode=S,.clsPrice=P)\n"
+            ".dbI.p(.date=D,.stk=S,.price=P) <- .chwab.r(.date=D,.S=P), S != date\n"
+            ".dbI.pnew(.date=D,.stk=S,.price=P) <- .dbI.p(.date=D,.stk=S,.price=P),"
+            " .dbI.p~(.date=D,.stk=S,.price>P)"
+        )
+        results = engine.query("?.dbI.pnew(.date=3/3/85, .stk=hp, .price=P)")
+        assert answers_set(results, "P") == {52}
+
+
+class TestCustomizedViews:
+    """Integration transparency: dbE, dbC and dbO mirror each user's
+    pre-integration schema."""
+
+    def test_dbE_has_the_euter_schema(self, unified_engine):
+        results = unified_engine.query(
+            "?.dbE.r(.date=3/3/85, .stkCode=S, .clsPrice=P)"
+        )
+        assert answers_set(results, "S", "P") == {("hp", 50), ("ibm", 160)}
+
+    def test_dbC_has_the_chwab_schema(self, unified_engine):
+        # One tuple per date, one attribute per stock (merge semantics).
+        results = unified_engine.query("?.dbC.r(.date=3/3/85, .hp=P)")
+        assert answers_set(results, "P") == {50}
+        results = unified_engine.query("?.dbC.r(.date=3/3/85, .S=P), S != date")
+        assert answers_set(results, "S", "P") == {("hp", 50), ("ibm", 160)}
+
+    def test_dbO_defines_one_relation_per_stock(self, unified_engine):
+        """The higher-order view: the *number of relations* is data
+        dependent — as many relations as stocks in all three databases."""
+        overlay = unified_engine.overlay
+        assert sorted(overlay.get("dbO").attr_names()) == ["hp", "ibm"]
+        results = unified_engine.query("?.dbO.hp(.date=D, .clsPrice=P)")
+        assert answers_set(results, "D", "P") == {("3/3/85", 50), ("3/4/85", 65)}
+
+    def test_dbO_relation_count_tracks_data(self, unified_engine):
+        """Insert a brand-new stock into one member: the ource-style view
+        grows a relation — no schema change, only data change."""
+        unified_engine.update(
+            "?.euter.r+(.date=3/3/85, .stkCode=sun, .clsPrice=30)"
+        )
+        overlay = unified_engine.overlay
+        assert sorted(overlay.get("dbO").attr_names()) == ["hp", "ibm", "sun"]
+
+    def test_round_trip_euter_to_dbE(self, unified_engine):
+        """Figure 1 round trip: the euter user's customized view agrees
+        exactly with the original euter database."""
+        original = unified_engine.query("?.euter.r(.date=D, .stkCode=S, .clsPrice=P)")
+        view = unified_engine.query("?.dbE.r(.date=D, .stkCode=S, .clsPrice=P)")
+        assert answers_set(original, "D", "S", "P") == answers_set(
+            view, "D", "S", "P"
+        )
+
+    def test_round_trip_at_scale(self):
+        workload = StockWorkload(n_stocks=6, n_days=5, seed=3)
+        engine = IdlEngine(universe=workload.universe())
+        from tests.conftest import (
+            CUSTOMIZED_VIEW_RULES,
+            DBC_VIEW_RULE,
+            UNIFIED_VIEW_RULES,
+        )
+
+        engine.define(UNIFIED_VIEW_RULES)
+        engine.define(CUSTOMIZED_VIEW_RULES)
+        engine.define(DBC_VIEW_RULE, merge_on=("date",))
+        original = engine.query("?.euter.r(.date=D, .stkCode=S, .clsPrice=P)")
+        view = engine.query("?.dbE.r(.date=D, .stkCode=S, .clsPrice=P)")
+        assert answers_set(original, "D", "S", "P") == answers_set(
+            view, "D", "S", "P"
+        )
+        assert sorted(engine.overlay.get("dbO").attr_names()) == sorted(
+            workload.symbols
+        )
+
+
+class TestNameMappings:
+    """Section 6's final example: explicit name mappings mapCE/mapOE."""
+
+    def test_unified_view_through_mappings(self):
+        workload = StockWorkload(n_stocks=3, n_days=2, seed=5)
+        engine = IdlEngine(universe=workload.universe_with_name_conflicts())
+        engine.define(
+            ".dbI.p(.date=D,.stk=S,.price=P) <- .euter.r(.date=D,.stkCode=S,.clsPrice=P)\n"
+            ".dbI.p(.date=D,.stk=S,.price=P) <-"
+            " .chwab.r(.date=D,.SC=P), .dbU.mapCE(.c=SC,.e=S)\n"
+            ".dbI.p(.date=D,.stk=S,.price=P) <-"
+            " .ource.SO(.date=D,.clsPrice=P), .dbU.mapOE(.o=SO,.e=S)"
+        )
+        results = engine.query("?.dbI.p(.stk=S)")
+        # All member-local names are reconciled to euter's codes.
+        assert answers_set(results, "S") == set(workload.symbols)
+        for symbol in workload.symbols:
+            day = workload.days[0]
+            prices = engine.query(
+                f"?.dbI.p(.date={day}, .stk={symbol}, .price=P)"
+            )
+            assert answers_set(prices, "P") == {workload.price(day, symbol)}
+
+    def test_mapping_filters_the_date_attribute_naturally(self):
+        """With mappings, no ``S != date`` guard is needed: the join with
+        mapCE admits only real stock codes."""
+        workload = StockWorkload(n_stocks=3, n_days=2, seed=5)
+        engine = IdlEngine(universe=workload.universe_with_name_conflicts())
+        engine.define(
+            ".dbI.p(.date=D,.stk=S,.price=P) <-"
+            " .chwab.r(.date=D,.SC=P), .dbU.mapCE(.c=SC,.e=S)"
+        )
+        results = engine.query("?.dbI.p(.stk=S)")
+        assert "date" not in answers_set(results, "S")
+
+
+class TestRuleValidation:
+    def test_head_variables_must_occur_in_body(self, engine):
+        with pytest.raises(SemanticError):
+            engine.define(".dbI.p(.x=X) <- .euter.r(.stkCode=S)")
+
+    def test_head_cannot_contain_negation(self, engine):
+        with pytest.raises(SemanticError):
+            engine.define(".dbI.p(.x=S, ~.y(.z=S)) <- .euter.r(.stkCode=S)")
+
+    def test_head_cannot_use_inequalities(self, engine):
+        with pytest.raises(SemanticError):
+            engine.define(".dbI.p(.x>S) <- .euter.r(.stkCode=S)")
+
+    def test_negation_through_recursion_is_rejected(self, engine):
+        engine.define(".dbI.a(.x=X) <- .euter.r(.stkCode=X), .dbI.b~(.x=X)")
+        with pytest.raises(StratificationError):
+            engine.define(".dbI.b(.x=X) <- .dbI.a(.x=X)")
+            engine.materialized_view()
+
+    def test_stratified_negation_works(self, engine):
+        engine.define(".dbI.quoted(.stk=S) <- .euter.r(.stkCode=S)")
+        engine.define(
+            ".dbI.cheap(.stk=S) <- .dbI.quoted(.stk=S),"
+            " .euter.r~(.stkCode=S, .clsPrice>100)"
+        )
+        results = engine.query("?.dbI.cheap(.stk=S)")
+        assert answers_set(results, "S") == {"hp"}
+
+
+class TestRecursion:
+    def test_transitive_closure(self):
+        engine = IdlEngine()
+        engine.add_database(
+            "g", {"edge": [{"a": i, "b": i + 1} for i in range(1, 6)]}
+        )
+        engine.define(
+            ".g.tc(.a=X, .b=Y) <- .g.edge(.a=X, .b=Y)\n"
+            ".g.tc(.a=X, .b=Y) <- .g.tc(.a=X, .b=Z), .g.edge(.a=Z, .b=Y)"
+        )
+        results = engine.query("?.g.tc(.a=1, .b=Y)")
+        assert answers_set(results, "Y") == {2, 3, 4, 5, 6}
+
+    def test_naive_and_seminaive_agree(self):
+        edges = [{"a": i, "b": (i * 3) % 11} for i in range(11)]
+        answers = {}
+        for method in ("naive", "seminaive"):
+            engine = IdlEngine(fixpoint_method=method)
+            engine.add_database("g", {"edge": edges})
+            engine.define(
+                ".g.tc(.a=X, .b=Y) <- .g.edge(.a=X, .b=Y)\n"
+                ".g.tc(.a=X, .b=Y) <- .g.tc(.a=X, .b=Z), .g.edge(.a=Z, .b=Y)"
+            )
+            answers[method] = answers_set(
+                engine.query("?.g.tc(.a=X, .b=Y)"), "X", "Y"
+            )
+        assert answers["naive"] == answers["seminaive"]
+
+    def test_recursive_higher_order_view(self):
+        """A recursive rule whose head relation name is data-dependent:
+        per-stock closure of same-price days."""
+        engine = IdlEngine()
+        engine.add_database(
+            "euter",
+            {
+                "r": [
+                    {"date": "d1", "stkCode": "hp", "clsPrice": 50},
+                    {"date": "d2", "stkCode": "hp", "clsPrice": 50},
+                    {"date": "d1", "stkCode": "ibm", "clsPrice": 9},
+                ]
+            },
+        )
+        engine.define(
+            ".dbO.S(.date=D, .clsPrice=P) <- .euter.r(.date=D, .stkCode=S, .clsPrice=P)"
+        )
+        overlay = engine.overlay
+        assert sorted(overlay.get("dbO").attr_names()) == ["hp", "ibm"]

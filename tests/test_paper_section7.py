@@ -1,0 +1,264 @@
+"""E5/E6: paper Section 7 — update programs and view updatability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BindingError, RecursionError_, UpdateError
+from tests.conftest import answers_set
+
+
+class TestDelStk:
+    """delStk deletes the closing price of a stock on a date — data
+    deletion only; structure is unchanged."""
+
+    def test_full_binding(self, unified_engine):
+        result = unified_engine.call("dbU", "delStk", stk="hp", date="3/3/85")
+        assert result.succeeded
+        assert not unified_engine.ask("?.euter.r(.stkCode=hp, .date=3/3/85)")
+        assert not unified_engine.ask("?.chwab.r(.date=3/3/85, .hp=P)")
+        assert not unified_engine.ask("?.ource.hp(.date=3/3/85)")
+        # hp still exists elsewhere: other days survive.
+        assert unified_engine.ask("?.euter.r(.stkCode=hp, .date=3/4/85)")
+
+    def test_structure_is_not_changed(self, unified_engine):
+        """Paper: "chwab database will still contain attribute names
+        called hp, ibm etc."."""
+        unified_engine.call("dbU", "delStk", stk="hp", date="3/3/85")
+        assert unified_engine.ask("?.chwab.r(.date=3/3/85, .hp)")  # attr kept
+        assert "hp" in unified_engine.universe.relation_names("ource")
+
+    def test_stock_only_deletes_all_days(self, unified_engine):
+        """Paper: "If the date is not given as input then the closing
+        price of all the days for that stock are deleted"."""
+        result = unified_engine.call("dbU", "delStk", stk="hp")
+        assert result.succeeded
+        assert not unified_engine.ask("?.euter.r(.stkCode=hp)")
+        assert not unified_engine.ask("?.ource.hp(.date=D)")
+        assert not unified_engine.ask("?.chwab.r(.hp=P)")
+
+    def test_date_only_deletes_all_stocks_that_day(self, unified_engine):
+        result = unified_engine.call("dbU", "delStk", date="3/3/85")
+        assert result.succeeded
+        assert not unified_engine.ask("?.euter.r(.date=3/3/85)")
+        assert unified_engine.ask("?.euter.r(.date=3/4/85)")
+        # chwab: prices nulled, the date attribute itself untouched.
+        assert unified_engine.ask("?.chwab.r(.date=3/3/85)")
+        assert not unified_engine.ask("?.chwab.r(.date=3/3/85, .hp=P)")
+
+    def test_no_arguments_deletes_all_values(self, unified_engine):
+        result = unified_engine.update("?.dbU.delStk()")
+        assert result.succeeded
+        assert not unified_engine.ask("?.euter.r(.stkCode=S)")
+        # Structure intact: relations and attributes remain.
+        assert unified_engine.universe.relation_names("ource") == ["hp", "ibm"]
+
+
+class TestRmStk:
+    """rmStk removes a stock *including metadata*: tuples in euter, the
+    attribute in chwab, the relation in ource."""
+
+    def test_removes_data_and_metadata(self, unified_engine):
+        result = unified_engine.call("dbU", "rmStk", stk="hp")
+        assert result.succeeded
+        assert not unified_engine.ask("?.euter.r(.stkCode=hp)")
+        assert not unified_engine.ask("?.chwab.r(.hp)")
+        assert unified_engine.universe.relation_names("ource") == ["ibm"]
+
+    def test_other_stocks_survive(self, unified_engine):
+        unified_engine.call("dbU", "rmStk", stk="hp")
+        assert unified_engine.ask("?.euter.r(.stkCode=ibm)")
+        assert unified_engine.ask("?.chwab.r(.ibm=P)")
+        assert unified_engine.ask("?.ource.ibm(.clsPrice=P)")
+
+    def test_unknown_stock_is_a_noop_success(self, unified_engine):
+        before = unified_engine.universe.count_facts()
+        result = unified_engine.call("dbU", "rmStk", stk="nosuch")
+        # euter's ground delete succeeds vacuously; nothing changed.
+        assert result.succeeded
+        assert unified_engine.universe.count_facts() == before
+
+
+class TestInsStk:
+    def test_inserts_into_all_three_schemas(self, unified_engine):
+        result = unified_engine.call(
+            "dbU", "insStk", stk="hp", date="3/5/85", price=70
+        )
+        assert result.succeeded
+        assert unified_engine.ask("?.euter.r(.date=3/5/85, .stkCode=hp, .clsPrice=70)")
+        assert unified_engine.ask("?.ource.hp(.date=3/5/85, .clsPrice=70)")
+        assert unified_engine.ask("?.chwab.r(.date=3/5/85, .hp=70)")
+
+    def test_insert_existing_date_extends_the_chwab_row(self, unified_engine):
+        unified_engine.universe.add_relation(
+            "ource", "sun", [])
+        unified_engine.invalidate()
+        unified_engine.call("dbU", "insStk", stk="sun", date="3/3/85", price=30)
+        rows = unified_engine.query("?.chwab.r(.date=3/3/85, .hp=H, .sun=N)")
+        assert answers_set(rows, "H", "N") == {(50, 30)}
+
+    def test_partial_binding_is_rejected(self, unified_engine):
+        """Paper: "if any of the argument is not given then the plus
+        expressions are not defined" — compile-time binding check."""
+        with pytest.raises(BindingError):
+            unified_engine.call("dbU", "insStk", stk="hp", date="3/6/85")
+        with pytest.raises(BindingError):
+            unified_engine.call("dbU", "insStk", price=10)
+
+    def test_unknown_program_arguments_are_rejected(self, unified_engine):
+        with pytest.raises(BindingError):
+            unified_engine.call("dbU", "insStk", ticker="hp")
+
+
+class TestProgramMechanics:
+    def test_programs_compose_nonrecursively(self, unified_engine):
+        """A program may call other programs (moveStk = delete+insert)."""
+        unified_engine.define_update(
+            ".dbU.moveStk(.stk=S, .from=F, .to=T, .price=P) -> "
+            ".dbU.delStk(.stk=S, .date=F), .dbU.insStk(.stk=S, .date=T, .price=P)"
+        )
+        result = unified_engine.call(
+            "dbU", "moveStk", stk="hp", **{"from": "3/3/85", "to": "3/5/85"},
+            price=50,
+        )
+        assert result.succeeded
+        assert not unified_engine.ask("?.ource.hp(.date=3/3/85)")
+        assert unified_engine.ask("?.ource.hp(.date=3/5/85, .clsPrice=50)")
+
+    def test_recursive_program_is_rejected(self, unified_engine):
+        with pytest.raises(RecursionError_):
+            unified_engine.define_update(
+                ".dbU.loop(.x=X) -> .dbU.loop(.x=X)"
+            )
+
+    def test_mutually_recursive_programs_are_rejected(self, unified_engine):
+        unified_engine.define_update(".dbU.ping(.x=X) -> .euter.r-(.stkCode=X)")
+        # redefine ping to call pong after pong exists -> cycle
+        unified_engine.define_update(".dbU.pong(.x=X) -> .dbU.ping(.x=X)")
+        with pytest.raises(RecursionError_):
+            unified_engine.define_update(".dbU.ping(.x=X) -> .dbU.pong(.x=X)")
+
+    def test_constant_parameters_pattern_match(self, unified_engine):
+        """Clauses with constant head parameters act as alternatives
+        selected by the argument value."""
+        unified_engine.define_update(
+            ".dbU.audit(.kind=add, .stk=S) -> .dbU.log+(.event=added, .stk=S)\n"
+            ".dbU.audit(.kind=del, .stk=S) -> .dbU.log+(.event=removed, .stk=S)"
+        )
+        unified_engine.universe.database("dbU").set(
+            "log", __import__("repro.objects", fromlist=["SetObject"]).SetObject()
+        )
+        unified_engine.call("dbU", "audit", kind="add", stk="hp")
+        results = unified_engine.query("?.dbU.log(.event=E, .stk=S)")
+        assert answers_set(results, "E", "S") == {("added", "hp")}
+
+    def test_call_with_variable_arguments_from_query(self, unified_engine):
+        """Arguments flow from earlier query conjuncts: remove every
+        stock that ever closed below 60."""
+        result = unified_engine.update(
+            "?.euter.r(.stkCode=S, .clsPrice<60), .dbU.rmStk(.stk=S)"
+        )
+        assert result.succeeded
+        assert unified_engine.universe.relation_names("ource") == ["ibm"]
+        assert not unified_engine.ask("?.chwab.r(.hp)")
+
+
+class TestViewUpdatability:
+    """Section 7.2: updates through the customized views translate to all
+    base databases via administrator-registered programs."""
+
+    def test_insert_through_euter_style_view(self, unified_engine):
+        result = unified_engine.update(
+            "?.dbE.r+(.date=3/5/85, .stkCode=hp, .clsPrice=70)"
+        )
+        assert result.succeeded
+        # All three base databases were updated...
+        assert unified_engine.ask("?.euter.r(.date=3/5/85, .stkCode=hp, .clsPrice=70)")
+        assert unified_engine.ask("?.ource.hp(.date=3/5/85, .clsPrice=70)")
+        assert unified_engine.ask("?.chwab.r(.date=3/5/85, .hp=70)")
+        # ...so the view now reflects the decree (faithfulness).
+        assert unified_engine.ask("?.dbE.r(.date=3/5/85, .stkCode=hp, .clsPrice=70)")
+
+    def test_delete_through_euter_style_view(self, unified_engine):
+        result = unified_engine.update("?.dbE.r-(.date=3/3/85, .stkCode=hp)")
+        assert result.succeeded
+        assert not unified_engine.ask("?.dbE.r(.date=3/3/85, .stkCode=hp)")
+        assert not unified_engine.ask("?.euter.r(.date=3/3/85, .stkCode=hp)")
+
+    def test_update_through_higher_order_view(self, unified_engine):
+        """The wildcard program ``.dbO.S+(...)`` serves every relation of
+        the higher-order view: the relation name becomes the stock."""
+        result = unified_engine.update("?.dbO.hp+(.date=3/5/85, .clsPrice=70)")
+        assert result.succeeded
+        assert unified_engine.ask("?.euter.r(.date=3/5/85, .stkCode=hp, .clsPrice=70)")
+        assert unified_engine.ask("?.dbO.hp(.date=3/5/85, .clsPrice=70)")
+
+    def test_delete_through_higher_order_view(self, unified_engine):
+        result = unified_engine.update("?.dbO.ibm-(.date=3/3/85)")
+        assert result.succeeded
+        assert not unified_engine.ask("?.dbO.ibm(.date=3/3/85)")
+        assert not unified_engine.ask("?.euter.r(.date=3/3/85, .stkCode=ibm)")
+
+    def test_direct_update_of_a_view_is_rejected(self, unified_engine):
+        """+/- are only allowed on extensional objects; a derived view
+        without a registered program is not updatable."""
+        with pytest.raises(UpdateError):
+            unified_engine.update("?.dbI.p+(.date=d, .stk=s, .price=1)")
+
+    def test_view_update_survives_rematerialization(self, unified_engine):
+        unified_engine.update("?.dbE.r+(.date=3/5/85, .stkCode=sun, .clsPrice=30)")
+        # Force a fresh materialization and re-check.
+        unified_engine.invalidate()
+        assert unified_engine.ask("?.dbE.r(.stkCode=sun)")
+        assert "sun" in unified_engine.overlay.get("dbO").attr_names()
+
+
+class TestEmpMgrViewUpdate:
+    """Section 2's empMgr ambiguity: both administrator translations."""
+
+    @pytest.fixture
+    def hr_engine(self):
+        from repro import IdlEngine
+        from repro.workloads.empdept import (
+            CHANGE_DEPT_MGR_PROGRAM,
+            EMP_MGR_RULE,
+            MOVE_EMPLOYEE_PROGRAM,
+            build_universe,
+        )
+
+        engine = IdlEngine(universe=build_universe(n_employees=6, n_departments=2))
+        engine.define(EMP_MGR_RULE)
+        engine.define_update(MOVE_EMPLOYEE_PROGRAM)
+        engine.define_update(CHANGE_DEPT_MGR_PROGRAM)
+        return engine
+
+    def test_view_joins_emp_and_dept(self, hr_engine):
+        results = hr_engine.query("?.hr.empMgr(.name=N, .mgr=M)")
+        assert len(results) == 6
+
+    def test_policy_a_moves_the_employee(self, hr_engine):
+        employee = hr_engine.query("?.hr.empMgr(.name=N, .mgr=M)")[0]
+        name = employee["N"]
+        other_mgr = next(
+            a["M"]
+            for a in hr_engine.query("?.hr.dept(.dno=D, .mgr=M)")
+            if a["M"] != employee["M"]
+        )
+        hr_engine.call("hr", "setMgr", name=name, mgr=other_mgr)
+        results = hr_engine.query("?.hr.empMgr(.name=N, .mgr=M)", N=name)
+        assert answers_set(results, "M") == {other_mgr}
+
+    def test_policy_b_changes_the_department_manager(self, hr_engine):
+        employee = hr_engine.query("?.hr.empMgr(.name=N, .mgr=M)")[0]
+        name = employee["N"]
+        hr_engine.call("hr", "setDeptMgr", name=name, mgr="newboss")
+        results = hr_engine.query("?.hr.empMgr(.name=N, .mgr=M)", N=name)
+        assert answers_set(results, "M") == {"newboss"}
+        # Policy B affects every colleague in the same department.
+        dept = hr_engine.query("?.hr.emp(.name=N, .dno=D)", N=name)[0]["D"]
+        colleagues = hr_engine.query("?.hr.emp(.name=N, .dno=D)", D=dept)
+        for colleague in colleagues:
+            managers = hr_engine.query(
+                "?.hr.empMgr(.name=N, .mgr=M)", N=colleague["N"]
+            )
+            assert answers_set(managers, "M") == {"newboss"}

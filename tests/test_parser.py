@@ -1,0 +1,206 @@
+"""Unit tests for the IDL parser (AST construction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ast
+from repro.core.parser import (
+    parse_expression,
+    parse_program,
+    parse_query,
+    parse_rule,
+    parse_update_clause,
+)
+from repro.core.terms import Arith, Const, Var
+from repro.errors import ParseError
+
+
+def single_conjunct(source):
+    expr = parse_expression(source)
+    assert len(expr.conjuncts) == 1
+    return expr.conjuncts[0]
+
+
+class TestQueryParsing:
+    def test_simple_path(self):
+        step = single_conjunct("?.euter.r")
+        assert isinstance(step, ast.AttrStep)
+        assert step.attr == Const("euter")
+        inner = step.expr
+        assert isinstance(inner, ast.AttrStep) and inner.attr == Const("r")
+        assert isinstance(inner.expr, ast.Epsilon)
+
+    def test_set_expression_with_items(self):
+        step = single_conjunct("?.euter.r(.stkCode=hp, .clsPrice>60)")
+        set_expr = step.expr.expr
+        assert isinstance(set_expr, ast.SetExpr) and set_expr.sign is None
+        items = set_expr.inner.conjuncts
+        assert items[0].attr == Const("stkCode")
+        assert items[0].expr == ast.AtomicExpr("=", Const("hp"))
+        assert items[1].expr == ast.AtomicExpr(">", Const(60))
+
+    def test_higher_order_variables(self):
+        step = single_conjunct("?.X.Y(.stkCode)")
+        assert step.attr == Var("X")
+        assert step.expr.attr == Var("Y")
+
+    def test_negated_set_expression(self):
+        step = single_conjunct("?.euter.r~(.clsPrice>P)")
+        neg = step.expr.expr
+        assert isinstance(neg, ast.NegExpr)
+        assert isinstance(neg.inner, ast.SetExpr)
+
+    def test_conjunction_of_paths(self):
+        expr = parse_expression("?.a.b(.x=1), .c.d(.y=2)")
+        assert len(expr.conjuncts) == 2
+
+    def test_date_literal(self):
+        step = single_conjunct("?.euter.r(.date=3/3/85)")
+        item = step.expr.expr.inner.conjuncts[0]
+        assert item.expr == ast.AtomicExpr("=", Const("3/3/85"))
+
+    def test_quoted_attribute_name(self):
+        step = single_conjunct("?.db.'weird name'(.x=1)")
+        assert step.expr.attr == Const("weird name")
+
+    def test_standalone_constraint(self):
+        expr = parse_expression("?.X.Y, X = ource, Y != r")
+        constraint = expr.conjuncts[1]
+        assert isinstance(constraint, ast.Constraint)
+        assert constraint.left == Var("X") and constraint.right == Const("ource")
+        assert expr.conjuncts[2].op == "!="
+
+    def test_empty_set_expression(self):
+        step = single_conjunct("?.db.r()")
+        assert isinstance(step.expr.expr, ast.SetExpr)
+        assert isinstance(step.expr.expr.inner, ast.Epsilon)
+
+    def test_nested_set_of_sets(self):
+        step = single_conjunct("?.db.r((.x=1))")
+        outer = step.expr.expr
+        assert isinstance(outer.inner.conjuncts[0], ast.SetExpr)
+
+    def test_variable_binding_whole_object(self):
+        step = single_conjunct("?.db.r=X")
+        assert step.expr.expr == ast.AtomicExpr("=", Var("X"))
+
+
+class TestArithmetic:
+    def test_simple_arith(self):
+        step = single_conjunct("?.db.r(.p=C+10)")
+        term = step.expr.expr.inner.conjuncts[0].expr.term
+        assert term == Arith("+", Var("C"), Const(10))
+
+    def test_left_associative_chain(self):
+        expr = parse_expression("?.a(.x=1), Y = A+B-C")
+        term = expr.conjuncts[1].right
+        assert term == Arith("-", Arith("+", Var("A"), Var("B")), Var("C"))
+
+    def test_unary_minus_constant(self):
+        expr = parse_expression("?.a(.x=-5)")
+        assert expr.conjuncts[0].expr.inner.conjuncts[0].expr.term == Const(-5)
+
+    def test_arith_does_not_swallow_update_items(self):
+        # ``.x=C, +.y=2``: the + starts a new (signed) item, not C+...
+        expr = parse_expression("?.a(.x=C, +.y=2)")
+        items = expr.conjuncts[0].expr.inner.conjuncts
+        assert items[0].expr.term == Var("C")
+        assert items[1].sign == ast.PLUS
+
+
+class TestUpdateParsing:
+    def test_set_plus(self):
+        step = single_conjunct("?.euter.r+(.date=3/3/85)")
+        plus = step.expr.expr
+        assert isinstance(plus, ast.SetExpr) and plus.sign == ast.PLUS
+
+    def test_set_minus(self):
+        step = single_conjunct("?.euter.r-(.stkCode=hp)")
+        assert step.expr.expr.sign == ast.MINUS
+
+    def test_tuple_plus_item(self):
+        step = single_conjunct("?.chwab.r(.date=D, +.sun=30)")
+        items = step.expr.expr.inner.conjuncts
+        assert items[1].sign == ast.PLUS and items[1].attr == Const("sun")
+
+    def test_tuple_minus_item(self):
+        step = single_conjunct("?.chwab.r(-.hp)")
+        item = step.expr.expr.inner.conjuncts[0]
+        assert item.sign == ast.MINUS and isinstance(item.expr, ast.Epsilon)
+
+    def test_atomic_plus_minus_shorthand(self):
+        step = single_conjunct("?.chwab.r(.hp+=51, .ibm-=C)")
+        items = step.expr.expr.inner.conjuncts
+        assert items[0].expr == ast.AtomicExpr("=", Const(51), sign=ast.PLUS)
+        assert items[1].expr == ast.AtomicExpr("=", Var("C"), sign=ast.MINUS)
+
+    def test_database_level_tuple_minus(self):
+        step = single_conjunct("?.ource-.S")
+        item = step.expr
+        assert isinstance(item, ast.AttrStep)
+        assert item.sign == ast.MINUS and item.attr == Var("S")
+
+    def test_update_flag_propagates(self):
+        assert parse_query("?.a.r+(.x=1)").is_update_request
+        assert not parse_query("?.a.r(.x=1)").is_update_request
+
+
+class TestStatements:
+    def test_rule(self):
+        rule = parse_rule(".dbI.p(.s=S) <- .euter.r(.stkCode=S)")
+        assert isinstance(rule, ast.Rule)
+        assert rule.head.variables() == {"S"}
+
+    def test_update_clause(self):
+        clause = parse_update_clause(".dbU.del(.s=S) -> .euter.r-(.stkCode=S)")
+        assert isinstance(clause, ast.UpdateClause)
+
+    def test_update_clause_with_empty_body(self):
+        clause = parse_update_clause(".dbX.p(.e=E) ->")
+        assert clause.body.conjuncts == ()
+
+    def test_program_with_mixed_statements(self):
+        statements = parse_program(
+            "% stock program\n"
+            ".dbI.p(.s=S) <- .euter.r(.stkCode=S)\n"
+            ".dbU.del(.s=S) -> .euter.r-(.stkCode=S)\n"
+            "?.dbI.p(.s=hp)\n"
+        )
+        kinds = [type(s).__name__ for s in statements]
+        assert kinds == ["Rule", "UpdateClause", "Query"]
+
+    def test_multiline_rule_via_continuation(self):
+        rule = parse_rule(
+            ".dbI.p(.d=D, .s=S) <-\n  .euter.r(.date=D,\n           .stkCode=S)"
+        )
+        assert rule.body.variables() == {"D", "S"}
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "?.a(",  # unclosed paren
+            "?.a(.x=)",  # missing term
+            "?.(.x=1)",  # missing attribute name
+            ".h(.x=X)",  # bare expression is not a statement
+            "?.a.b(.x=1) extra",  # trailing junk
+            "?.a(.x ~ 1)",  # stray negation
+            "? .a(.x=1) <- .b",  # rule cannot start with ?
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(ParseError):
+            parse_program(source)
+
+    def test_error_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_program("?.a(.x=1,\n.y=)")
+        assert info.value.line == 2
+
+    def test_parse_query_requires_single_query(self):
+        with pytest.raises(ParseError):
+            parse_query("?.a\n?.b")
+        with pytest.raises(ParseError):
+            parse_rule("?.a")

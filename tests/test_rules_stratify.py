@@ -1,0 +1,220 @@
+"""Unit tests for rule analysis, pattern overlap, stratification and
+make-true semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parser import parse_rule
+from repro.core.rules import (
+    analyze_rule,
+    body_references,
+    make_true,
+    patterns_overlap,
+    resolve_target,
+)
+from repro.core.stratify import is_recursive_stratum, stratify
+from repro.core.substitution import Substitution
+from repro.core.terms import Const, Var
+from repro.errors import SemanticError, StratificationError
+from repro.objects import Atom, TupleObject, from_python, to_python
+
+
+def analyzed(source, merge_on=()):
+    return analyze_rule(parse_rule(source), merge_on=merge_on)
+
+
+class TestAnalyzeRule:
+    def test_target_extraction(self):
+        rule = analyzed(".dbI.p(.x=X) <- .euter.r(.stkCode=X)")
+        assert rule.target == (Const("dbI"), Const("p"))
+        assert not rule.is_higher_order
+
+    def test_higher_order_target(self):
+        rule = analyzed(".dbO.S(.x=X) <- .euter.r(.stkCode=S, .clsPrice=X)")
+        assert rule.target == (Const("dbO"), Var("S"))
+        assert rule.is_higher_order
+
+    def test_deep_target(self):
+        rule = analyzed(".a.b.c(.x=X) <- .euter.r(.stkCode=X)")
+        assert rule.target == (Const("a"), Const("b"), Const("c"))
+
+    def test_relation_only_head(self):
+        rule = analyzed(".dbI.flag() <- .euter.r(.stkCode=hp)")
+        assert rule.constructor is None
+
+    def test_unsafe_body_rejected(self):
+        with pytest.raises(SemanticError):
+            analyzed(".dbI.p(.x=X) <- .euter.r(.stkCode=X, .clsPrice>Y)")
+
+    def test_merge_on_must_be_in_head(self):
+        with pytest.raises(SemanticError):
+            analyzed(".dbI.p(.x=X) <- .euter.r(.stkCode=X)", merge_on=("zzz",))
+
+    def test_merge_on_with_higher_order_constructor_allowed(self):
+        rule = analyzed(
+            ".dbC.r(.date=D, .S=P) <- .dbI.p(.date=D, .stk=S, .price=P)",
+            merge_on=("date",),
+        )
+        assert rule.merge_on == ("date",)
+
+
+class TestBodyReferences:
+    def test_simple_positive(self):
+        rule = parse_rule(".h.x(.a=A) <- .d.r(.a=A), .e.s(.b=A)")
+        refs = body_references(rule.body)
+        patterns = {(tuple(t.value for t in p), pos) for p, pos in refs}
+        assert (("d", "r"), True) in patterns
+        assert (("e", "s"), True) in patterns
+
+    def test_negated_reference(self):
+        rule = parse_rule(".h.x(.a=A) <- .d.r(.a=A), .d.s~(.a=A)")
+        refs = body_references(rule.body)
+        flags = {tuple(getattr(t, "value", None) for t in p): pos for p, pos in refs}
+        assert flags[("d", "s")] is False
+
+    def test_higher_order_reference(self):
+        rule = parse_rule(".h.x(.a=Y) <- .X.Y(.a=A)")
+        [(pattern, positive)] = body_references(rule.body)
+        assert isinstance(pattern[0], Var) and isinstance(pattern[1], Var)
+
+
+class TestPatternsOverlap:
+    def test_constants(self):
+        assert patterns_overlap((Const("a"), Const("b")), (Const("a"), Const("b")))
+        assert not patterns_overlap((Const("a"), Const("b")), (Const("a"), Const("c")))
+
+    def test_variables_match_anything(self):
+        assert patterns_overlap((Var("X"), Const("b")), (Const("a"), Const("b")))
+        assert patterns_overlap((Const("a"), Var("Y")), (Const("a"), Const("b")))
+
+    def test_prefix_matches(self):
+        assert patterns_overlap((Const("a"),), (Const("a"), Const("b")))
+        assert patterns_overlap((Const("a"), Const("b")), (Const("a"),))
+
+
+class TestStratify:
+    def test_independent_rules_one_each(self):
+        rules = [
+            analyzed(".v.a(.x=X) <- .d.r(.x=X)"),
+            analyzed(".v.b(.x=X) <- .d.s(.x=X)"),
+        ]
+        strata = stratify(rules)
+        assert sum(len(s) for s in strata) == 2
+
+    def test_dependency_ordering(self):
+        first = analyzed(".v.b(.x=X) <- .v.a(.x=X)")
+        second = analyzed(".v.a(.x=X) <- .d.r(.x=X)")
+        strata = stratify([first, second])
+        # a's rule must evaluate before b's rule.
+        flat = [rule for stratum in strata for rule in stratum]
+        assert flat.index(second) < flat.index(first)
+
+    def test_recursive_scc_groups_together(self):
+        rules = [
+            analyzed(".v.even(.x=X) <- .d.zero(.x=X)"),
+            analyzed(".v.even(.x=X) <- .v.odd(.y=X)"),
+            analyzed(".v.odd(.y=X) <- .v.even(.x=X)"),
+        ]
+        strata = stratify(rules)
+        recursive = [s for s in strata if is_recursive_stratum(s)]
+        assert recursive and len(recursive[0]) == 2
+
+    def test_negative_cycle_rejected(self):
+        rules = [
+            analyzed(".v.a(.x=X) <- .d.r(.x=X), .v.b~(.x=X)"),
+            analyzed(".v.b(.x=X) <- .v.a(.x=X)"),
+        ]
+        with pytest.raises(StratificationError):
+            stratify(rules)
+
+    def test_higher_order_negative_edge(self):
+        # A negated higher-order reference depends on every head.
+        rules = [
+            analyzed(".v.a(.x=X) <- .d.r(.x=X), .X.Y~(.q=X)"),
+            analyzed(".v.b(.x=X) <- .v.a(.x=X)"),
+        ]
+        # v.a negatively references .X.Y which overlaps v.b's target, and
+        # v.b references v.a: a negative cycle.
+        with pytest.raises(StratificationError):
+            stratify(rules)
+
+
+class TestMakeTrue:
+    def build(self, source, merge_on=()):
+        return analyzed(source, merge_on=merge_on)
+
+    def test_inserts_fact(self):
+        rule = self.build(".v.p(.x=X) <- .d.r(.x=X)")
+        overlay = TupleObject()
+        subst = Substitution.of({"X": Atom(1)})
+        assert make_true(rule, subst, overlay) is not None
+        assert to_python(overlay) == {"v": {"p": [{"x": 1}]}}
+
+    def test_duplicate_fact_reports_no_change(self):
+        rule = self.build(".v.p(.x=X) <- .d.r(.x=X)")
+        overlay = TupleObject()
+        subst = Substitution.of({"X": Atom(1)})
+        make_true(rule, subst, overlay)
+        assert make_true(rule, subst, overlay) is None
+
+    def test_higher_order_target_resolution(self):
+        rule = self.build(".dbO.S(.x=X) <- .d.r(.s=S, .x=X)")
+        overlay = TupleObject()
+        make_true(rule, Substitution.of({"S": Atom("hp"), "X": Atom(1)}), overlay)
+        make_true(rule, Substitution.of({"S": Atom("ibm"), "X": Atom(2)}), overlay)
+        assert sorted(overlay.get("dbO").attr_names()) == ["hp", "ibm"]
+
+    def test_unbound_target_variable_raises(self):
+        rule = self.build(".dbO.S(.x=X) <- .d.r(.s=S, .x=X)")
+        with pytest.raises(SemanticError):
+            resolve_target(rule.target, Substitution.of({"X": Atom(1)}))
+
+    def test_merge_on_extends_matching_element(self):
+        rule = self.build(
+            ".v.r(.date=D, .S=P) <- .d.q(.date=D, .s=S, .p=P)",
+            merge_on=("date",),
+        )
+        overlay = TupleObject()
+        make_true(
+            rule,
+            Substitution.of({"D": Atom("d1"), "S": Atom("hp"), "P": Atom(1)}),
+            overlay,
+        )
+        make_true(
+            rule,
+            Substitution.of({"D": Atom("d1"), "S": Atom("ibm"), "P": Atom(2)}),
+            overlay,
+        )
+        make_true(
+            rule,
+            Substitution.of({"D": Atom("d2"), "S": Atom("hp"), "P": Atom(3)}),
+            overlay,
+        )
+        rows = to_python(overlay.get("v").get("r"))
+        assert {"date": "d1", "hp": 1, "ibm": 2} in rows
+        assert {"date": "d2", "hp": 3} in rows
+        assert len(rows) == 2
+
+    def test_merge_is_idempotent(self):
+        rule = self.build(
+            ".v.r(.date=D, .S=P) <- .d.q(.date=D, .s=S, .p=P)",
+            merge_on=("date",),
+        )
+        overlay = TupleObject()
+        subst = Substitution.of({"D": Atom("d1"), "S": Atom("hp"), "P": Atom(1)})
+        assert make_true(rule, subst, overlay) is not None
+        assert make_true(rule, subst, overlay) is None
+
+    def test_relation_creation_counts_as_change(self):
+        rule = self.build(".v.flag() <- .d.r(.x=X)")
+        overlay = TupleObject()
+        assert make_true(rule, Substitution.empty(), overlay) is not None
+        assert make_true(rule, Substitution.empty(), overlay) is None
+        assert len(overlay.get("v").get("flag")) == 0
+
+    def test_path_collision_detected(self):
+        rule = self.build(".v.p(.x=X) <- .d.r(.x=X)")
+        overlay = from_python({"v": 5})  # v is an atom, not a tuple
+        with pytest.raises(SemanticError):
+            make_true(rule, Substitution.of({"X": Atom(1)}), overlay)

@@ -1,0 +1,138 @@
+"""Tests for selective re-materialization (touched-path invalidation)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IdlEngine
+from tests.conftest import answers_set
+
+
+def build_engine():
+    engine = IdlEngine()
+    engine.add_database("a", {"r": [{"x": 1}, {"x": 2}]})
+    engine.add_database("b", {"s": [{"y": 10}]})
+    engine.define(".va.p(.x=X) <- .a.r(.x=X)")
+    engine.define(".vb.q(.y=Y) <- .b.s(.y=Y)")
+    engine.define(".vc.j(.x=X, .y=Y) <- .va.p(.x=X), .vb.q(.y=Y)")
+    return engine
+
+
+class TestTouchedPaths:
+    def test_update_reports_touched(self):
+        engine = build_engine()
+        result = engine.update("?.a.r+(.x=3)")
+        assert result.touched == {("a", "r")}
+
+    def test_program_calls_accumulate_touched(self):
+        engine = build_engine()
+        engine.universe.add_database("u")
+        engine.invalidate()
+        engine.define_update(
+            ".u.both(.v=V) -> .a.r+(.x=V)\n.u.both(.v=V) -> .b.s+(.y=V)"
+        )
+        result = engine.call("u", "both", v=99)
+        assert result.touched == {("a", "r"), ("b", "s")}
+
+    def test_metadata_updates_report_touched(self):
+        engine = build_engine()
+        result = engine.update("?.a-.r")
+        assert result.touched == {("a", "r")}
+
+    def test_no_match_touches_nothing(self):
+        engine = build_engine()
+        result = engine.update("?.a.r(.x=999, .x-=C)")
+        assert result.touched == set()
+
+
+class TestSelectiveRebuild:
+    def test_untouched_stratum_is_reused(self):
+        engine = build_engine()
+        engine.materialized_view()
+        engine.update("?.b.s+(.y=20)")
+        engine.materialized_view()
+        # va's stratum (reading only a.r) must have been reused.
+        assert engine.fixpoint_stats.reused_strata >= 1
+        assert answers_set(engine.query("?.vb.q(.y=Y)"), "Y") == {10, 20}
+
+    def test_dependent_strata_are_rebuilt(self):
+        engine = build_engine()
+        engine.materialized_view()
+        engine.update("?.a.r+(.x=3)")
+        # vc depends on va depends on a.r: both rebuilt, vb reused.
+        assert answers_set(engine.query("?.vc.j(.x=X, .y=Y)"), "X", "Y") == {
+            (1, 10), (2, 10), (3, 10),
+        }
+        assert engine.fixpoint_stats.reused_strata == 1
+
+    def test_deletes_propagate(self):
+        engine = build_engine()
+        engine.materialized_view()
+        engine.update("?.a.r-(.x=1)")
+        assert answers_set(engine.query("?.va.p(.x=X)"), "X") == {2}
+        assert answers_set(engine.query("?.vc.j(.x=X, .y=Y)"), "X", "Y") == {
+            (2, 10),
+        }
+
+    def test_unchanged_request_keeps_cache(self):
+        engine = build_engine()
+        engine.materialized_view()
+        first = engine.overlay
+        engine.update("?.a.r-(.x=999)")  # matches nothing
+        assert engine.overlay is first
+
+    def test_define_fully_invalidates(self):
+        engine = build_engine()
+        engine.materialized_view()
+        engine.define(".vd.k(.x=X) <- .a.r(.x=X)")
+        engine.materialized_view()
+        assert engine.fixpoint_stats.reused_strata == 0
+
+    def test_higher_order_views_track_touched_families(self):
+        engine = IdlEngine()
+        engine.add_database("euter", {"r": [
+            {"date": "d1", "stkCode": "hp", "clsPrice": 50},
+        ]})
+        engine.add_database("other", {"t": [{"z": 1}]})
+        engine.define(".dbO.S(.date=D, .p=P) <- .euter.r(.date=D, .stkCode=S, .clsPrice=P)")
+        engine.define(".vz.w(.z=Z) <- .other.t(.z=Z)")
+        engine.materialized_view()
+        engine.update("?.euter.r+(.date=d2, .stkCode=sun, .clsPrice=9)")
+        assert sorted(engine.overlay.get("dbO").attr_names()) == ["hp", "sun"]
+        assert engine.fixpoint_stats.reused_strata == 1
+
+
+# -- property: selective == full rebuild --------------------------------------
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert_a"), st.integers(0, 5)),
+        st.tuples(st.just("delete_a"), st.integers(0, 5)),
+        st.tuples(st.just("insert_b"), st.integers(0, 5)),
+    ),
+    max_size=12,
+)
+
+
+@given(ops)
+@settings(max_examples=60, deadline=None)
+def test_selective_equals_full_rebuild(sequence):
+    selective = build_engine()
+    reference = build_engine()
+    for op, value in sequence:
+        if op == "insert_a":
+            request = f"?.a.r+(.x={value})"
+        elif op == "delete_a":
+            request = f"?.a.r-(.x={value})"
+        else:
+            request = f"?.b.s+(.y={value})"
+        selective.update(request)
+        selective.materialized_view()  # exercise the cache each step
+        reference.update(request)
+        reference.invalidate()  # force full rebuild
+    for source in ("?.va.p(.x=X)", "?.vb.q(.y=Y)", "?.vc.j(.x=X, .y=Y)"):
+        lhs = {tuple(sorted(a.items())) for a in selective.query(source)}
+        rhs = {tuple(sorted(a.items())) for a in reference.query(source)}
+        assert lhs == rhs

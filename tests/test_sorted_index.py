@@ -1,0 +1,139 @@
+"""Tests for the sorted (range) index and its planner integration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.sql import SqlEngine
+from repro.sql.algebra import IndexRangeScan
+from repro.storage import SortedIndex, StorageDatabase
+
+
+@pytest.fixture
+def db():
+    database = StorageDatabase("t")
+    database.create_relation("r", [("k", "int"), ("v", "str")])
+    for index in range(10):
+        database.insert("r", {"k": index, "v": f"x{index}"})
+    database.insert("r", {"k": None, "v": "nullk"})
+    database.create_index("r", "by_k", ("k",), kind="sorted")
+    return database
+
+
+class TestSortedIndex:
+    def test_bounds(self, db):
+        relation = db.relation("r")
+        assert [row["k"] for row in relation.range_lookup("k", 3, 7)] == [3, 4, 5, 6, 7]
+        assert [row["k"] for row in relation.range_lookup("k", 3, 7, (False, False))] == [4, 5, 6]
+        assert [row["k"] for row in relation.range_lookup("k", None, 1)] == [0, 1]
+        assert [row["k"] for row in relation.range_lookup("k", 8, None)] == [8, 9]
+
+    def test_nulls_never_match(self, db):
+        relation = db.relation("r")
+        assert all(
+            row["k"] is not None for row in relation.range_lookup("k", None, None)
+        )
+
+    def test_equality_lookup_shape(self, db):
+        index = db.relation("r").sorted_index_on("k")
+        rids = index.lookup(4)
+        assert len(rids) == 1
+
+    def test_maintained_across_dml(self, db):
+        db.delete("r", k=5)
+        db.insert("r", {"k": 5, "v": "back"})
+        db.update("r", {"k": 100}, v="x9")
+        relation = db.relation("r")
+        assert [row["k"] for row in relation.range_lookup("k", 5, 9)] == [5, 6, 7, 8]
+        assert [row["k"] for row in relation.range_lookup("k", 99, None)] == [100]
+
+    def test_transaction_abort_restores_index(self, db):
+        transaction = db.begin()
+        db.delete("r", k=3)
+        db.insert("r", {"k": 50, "v": "tmp"})
+        transaction.abort()
+        relation = db.relation("r")
+        assert [row["k"] for row in relation.range_lookup("k", 3, 3)] == [3]
+        assert relation.range_lookup("k", 50, 50) == []
+
+    def test_mixed_type_columns_partition_by_class(self):
+        database = StorageDatabase("t")
+        database.create_relation("r", [("k", "any")])
+        for value in (3, "b", 1, "a", 2):
+            database.insert("r", {"k": value})
+        database.create_index("r", "by_k", ("k",), kind="sorted")
+        relation = database.relation("r")
+        assert [row["k"] for row in relation.range_lookup("k", 1, 3)] == [1, 2, 3]
+        assert [row["k"] for row in relation.range_lookup("k", "a", "b")] == ["a", "b"]
+
+    def test_multi_column_rejected(self):
+        with pytest.raises(StorageError):
+            SortedIndex(("a", "b"))
+
+    def test_unknown_kind_rejected(self, db):
+        with pytest.raises(StorageError):
+            db.create_index("r", "bad", ("k",), kind="btree")
+
+    def test_range_lookup_without_index_scans(self):
+        database = StorageDatabase("t")
+        database.create_relation("r", [("k", "int")])
+        for index in range(5):
+            database.insert("r", {"k": index})
+        relation = database.relation("r")
+        assert [row["k"] for row in relation.range_lookup("k", 2, 3)] == [2, 3]
+
+
+class TestPlannerIntegration:
+    def test_range_uses_index(self, db):
+        sql = SqlEngine(db)
+        plan = sql._plan_from_where(
+            __import__("repro.sql.sqlparser", fromlist=["parse_sql"]).parse_sql(
+                "SELECT k FROM r WHERE k > 6"
+            ),
+            qualified=False,
+        )
+        assert isinstance(plan, IndexRangeScan)
+
+    def test_range_with_residual_filter(self, db):
+        sql = SqlEngine(db)
+        rows = sql.execute("SELECT k FROM r WHERE k >= 6 AND v = 'x7'")
+        assert [row["k"] for row in rows] == [7]
+
+    def test_results_match_scan(self, db):
+        sql = SqlEngine(db)
+        indexed = sql.execute("SELECT k FROM r WHERE k < 4")
+        database = StorageDatabase("t2")
+        database.create_relation("r", [("k", "int"), ("v", "str")])
+        for index in range(10):
+            database.insert("r", {"k": index, "v": f"x{index}"})
+        database.insert("r", {"k": None, "v": "nullk"})
+        plain = SqlEngine(database).execute("SELECT k FROM r WHERE k < 4")
+        assert sorted(r["k"] for r in indexed) == sorted(r["k"] for r in plain)
+
+
+@given(
+    st.lists(st.integers(min_value=-20, max_value=20), max_size=40),
+    st.integers(min_value=-20, max_value=20),
+    st.integers(min_value=-20, max_value=20),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_range_matches_filter(values, low, high):
+    database = StorageDatabase("t")
+    database.create_relation("r", [("k", "int"), ("i", "int")])
+    for position, value in enumerate(values):
+        database.insert("r", {"k": value, "i": position})
+    database.create_index("r", "by_k", ("k",), kind="sorted")
+    low, high = min(low, high), max(low, high)
+    via_index = sorted(
+        (row["k"], row["i"])
+        for row in database.relation("r").range_lookup("k", low, high)
+    )
+    via_filter = sorted(
+        (value, position)
+        for position, value in enumerate(values)
+        if low <= value <= high
+    )
+    assert via_index == via_filter

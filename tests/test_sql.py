@@ -1,0 +1,182 @@
+"""Unit tests for the mini-SQL baseline engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sql import SqlEngine, parse_sql
+from repro.storage import StorageDatabase
+
+
+@pytest.fixture
+def engine():
+    database = StorageDatabase("euter")
+    sql = SqlEngine(database)
+    sql.execute(
+        "CREATE TABLE r (date str NOT NULL, stkCode str NOT NULL,"
+        " clsPrice float, PRIMARY KEY (date, stkCode))"
+    )
+    sql.execute(
+        "INSERT INTO r (date, stkCode, clsPrice) VALUES"
+        " ('3/3/85', 'hp', 50), ('3/4/85', 'hp', 65), ('3/3/85', 'ibm', 160),"
+        " ('3/4/85', 'ibm', 155)"
+    )
+    return sql
+
+
+class TestSelect:
+    def test_select_star(self, engine):
+        rows = engine.execute("SELECT * FROM r")
+        assert len(rows) == 4
+
+    def test_projection_and_alias(self, engine):
+        rows = engine.execute("SELECT stkCode AS s FROM r WHERE date = '3/3/85'")
+        assert sorted(row["s"] for row in rows) == ["hp", "ibm"]
+
+    def test_where_comparisons(self, engine):
+        rows = engine.execute("SELECT stkCode FROM r WHERE clsPrice > 100")
+        assert {row["stkCode"] for row in rows} == {"ibm"}
+        rows = engine.execute(
+            "SELECT date FROM r WHERE clsPrice >= 65 AND stkCode = 'hp'"
+        )
+        assert [row["date"] for row in rows] == ["3/4/85"]
+
+    def test_distinct(self, engine):
+        rows = engine.execute("SELECT DISTINCT stkCode FROM r")
+        assert len(rows) == 2
+
+    def test_order_by_and_limit(self, engine):
+        rows = engine.execute("SELECT clsPrice FROM r ORDER BY clsPrice DESC LIMIT 2")
+        assert [row["clsPrice"] for row in rows] == [160, 155]
+
+    def test_self_join(self, engine):
+        rows = engine.execute(
+            "SELECT a.date FROM r a, r b WHERE a.date = b.date"
+            " AND a.stkCode = 'hp' AND b.stkCode = 'ibm'"
+            " AND a.clsPrice > 60 AND b.clsPrice > 150"
+        )
+        assert [row["date"] for row in rows] == ["3/4/85"]
+
+    def test_aggregates(self, engine):
+        rows = engine.execute(
+            "SELECT stkCode, max(clsPrice) AS high, count(*) AS days"
+            " FROM r GROUP BY stkCode"
+        )
+        by_stock = {row["stkCode"]: row for row in rows}
+        assert by_stock["hp"]["high"] == 65 and by_stock["hp"]["days"] == 2
+        assert by_stock["ibm"]["high"] == 160
+
+    def test_global_aggregate(self, engine):
+        [row] = engine.execute("SELECT avg(clsPrice) AS mean FROM r")
+        assert row["mean"] == pytest.approx((50 + 65 + 160 + 155) / 4)
+
+    def test_aggregate_requires_grouped_columns(self, engine):
+        with pytest.raises(SqlError):
+            engine.execute("SELECT date, max(clsPrice) FROM r GROUP BY stkCode")
+
+    def test_index_lookup_path(self, engine):
+        engine.database.create_index("r", "by_stk", ("stkCode",))
+        rows = engine.execute("SELECT date FROM r WHERE stkCode = 'hp'")
+        assert len(rows) == 2
+
+    def test_nulls_never_satisfy_comparisons(self, engine):
+        engine.execute("INSERT INTO r (date, stkCode) VALUES ('3/5/85', 'hp')")
+        rows = engine.execute("SELECT date FROM r WHERE clsPrice < 99999")
+        assert "3/5/85" not in {row["date"] for row in rows}
+
+
+class TestDml:
+    def test_insert_returns_count(self, engine):
+        count = engine.execute(
+            "INSERT INTO r (date, stkCode, clsPrice) VALUES ('3/5/85', 'sun', 30)"
+        )
+        assert count == 1
+        assert len(engine.execute("SELECT * FROM r")) == 5
+
+    def test_delete(self, engine):
+        count = engine.execute("DELETE FROM r WHERE stkCode = 'hp'")
+        assert count == 2
+        assert len(engine.execute("SELECT * FROM r")) == 2
+
+    def test_update(self, engine):
+        count = engine.execute(
+            "UPDATE r SET clsPrice = 51 WHERE date = '3/3/85' AND stkCode = 'hp'"
+        )
+        assert count == 1
+        [row] = engine.execute(
+            "SELECT clsPrice FROM r WHERE date = '3/3/85' AND stkCode = 'hp'"
+        )
+        assert row["clsPrice"] == 51
+
+    def test_update_to_null(self, engine):
+        engine.execute("UPDATE r SET clsPrice = null WHERE stkCode = 'hp'")
+        rows = engine.execute("SELECT date FROM r WHERE clsPrice = null")
+        assert len(rows) == 2
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELEC * FROM r",
+            "SELECT FROM r",
+            "SELECT * FROM r WHERE",
+            "INSERT INTO r (a, b) VALUES (1)",
+            "CREATE TABLE t (x sometype)",
+            "SELECT * FROM r; DROP TABLE r",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(SqlError):
+            parse_sql(bad)
+
+    def test_unknown_alias(self, engine):
+        with pytest.raises(SqlError):
+            engine.execute("SELECT z.date FROM r a, r b WHERE a.date = b.date")
+
+    def test_ambiguous_column(self, engine):
+        with pytest.raises(SqlError):
+            engine.execute("SELECT date FROM r a, r b")
+
+
+class TestFirstOrderLimitation:
+    """The Section 2 argument, demonstrated: SQL needs the application to
+    enumerate metadata that IDL quantifies over in one expression."""
+
+    def test_chwab_needs_one_query_per_stock(self):
+        database = StorageDatabase("chwab")
+        sql = SqlEngine(database)
+        sql.execute(
+            "CREATE TABLE r (date str NOT NULL, hp float, ibm float,"
+            " PRIMARY KEY (date))"
+        )
+        sql.execute(
+            "INSERT INTO r (date, hp, ibm) VALUES ('3/3/85', 50, 160),"
+            " ('3/4/85', 65, 155)"
+        )
+        # "Did any stock close above 100?" — SQL has no way to quantify
+        # over columns; the host program must consult the catalog:
+        stock_columns = [
+            row["colname"]
+            for row in database.system_relations()["_columns"]
+            if row["relname"] == "r" and row["colname"] != "date"
+        ]
+        assert stock_columns == ["hp", "ibm"]
+        hits = []
+        for column in stock_columns:  # one query per column
+            hits.extend(
+                sql.execute(f"SELECT date FROM r WHERE {column} > 100")
+            )
+        assert len(hits) == 2
+
+        # IDL: a single higher-order expression.
+        from repro import IdlEngine
+
+        idl = IdlEngine()
+        idl.add_database(
+            "chwab",
+            {"r": [{"date": "3/3/85", "hp": 50, "ibm": 160},
+                   {"date": "3/4/85", "hp": 65, "ibm": 155}]},
+        )
+        assert idl.ask("?.chwab.r(.S>100)")

@@ -1,0 +1,162 @@
+"""Direct tests for the relational-algebra operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sql.algebra import (
+    Aggregate,
+    CrossProduct,
+    Difference,
+    HashJoin,
+    Limit,
+    OrderBy,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+
+LEFT = [{"k": 1, "v": "a"}, {"k": 2, "v": "b"}, {"k": 3, "v": None}]
+RIGHT = [{"k": 1, "w": 10}, {"k": 1, "w": 11}, {"k": 9, "w": 90}]
+
+
+class TestScanSelectProject:
+    def test_scan_copies_rows(self):
+        rows = Scan(LEFT).to_list()
+        rows[0]["k"] = 999
+        assert LEFT[0]["k"] == 1
+
+    def test_select_conditions(self):
+        rows = Select(Scan(LEFT), conditions=[("k", ">", 1, False)]).to_list()
+        assert [row["k"] for row in rows] == [2, 3]
+
+    def test_select_predicate(self):
+        rows = Select(Scan(LEFT), predicate=lambda r: r["v"] == "a").to_list()
+        assert len(rows) == 1
+
+    def test_select_column_to_column(self):
+        data = [{"a": 1, "b": 1}, {"a": 1, "b": 2}]
+        rows = Select(Scan(data), conditions=[("a", "=", "b", True)]).to_list()
+        assert rows == [{"a": 1, "b": 1}]
+
+    def test_select_unknown_operator(self):
+        with pytest.raises(SqlError):
+            Select(Scan(LEFT), conditions=[("k", "~", 1, False)]).to_list()
+
+    def test_nulls_fail_comparisons(self):
+        rows = Select(Scan(LEFT), conditions=[("v", "=", None, False)]).to_list()
+        assert rows == []  # = against null literal matches nothing here
+
+    def test_project_and_rename_columns(self):
+        rows = Project(Scan(LEFT), [("k", "key")]).to_list()
+        assert rows[0] == {"key": 1}
+
+    def test_project_star(self):
+        rows = Project(Scan(LEFT), [("*", "*")]).to_list()
+        assert rows[0] == LEFT[0]
+
+    def test_project_distinct(self):
+        data = [{"x": 1}, {"x": 1}, {"x": 2}]
+        rows = Project(Scan(data), ["x"], distinct=True).to_list()
+        assert len(rows) == 2
+
+
+class TestJoins:
+    def test_hash_join(self):
+        rows = HashJoin(Scan(LEFT), Scan(RIGHT), [("k", "k")]).to_list()
+        assert len(rows) == 2
+        assert {row["w"] for row in rows} == {10, 11}
+
+    def test_join_skips_nulls(self):
+        left = [{"k": None, "v": 1}]
+        right = [{"k": None, "w": 2}]
+        assert HashJoin(Scan(left), Scan(right), [("k", "k")]).to_list() == []
+
+    def test_join_requires_pairs(self):
+        with pytest.raises(SqlError):
+            HashJoin(Scan(LEFT), Scan(RIGHT), [])
+
+    def test_cross_product(self):
+        rows = CrossProduct(Scan(LEFT), Scan(RIGHT)).to_list()
+        assert len(rows) == 9
+
+    def test_rename_prefixes(self):
+        rows = Rename(Scan(LEFT), "l").to_list()
+        assert set(rows[0]) == {"l.k", "l.v"}
+
+    def test_self_join_via_rename(self):
+        left = Rename(Scan(RIGHT), "a")
+        right = Rename(Scan(RIGHT), "b")
+        rows = HashJoin(left, right, [("a.k", "b.k")]).to_list()
+        assert len(rows) == 5  # (1,1)x2x2 + (9,9)
+
+
+class TestSetOperators:
+    def test_union_deduplicates(self):
+        rows = Union(Scan([{"x": 1}, {"x": 2}]), Scan([{"x": 2}, {"x": 3}])).to_list()
+        assert len(rows) == 3
+
+    def test_difference(self):
+        rows = Difference(
+            Scan([{"x": 1}, {"x": 2}]), Scan([{"x": 2}])
+        ).to_list()
+        assert rows == [{"x": 1}]
+
+
+class TestOrderingAndLimits:
+    def test_order_by_multiple_keys(self):
+        data = [{"a": 1, "b": 2}, {"a": 1, "b": 1}, {"a": 0, "b": 9}]
+        rows = OrderBy(Scan(data), ["a", "b"]).to_list()
+        assert rows == [{"a": 0, "b": 9}, {"a": 1, "b": 1}, {"a": 1, "b": 2}]
+
+    def test_order_by_descending(self):
+        rows = OrderBy(Scan(LEFT), ["k"], [True]).to_list()
+        assert [row["k"] for row in rows] == [3, 2, 1]
+
+    def test_nulls_sort_last(self):
+        data = [{"a": None}, {"a": 1}]
+        rows = OrderBy(Scan(data), ["a"]).to_list()
+        assert rows[-1] == {"a": None}
+
+    def test_limit(self):
+        assert len(Limit(Scan(LEFT), 2).to_list()) == 2
+        assert len(Limit(Scan(LEFT), 0).to_list()) == 0
+
+
+class TestAggregate:
+    DATA = [
+        {"g": "a", "v": 1},
+        {"g": "a", "v": 3},
+        {"g": "b", "v": 5},
+        {"g": "b", "v": None},
+    ]
+
+    def test_group_aggregates(self):
+        rows = Aggregate(
+            Scan(self.DATA),
+            ["g"],
+            [("count", "*", "n"), ("sum", "v", "total"), ("avg", "v", "mean"),
+             ("min", "v", "low"), ("max", "v", "high")],
+        ).to_list()
+        by_group = {row["g"]: row for row in rows}
+        assert by_group["a"] == {
+            "g": "a", "n": 2, "total": 4, "mean": 2, "low": 1, "high": 3,
+        }
+        # Nulls are ignored by value aggregates but counted by count(*).
+        assert by_group["b"]["n"] == 2 and by_group["b"]["total"] == 5
+
+    def test_global_aggregate(self):
+        [row] = Aggregate(Scan(self.DATA), [], [("count", "*", "n")]).to_list()
+        assert row == {"n": 4}
+
+    def test_empty_input(self):
+        assert Aggregate(Scan([]), [], [("count", "*", "n")]).to_list() == [
+            {"n": 0}
+        ] or Aggregate(Scan([]), [], [("count", "*", "n")]).to_list() == []
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(SqlError):
+            Aggregate(Scan(self.DATA), [], [("median", "v", "m")])

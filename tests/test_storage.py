@@ -1,0 +1,214 @@
+"""Unit tests for the relational storage substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError, StorageError, TransactionError
+from repro.storage import Column, Schema, StorageDatabase
+
+
+@pytest.fixture
+def db():
+    database = StorageDatabase("euter")
+    database.create_relation(
+        "r",
+        [("date", "str", False), ("stkCode", "str", False), ("clsPrice", "float")],
+        key=("date", "stkCode"),
+    )
+    database.insert_many(
+        "r",
+        [
+            {"date": "3/3/85", "stkCode": "hp", "clsPrice": 50.0},
+            {"date": "3/4/85", "stkCode": "hp", "clsPrice": 65.0},
+            {"date": "3/3/85", "stkCode": "ibm", "clsPrice": 160.0},
+        ],
+    )
+    return database
+
+
+class TestSchema:
+    def test_column_type_validation(self):
+        column = Column("n", "int", nullable=False)
+        column.validate(5)
+        with pytest.raises(SchemaError):
+            column.validate("x")
+        with pytest.raises(SchemaError):
+            column.validate(None)
+        with pytest.raises(SchemaError):
+            column.validate(True)  # bool is not int in IDL-land
+
+    def test_float_accepts_int(self):
+        Column("p", "float").validate(5)
+
+    def test_schema_rejects_duplicates_and_bad_keys(self):
+        with pytest.raises(SchemaError):
+            Schema([("a", "int"), ("a", "str")])
+        with pytest.raises(SchemaError):
+            Schema([("a", "int")], key=("zzz",))
+
+    def test_validate_row_normalizes_missing_nullables(self):
+        schema = Schema([("a", "int"), ("b", "str")])
+        assert schema.validate_row({"a": 1}) == {"a": 1, "b": None}
+
+    def test_validate_row_rejects_unknown_columns(self):
+        schema = Schema([("a", "int")])
+        with pytest.raises(SchemaError):
+            schema.validate_row({"a": 1, "zzz": 2})
+
+
+class TestRelationBasics:
+    def test_insert_and_scan(self, db):
+        rows = db.scan("r")
+        assert len(rows) == 3
+
+    def test_primary_key_uniqueness(self, db):
+        with pytest.raises(StorageError):
+            db.insert("r", {"date": "3/3/85", "stkCode": "hp", "clsPrice": 1.0})
+        assert len(db.relation("r")) == 3  # failed insert left no garbage
+
+    def test_key_cannot_be_null(self, db):
+        with pytest.raises(SchemaError):
+            db.insert("r", {"date": "3/5/85", "stkCode": None, "clsPrice": 1.0})
+
+    def test_get_by_key(self, db):
+        row = db.relation("r").get_by_key("3/3/85", "hp")
+        assert row["clsPrice"] == 50.0
+        assert db.relation("r").get_by_key("9/9/99", "hp") is None
+
+    def test_lookup_via_secondary_index(self, db):
+        db.create_index("r", "by_stk", ("stkCode",))
+        rows = db.lookup("r", stkCode="hp")
+        assert {row["date"] for row in rows} == {"3/3/85", "3/4/85"}
+
+    def test_lookup_without_index_scans(self, db):
+        rows = db.lookup("r", stkCode="ibm")
+        assert len(rows) == 1
+
+    def test_delete_with_equalities(self, db):
+        assert db.delete("r", stkCode="hp") == 2
+        assert len(db.relation("r")) == 1
+
+    def test_delete_with_predicate(self, db):
+        assert db.delete("r", predicate=lambda row: row["clsPrice"] > 100) == 1
+
+    def test_update(self, db):
+        count = db.update("r", {"clsPrice": 51.0}, date="3/3/85", stkCode="hp")
+        assert count == 1
+        assert db.relation("r").get_by_key("3/3/85", "hp")["clsPrice"] == 51.0
+
+    def test_update_maintains_indexes(self, db):
+        db.create_index("r", "by_price", ("clsPrice",))
+        db.update("r", {"clsPrice": 51.0}, date="3/3/85", stkCode="hp")
+        assert db.lookup("r", clsPrice=51.0)
+        assert not db.lookup("r", clsPrice=50.0)
+
+    def test_unique_index_violation_on_update_rolls_back(self, db):
+        db.create_index("r", "by_price", ("clsPrice",), unique=True)
+        with pytest.raises(StorageError):
+            db.update("r", {"clsPrice": 160.0}, date="3/3/85", stkCode="hp")
+        # Old row intact, indexes consistent.
+        assert db.relation("r").get_by_key("3/3/85", "hp")["clsPrice"] == 50.0
+        assert len(db.lookup("r", clsPrice=50.0)) == 1
+
+
+class TestDDL:
+    def test_create_and_drop(self, db):
+        db.create_relation("s", [("a", "int")])
+        assert db.has_relation("s")
+        db.drop_relation("s")
+        assert not db.has_relation("s")
+
+    def test_duplicate_relation_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.create_relation("r", [("a", "int")])
+
+    def test_catalog_reflection(self, db):
+        system = db.system_relations()
+        assert {"relname": "r", "arity": 3, "keycols": "date,stkCode"} in system[
+            "_relations"
+        ]
+        column_names = {
+            row["colname"] for row in system["_columns"] if row["relname"] == "r"
+        }
+        assert column_names == {"date", "stkCode", "clsPrice"}
+
+
+class TestTransactions:
+    def test_commit_keeps_changes(self, db):
+        with db.begin():
+            db.insert("r", {"date": "3/5/85", "stkCode": "hp", "clsPrice": 70.0})
+        assert len(db.relation("r")) == 4
+
+    def test_abort_undoes_insert(self, db):
+        transaction = db.begin()
+        db.insert("r", {"date": "3/5/85", "stkCode": "hp", "clsPrice": 70.0})
+        transaction.abort()
+        assert len(db.relation("r")) == 3
+
+    def test_abort_undoes_delete(self, db):
+        transaction = db.begin()
+        db.delete("r", stkCode="hp")
+        transaction.abort()
+        assert len(db.relation("r")) == 3
+        assert db.relation("r").get_by_key("3/3/85", "hp") is not None
+
+    def test_abort_undoes_update(self, db):
+        transaction = db.begin()
+        db.update("r", {"clsPrice": 999.0}, stkCode="hp")
+        transaction.abort()
+        assert db.relation("r").get_by_key("3/3/85", "hp")["clsPrice"] == 50.0
+
+    def test_abort_undoes_ddl(self, db):
+        transaction = db.begin()
+        db.create_relation("s", [("a", "int")])
+        db.insert("s", {"a": 1})
+        db.drop_relation("r")
+        transaction.abort()
+        assert not db.has_relation("s")
+        assert db.has_relation("r") and len(db.relation("r")) == 3
+
+    def test_exception_in_context_manager_aborts(self, db):
+        with pytest.raises(RuntimeError):
+            with db.begin():
+                db.delete("r", stkCode="hp")
+                raise RuntimeError("boom")
+        assert len(db.relation("r")) == 3
+
+    def test_savepoints(self, db):
+        transaction = db.begin()
+        db.insert("r", {"date": "3/5/85", "stkCode": "hp", "clsPrice": 70.0})
+        transaction.savepoint("sp1")
+        db.delete("r", stkCode="ibm")
+        transaction.rollback_to("sp1")
+        assert len(db.relation("r")) == 4  # insert kept, delete undone
+        transaction.commit()
+        assert len(db.relation("r")) == 4
+
+    def test_single_transaction_at_a_time(self, db):
+        db.begin()
+        with pytest.raises(TransactionError):
+            db.begin()
+
+    def test_undo_order_is_reverse(self, db):
+        """Insert then update the same row: abort must undo the update
+        before the insert."""
+        transaction = db.begin()
+        rid = db.insert("r", {"date": "3/5/85", "stkCode": "sun", "clsPrice": 30.0})
+        db.update("r", {"clsPrice": 31.0}, stkCode="sun")
+        transaction.abort()
+        assert db.relation("r").get_by_key("3/5/85", "sun") is None
+        assert len(db.relation("r")) == 3
+        assert rid is not None
+
+    def test_mixed_workload_abort_restores_exact_state(self, db):
+        before = sorted(db.scan("r"), key=lambda row: (row["date"], row["stkCode"]))
+        transaction = db.begin()
+        db.insert("r", {"date": "4/1/85", "stkCode": "sun", "clsPrice": 1.0})
+        db.update("r", {"clsPrice": 77.0}, stkCode="hp")
+        db.delete("r", stkCode="ibm")
+        db.create_relation("t", [("x", "int")])
+        transaction.abort()
+        after = sorted(db.scan("r"), key=lambda row: (row["date"], row["stkCode"]))
+        assert before == after
+        assert not db.has_relation("t")

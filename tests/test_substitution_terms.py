@@ -1,0 +1,138 @@
+"""Unit tests for substitutions (Section 4.2) and terms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.substitution import Substitution
+from repro.core.terms import (
+    Arith,
+    Const,
+    Var,
+    evaluate_term,
+    term_name,
+)
+from repro.errors import EvaluationError, SafetyError
+from repro.objects import Atom, from_python
+
+
+class TestSubstitution:
+    def test_empty(self):
+        empty = Substitution.empty()
+        assert len(empty) == 0
+        assert empty.lookup("X") is None
+        assert not empty.binds("X")
+
+    def test_bind_and_lookup(self):
+        subst = Substitution.empty().bind("X", Atom(5))
+        assert subst.lookup("X") == Atom(5)
+        assert subst.domain() == {"X"}
+
+    def test_persistence(self):
+        base = Substitution.empty().bind("X", Atom(1))
+        left = base.bind("Y", Atom(2))
+        right = base.bind("Y", Atom(3))
+        assert left.lookup("Y") == Atom(2)
+        assert right.lookup("Y") == Atom(3)
+        assert base.lookup("Y") is None
+
+    def test_rebind_same_value_is_noop(self):
+        subst = Substitution.empty().bind("X", Atom(5))
+        assert subst.bind("X", Atom(5)) is subst
+
+    def test_rebind_different_value_raises(self):
+        subst = Substitution.empty().bind("X", Atom(5))
+        with pytest.raises(ValueError):
+            subst.bind("X", Atom(6))
+
+    def test_unify(self):
+        subst = Substitution.empty().bind("X", Atom(5))
+        assert subst.unify("X", Atom(5)) is subst
+        assert subst.unify("X", Atom(6)) is None
+        extended = subst.unify("Y", Atom(7))
+        assert extended.lookup("Y") == Atom(7)
+
+    def test_of_and_as_dict(self):
+        subst = Substitution.of({"A": Atom(1), "B": Atom(2)})
+        assert subst.as_dict() == {"A": Atom(1), "B": Atom(2)}
+
+    def test_restrict(self):
+        subst = Substitution.of({"A": Atom(1), "B": Atom(2)})
+        assert subst.restrict({"A"}).domain() == {"A"}
+
+    def test_signature_equality(self):
+        left = Substitution.empty().bind("A", Atom(1)).bind("B", Atom(2))
+        right = Substitution.empty().bind("B", Atom(2)).bind("A", Atom(1))
+        assert left == right and hash(left) == hash(right)
+
+    def test_aggregate_bindings(self):
+        rel = from_python([{"a": 1}])
+        subst = Substitution.empty().bind("R", rel)
+        assert subst.lookup("R").is_set
+
+    def test_non_object_binding_rejected(self):
+        with pytest.raises(TypeError):
+            Substitution.empty().bind("X", 5)
+
+
+class TestTerms:
+    def test_const_evaluation(self):
+        assert evaluate_term(Const(5), Substitution.empty()) == Atom(5)
+
+    def test_var_evaluation(self):
+        subst = Substitution.empty().bind("X", Atom("hp"))
+        assert evaluate_term(Var("X"), subst) == Atom("hp")
+
+    def test_unbound_var_raises_safety(self):
+        with pytest.raises(SafetyError):
+            evaluate_term(Var("X"), Substitution.empty())
+
+    def test_arith_operations(self):
+        subst = Substitution.empty().bind("C", Atom(50))
+        assert evaluate_term(Arith("+", Var("C"), Const(10)), subst) == Atom(60)
+        assert evaluate_term(Arith("-", Var("C"), Const(10)), subst) == Atom(40)
+        assert evaluate_term(Arith("*", Var("C"), Const(2)), subst) == Atom(100)
+        assert evaluate_term(Arith("/", Var("C"), Const(2)), subst) == Atom(25)
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError):
+            evaluate_term(Arith("/", Const(1), Const(0)), Substitution.empty())
+
+    def test_arith_requires_numbers(self):
+        subst = Substitution.empty().bind("S", Atom("hp"))
+        with pytest.raises(EvaluationError):
+            evaluate_term(Arith("+", Var("S"), Const(1)), subst)
+
+    def test_arith_over_null_rejected(self):
+        subst = Substitution.empty().bind("N", Atom(None))
+        with pytest.raises(EvaluationError):
+            evaluate_term(Arith("+", Var("N"), Const(1)), subst)
+
+    def test_term_variables(self):
+        term = Arith("+", Var("A"), Arith("*", Var("B"), Const(2)))
+        assert term.variables() == {"A", "B"}
+        assert Const(1).is_ground() and not term.is_ground()
+
+
+class TestTermName:
+    def test_const_name(self):
+        assert term_name(Const("r"), Substitution.empty()) == "r"
+
+    def test_numeric_const_rejected(self):
+        with pytest.raises(EvaluationError):
+            term_name(Const(5), Substitution.empty())
+
+    def test_bound_var_resolves(self):
+        subst = Substitution.empty().bind("S", Atom("hp"))
+        assert term_name(Var("S"), subst) == "hp"
+
+    def test_unbound_var_returns_none(self):
+        assert term_name(Var("S"), Substitution.empty()) is None
+
+    def test_non_string_binding_is_not_a_name(self):
+        from repro.core.terms import NOT_A_NAME
+
+        subst = Substitution.empty().bind("S", Atom(5))
+        assert term_name(Var("S"), subst) is NOT_A_NAME
+        nested = Substitution.empty().bind("S", from_python({"a": 1}))
+        assert term_name(Var("S"), nested) is NOT_A_NAME

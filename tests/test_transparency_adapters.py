@@ -1,0 +1,151 @@
+"""Direct tests for the transparency generators and storage adapters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parser import parse_program
+from repro.errors import FederationError
+from repro.multidb.adapters import flush_to_storage, infer_schema
+from repro.multidb.transparency import (
+    customized_view_rule,
+    maintenance_programs,
+    member_view_rule,
+    reconciliation_rule,
+    unified_view_rules,
+    view_update_programs,
+)
+from repro.objects import Universe
+from repro.storage import StorageDatabase
+
+
+class TestGenerators:
+    def test_member_rules_parse(self):
+        for style in ("euter", "chwab", "ource"):
+            source = member_view_rule("m", style)
+            [statement] = parse_program(source)
+            assert statement.head.variables() == {"D", "S", "P"}
+
+    def test_chwab_rule_guards_date(self):
+        assert "S != date" in member_view_rule("m", "chwab")
+
+    def test_mapping_variants(self):
+        mapped = member_view_rule(
+            "m", "chwab", mapping=("dbU", "mapCE", "c", "e")
+        )
+        assert ".dbU.mapCE(.c=SC, .e=S)" in mapped
+        assert "S != date" not in mapped  # the join filters naturally
+        mapped = member_view_rule("m", "ource", mapping=("dbU", "mapOE", "o", "e"))
+        assert ".dbU.mapOE(.o=SO, .e=S)" in mapped
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(FederationError):
+            member_view_rule("m", "sybase")
+
+    def test_unified_view_rules_one_per_member(self):
+        source = unified_view_rules({"a": "euter", "b": "chwab", "c": "ource"})
+        assert len(parse_program(source)) == 3
+
+    def test_customized_view_rules(self):
+        rule, merge = customized_view_rule("dbE", "euter")
+        assert merge == () and ".dbE.r(" in rule
+        rule, merge = customized_view_rule("dbC", "chwab")
+        assert merge == ("date",)
+        rule, merge = customized_view_rule("dbO", "ource")
+        assert rule.startswith(".dbO.S(")  # a higher-order head
+
+    def test_reconciliation_rule_parses(self):
+        [statement] = parse_program(reconciliation_rule())
+        assert "pnew" in str(statement.head.conjuncts[0].expr.attr.value)
+
+    def test_maintenance_programs_cover_members(self):
+        source = maintenance_programs({"a": "euter", "b": "chwab", "c": "ource"})
+        statements = parse_program(source)
+        # delStk x3 + rmStk x3 + insStk (1 + 2 + 2)
+        assert len(statements) == 11
+
+    def test_view_update_programs_by_style(self):
+        source = view_update_programs(
+            {"dbE": "euter", "dbC": "chwab", "dbO": "ource"}
+        )
+        assert ".dbE.r+(" in source
+        assert ".dbO.S+(" in source  # wildcard family program
+        assert "setPrice" in source  # chwab-style named programs
+
+
+class TestInferSchema:
+    def test_uniform_types(self):
+        schema = infer_schema([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert schema.column("a").type == "int"
+        assert schema.column("b").type == "str"
+
+    def test_numeric_widening(self):
+        schema = infer_schema([{"p": 1}, {"p": 2.5}])
+        assert schema.column("p").type == "float"
+
+    def test_mixed_types_become_any(self):
+        schema = infer_schema([{"v": 1}, {"v": "x"}])
+        assert schema.column("v").type == "any"
+
+    def test_union_of_columns(self):
+        schema = infer_schema([{"a": 1}, {"b": 2}])
+        assert set(schema.column_names()) == {"a", "b"}
+
+    def test_all_null_column(self):
+        schema = infer_schema([{"a": None}])
+        assert schema.column("a").type == "any"
+
+
+class TestFlushToStorage:
+    def build_storage(self):
+        storage = StorageDatabase("m")
+        storage.create_relation("r", [("k", "int"), ("v", "str")])
+        storage.insert("r", {"k": 1, "v": "a"})
+        return storage
+
+    def test_replaces_contents(self):
+        storage = self.build_storage()
+        universe = Universe.from_python({"m": {"r": [{"k": 2, "v": "b"}]}})
+        flush_to_storage(universe, "m", storage)
+        assert storage.scan("r") == [{"k": 2, "v": "b"}]
+
+    def test_creates_missing_relations(self):
+        storage = self.build_storage()
+        universe = Universe.from_python(
+            {"m": {"r": [{"k": 1, "v": "a"}], "s": [{"x": 9}]}}
+        )
+        flush_to_storage(universe, "m", storage)
+        assert storage.has_relation("s")
+        assert storage.scan("s") == [{"x": 9}]
+
+    def test_drops_removed_relations(self):
+        storage = self.build_storage()
+        universe = Universe.from_python({"m": {}})
+        flush_to_storage(universe, "m", storage)
+        assert storage.relation_names() == []
+
+    def test_widens_schema_when_attributes_appear(self):
+        storage = self.build_storage()
+        universe = Universe.from_python(
+            {"m": {"r": [{"k": 1, "v": "a", "extra": 5}]}}
+        )
+        flush_to_storage(universe, "m", storage)
+        assert storage.scan("r") == [{"k": 1, "v": "a", "extra": 5}]
+
+    def test_flush_is_transactional(self):
+        """A key violation mid-flush aborts and restores the storage."""
+        storage = StorageDatabase("m")
+        storage.create_relation(
+            "r", [("k", "int", False), ("v", "str")], key=("k",)
+        )
+        storage.insert("r", {"k": 1, "v": "keep"})
+        # Two distinct rows with the same key, no schema widening needed:
+        # the second insert violates the unique key index mid-flush.
+        universe = Universe.from_python(
+            {"m": {"r": [{"k": 2, "v": "a"}, {"k": 2, "v": "b"}]}}
+        )
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            flush_to_storage(universe, "m", storage)
+        assert storage.scan("r") == [{"k": 1, "v": "keep"}]  # untouched

@@ -1,0 +1,127 @@
+"""Unit tests for the workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    StockWorkload,
+    empdept_universe,
+    paper_universe,
+    random_walk_prices,
+    rng,
+    ticker_symbols,
+    trading_days,
+)
+from repro.workloads.stocks import STYLES
+
+
+class TestGenerators:
+    def test_rng_is_deterministic(self):
+        assert rng(42).random() == rng(42).random()
+        assert rng((1, "a")).random() == rng((1, "a")).random()
+        assert rng((1, "a")).random() != rng((1, "b")).random()
+
+    def test_ticker_symbols_distinct_and_stable(self):
+        symbols = ticker_symbols(50)
+        assert len(symbols) == len(set(symbols)) == 50
+        assert symbols[:2] == ["hp", "ibm"]  # the paper's own names first
+        assert ticker_symbols(50) == symbols
+
+    def test_trading_days_are_weekdays(self):
+        from datetime import datetime
+
+        days = trading_days(30)
+        assert len(days) == 30
+        for day in days:
+            month, dom, year = day.split("/")
+            stamp = datetime(1900 + int(year), int(month), int(dom))
+            assert stamp.weekday() < 5
+
+    def test_random_walk_bounds(self):
+        walk = random_walk_prices(rng(1), 100, start=100, volatility=0.05,
+                                  minimum=1.0)
+        assert len(walk) == 100
+        assert all(price >= 1.0 for price in walk)
+        assert all(price == round(price, 2) for price in walk)
+
+
+class TestStockWorkload:
+    def test_quotes_cover_the_grid(self):
+        workload = StockWorkload(n_stocks=4, n_days=3, seed=1)
+        assert len(workload.quotes()) == 12
+        assert len({(d, s) for d, s, _ in workload.quotes()}) == 12
+
+    def test_same_seed_same_prices(self):
+        left = StockWorkload(n_stocks=3, n_days=3, seed=5)
+        right = StockWorkload(n_stocks=3, n_days=3, seed=5)
+        assert left.prices == right.prices
+        other = StockWorkload(n_stocks=3, n_days=3, seed=6)
+        assert left.prices != other.prices
+
+    def test_styles_encode_the_same_quotes(self):
+        from repro.multidb import to_long
+
+        workload = StockWorkload(n_stocks=5, n_days=4, seed=2)
+        reference = sorted(workload.quotes())
+        for style in STYLES:
+            assert to_long(workload.relations_for(style), style) == reference
+
+    def test_universe_members(self):
+        workload = StockWorkload(n_stocks=3, n_days=2, seed=3)
+        universe = workload.universe()
+        assert universe.database_names() == ["euter", "chwab", "ource"]
+        assert universe.relation_names("ource") == workload.symbols
+
+    def test_overlap_subsets(self):
+        workload = StockWorkload(n_stocks=10, n_days=2, seed=4, overlap=0.5)
+        members = {
+            name: set(workload.member_symbols(name))
+            for name in ("euter", "chwab", "ource")
+        }
+        assert any(members["euter"] != other for other in members.values())
+        for subset in members.values():
+            assert subset and subset <= set(workload.symbols)
+
+    def test_name_conflict_universe_has_mappings(self):
+        workload = StockWorkload(n_stocks=3, n_days=2, seed=5)
+        universe = workload.universe_with_name_conflicts()
+        assert len(universe.relation("dbU", "mapCE")) == 3
+        assert len(universe.relation("dbU", "mapOE")) == 3
+        # No shared stock names across members.
+        chwab_attrs = set()
+        for element in universe.relation("chwab", "r").elements():
+            chwab_attrs |= set(element.attr_names()) - {"date"}
+        assert all(name.startswith("c_") for name in chwab_attrs)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            StockWorkload(n_stocks=0, n_days=1)
+
+    def test_paper_universe_matches_the_text(self):
+        universe = paper_universe()
+        assert len(universe.relation("euter", "r")) == 4
+        assert universe.relation_names("ource") == ["hp", "ibm"]
+
+
+class TestEmpDept:
+    def test_managers_are_department_members(self):
+        universe = empdept_universe(n_employees=12, n_departments=3, seed=1)
+        from repro.objects import to_python
+
+        emps = to_python(universe.relation("hr", "emp"))
+        depts = to_python(universe.relation("hr", "dept"))
+        members = {}
+        for row in emps:
+            members.setdefault(row["dno"], set()).add(row["name"])
+        for row in depts:
+            assert row["mgr"] in members[row["dno"]]
+
+    def test_sizes(self):
+        universe = empdept_universe(n_employees=12, n_departments=3, seed=1)
+        assert len(universe.relation("hr", "emp")) == 12
+        assert len(universe.relation("hr", "dept")) == 3
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            empdept_universe(n_employees=2, n_departments=3)
