@@ -1,0 +1,114 @@
+"""The stock federation with a flaky member, end to end.
+
+The paper's premise is that euter, chwab and ource are *autonomous*
+systems — the multidatabase layer cannot assume they are up. This
+example runs the full degradation-and-recovery story:
+
+1. chwab is down when the federation installs → it is quarantined,
+   not fatal;
+2. strict queries refuse to answer from a subset; ``partial=True``
+   answers from the surviving members with an availability report;
+3. updates are refused while a member is unreachable (all-or-nothing);
+4. the fault clears → a health probe closes the breaker, re-attaches
+   the member, and the unified view equals the fault-free result;
+5. a mid-flight outage during a flush leaves the member stale → the
+   next probe resyncs it automatically.
+
+Everything runs on a fake clock: retries and backoff happen logically,
+never as real sleeps.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemberUnavailableError
+from repro.multidb import (
+    FakeClock,
+    FaultyConnector,
+    Federation,
+    InMemoryConnector,
+    ResiliencePolicy,
+)
+from repro.workloads.stocks import StockWorkload
+
+
+def show(title, report):
+    print(f"\n== {title}")
+    for entry in report:
+        detail = f" ({entry.detail})" if entry.detail else ""
+        print(f"   {entry.member:8} {entry.status}{detail}")
+
+
+def main():
+    workload = StockWorkload(n_stocks=3, n_days=2, seed=1985)
+    clock = FakeClock()
+    flaky = FaultyConnector(
+        InMemoryConnector(workload.chwab_relations()), outage=True
+    )
+    policy = ResiliencePolicy(
+        max_attempts=2, base_delay=0.05, failure_threshold=2,
+        recovery_timeout=30, seed=7,
+    )
+
+    federation = Federation()
+    federation.add_member("euter", "euter", workload.euter_relations())
+    federation.add_member("chwab", "chwab", connector=flaky, policy=policy,
+                          clock=clock)
+    federation.add_member("ource", "ource", workload.ource_relations())
+
+    print("installing with chwab down...")
+    federation.install()
+    show("availability after install", federation.availability())
+
+    try:
+        federation.unified_quotes()
+    except MemberUnavailableError as exc:
+        print(f"\nstrict query refused: {exc}")
+
+    result = federation.query(
+        "?.dbI.p(.date=D, .stk=S, .price=P)", partial=True
+    )
+    print(f"\npartial query: {len(result)} quotes from "
+          f"{sorted(result.availability.contributed)}, "
+          f"skipped {sorted(result.availability.unavailable)}")
+
+    try:
+        federation.insert_quote("nova", "9/9/99", 101.5)
+    except MemberUnavailableError as exc:
+        print(f"update refused while degraded: {exc}")
+
+    print("\nchwab comes back up...")
+    flaky.restore()
+    print(f"probe(chwab) -> {federation.probe('chwab')}")
+    show("availability after recovery", federation.availability())
+    quotes = federation.unified_quotes()
+    print(f"unified view serves all {len(quotes)} quotes "
+          f"({workload.n_stocks} stocks x {workload.n_days} days, "
+          f"all three members agreeing)")
+
+    print("\nchwab dies again, mid-update...")
+    flaky.set_outage(True)
+    try:
+        federation.insert_quote("nova", "9/9/99", 101.5)
+    except MemberUnavailableError as exc:
+        print(f"flush failed: {exc}")
+    show("availability after failed flush", federation.availability())
+
+    flaky.restore()
+    print(f"\nprobe(chwab) -> {federation.probe('chwab')} "
+          f"(stale member resynced automatically)")
+    rows = flaky.inner.scan()["r"]
+    assert any(row.get("nova") == 101.5 for row in rows)
+    print("the repaired member now holds the quote it missed")
+
+    print("\nbreaker history for chwab:")
+    for when, before, after in federation.connectors["chwab"].breaker.transitions:
+        print(f"   t={when:6.2f}s  {before} -> {after}")
+
+    health = federation.health_report()["chwab"]
+    print(f"\nchwab health: {health['attempts']} attempts, "
+          f"{health['failures']} failures, {health['retries']} retries, "
+          f"{health['probes']} probes, breaker {health['breaker']}")
+
+
+if __name__ == "__main__":
+    main()

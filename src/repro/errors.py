@@ -114,6 +114,42 @@ class FederationError(IdlError):
     registration, unknown member database, inconsistent name mapping)."""
 
 
+class MemberUnavailableError(FederationError):
+    """A member database could not be reached through its connector.
+
+    Members are autonomous systems (paper Section 3); the federation
+    must expect them to be down. Carries the ``member`` name and the
+    underlying ``cause`` when one exists.
+    """
+
+    def __init__(self, message, member=None, cause=None):
+        self.member = member
+        self.cause = cause
+        super().__init__(message)
+
+
+class CircuitOpenError(MemberUnavailableError):
+    """The member's circuit breaker is open: recent calls failed so
+    consistently that the federation refuses to issue new ones until a
+    recovery-timeout elapses or a health probe half-opens the circuit."""
+
+
+class DeadlineExceededError(MemberUnavailableError):
+    """A connector operation (including its retries and backoff waits)
+    exceeded the policy's deadline."""
+
+
+class StaleMemberError(FederationError):
+    """A member's snapshot in the universe is known to diverge from the
+    member itself (a flush failed, or the member recovered from an
+    outage) and the requested operation demanded freshness. A
+    ``resync`` repairs the divergence."""
+
+    def __init__(self, message, member=None):
+        self.member = member
+        super().__init__(message)
+
+
 class SqlError(IdlError):
     """Errors raised by the mini-SQL baseline engine."""
 

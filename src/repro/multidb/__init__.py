@@ -7,6 +7,9 @@
 * :mod:`repro.multidb.schema_styles` — style detection/conversion;
 * :mod:`repro.multidb.discrepancy` — data-vs-metadata overlap scanning;
 * :mod:`repro.multidb.adapters` — storage <-> universe;
+* :mod:`repro.multidb.connectors` — member transports + fault injection;
+* :mod:`repro.multidb.resilience` — retry/backoff, circuit breakers,
+  per-member health;
 * :class:`FirstOrderFederation` — the SQL-per-member counterfactual.
 """
 
@@ -18,17 +21,39 @@ from repro.multidb.authz import (
 )
 from repro.multidb.adapters import (
     attach_storage,
+    flush_rows_to_storage,
     flush_to_storage,
     infer_schema,
     storage_to_relations,
+    universe_rows,
+)
+from repro.multidb.connectors import (
+    FaultyConnector,
+    InMemoryConnector,
+    MemberConnector,
+    StorageConnector,
 )
 from repro.multidb.discrepancy import (
     Discrepancy,
     detect_discrepancies,
     report,
 )
-from repro.multidb.federation import Federation
+from repro.multidb.federation import (
+    AvailabilityReport,
+    Federation,
+    MemberAvailability,
+    PartialResult,
+)
 from repro.multidb.firstorder import FirstOrderFederation
+from repro.multidb.resilience import (
+    CircuitBreaker,
+    FakeClock,
+    MemberHealth,
+    MonotonicClock,
+    ResiliencePolicy,
+    ResilientConnector,
+    RetryPolicy,
+)
 from repro.multidb.msql import MsqlError, MsqlSession, parse_msql
 from repro.multidb.schema_styles import (
     convert,
@@ -49,7 +74,21 @@ from repro.multidb.transparency import (
 __all__ = [
     "AccessPolicy",
     "AuthorizedSession",
+    "AvailabilityReport",
+    "CircuitBreaker",
+    "FakeClock",
+    "FaultyConnector",
     "Grant",
+    "InMemoryConnector",
+    "MemberAvailability",
+    "MemberConnector",
+    "MemberHealth",
+    "MonotonicClock",
+    "PartialResult",
+    "ResiliencePolicy",
+    "ResilientConnector",
+    "RetryPolicy",
+    "StorageConnector",
     "restrict_view",
     "Discrepancy",
     "MsqlError",
@@ -58,6 +97,8 @@ __all__ = [
     "Federation",
     "FirstOrderFederation",
     "attach_storage",
+    "flush_rows_to_storage",
+    "universe_rows",
     "convert",
     "customized_view_rule",
     "detect_discrepancies",

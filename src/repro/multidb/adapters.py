@@ -67,45 +67,35 @@ def infer_schema(rows):
     return Schema(built)
 
 
-def flush_to_storage(universe, name, storage):
-    """Make ``storage`` reflect the universe's state of database ``name``.
-
-    Runs in one storage transaction: relations that disappeared are
-    dropped, new ones created (schema inferred), and every surviving
-    relation's contents replaced. Aborts (restoring the storage database
-    untouched) on any schema violation.
-    """
+def universe_rows(universe, name):
+    """Database ``name``'s relations as plain ``{rel: rows}`` (the wire
+    format member connectors speak)."""
     database = universe.database(name)
     desired = {}
     for rel_name in database.attr_names():
         relation = database.get(rel_name)
         if relation.is_set:
-            desired[rel_name] = [
+            rows = [
                 encode.to_python(element) for element in relation.elements()
             ]
+            desired[rel_name] = [row for row in rows if isinstance(row, dict)]
+    return desired
 
-    with storage.begin():
-        for rel_name in list(storage.relation_names()):
-            if rel_name not in desired:
-                storage.drop_relation(rel_name)
-        for rel_name, rows in desired.items():
-            tuple_rows = [row for row in rows if isinstance(row, dict)]
-            if not storage.has_relation(rel_name):
-                storage.create_relation(rel_name, infer_schema(tuple_rows))
-            else:
-                schema = storage.catalog.schema_of(rel_name)
-                incoming = {
-                    column for row in tuple_rows for column in row
-                }
-                if not incoming <= set(schema.column_names()):
-                    # The update created attributes the stored schema
-                    # lacks (IDL allows that); widen by recreating.
-                    storage.drop_relation(rel_name)
-                    storage.create_relation(rel_name, infer_schema(tuple_rows))
-                else:
-                    storage.delete(rel_name)
-            if storage.has_relation(rel_name) and len(storage.relation(rel_name)):
-                storage.delete(rel_name)
-            for row in tuple_rows:
-                storage.insert(rel_name, row)
+
+def flush_rows_to_storage(storage, desired):
+    """Make ``storage`` hold exactly ``desired`` (``{rel: rows}``), in
+    one transaction, inferring schemas for new relations. Aborts
+    (restoring the storage database untouched) on any schema violation.
+    """
+    return storage.replace_contents(dict(desired), infer_schema)
+
+
+def flush_to_storage(universe, name, storage):
+    """Make ``storage`` reflect the universe's state of database ``name``.
+
+    Relations that disappeared are dropped, new ones created (schema
+    inferred), and every surviving relation's contents replaced — all or
+    nothing.
+    """
+    flush_rows_to_storage(storage, universe_rows(universe, name))
     return storage

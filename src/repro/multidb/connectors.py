@@ -1,0 +1,183 @@
+"""Member connectors: the transport between federation and member.
+
+A :class:`MemberConnector` is how the federation reaches one autonomous
+member database — three operations only:
+
+* ``scan()`` — snapshot the member's relations as ``{rel: rows}``;
+* ``apply(desired)`` — make the member hold exactly ``desired``
+  (``{rel: rows}``), transactionally where the member supports it;
+* ``ping()`` — cheap liveness check.
+
+:class:`InMemoryConnector` serves plain row data, and
+:class:`StorageConnector` fronts a
+:class:`~repro.storage.database.StorageDatabase`.
+:class:`FaultyConnector` decorates any of them with injectable faults —
+latency, transient errors, permanent outages, torn writes — all
+deterministic (seeded RNG, explicit fail counters, manual clock) so
+fault-tolerance tests and benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+
+from repro.errors import MemberUnavailableError
+
+
+class MemberConnector:
+    """Abstract transport to one autonomous member database."""
+
+    def scan(self):
+        """Snapshot the member: ``{relation_name: [row_dict, ...]}``."""
+        raise NotImplementedError
+
+    def apply(self, desired):
+        """Make the member hold exactly ``desired`` (``{rel: rows}``)."""
+        raise NotImplementedError
+
+    def ping(self):
+        """Cheap liveness check; raises when the member is unreachable."""
+        return True
+
+
+class InMemoryConnector(MemberConnector):
+    """A member that is just rows in this process's memory."""
+
+    def __init__(self, relations=None):
+        self._relations = copy.deepcopy(dict(relations or {}))
+
+    def scan(self):
+        return copy.deepcopy(self._relations)
+
+    def apply(self, desired):
+        self._relations = copy.deepcopy(dict(desired))
+
+    def rows(self, relation):
+        return list(self._relations.get(relation, []))
+
+
+class StorageConnector(MemberConnector):
+    """A member running on the relational storage substrate."""
+
+    def __init__(self, storage):
+        self.storage = storage
+
+    def scan(self):
+        from repro.multidb.adapters import storage_to_relations
+
+        return storage_to_relations(self.storage)
+
+    def apply(self, desired):
+        from repro.multidb.adapters import flush_rows_to_storage
+
+        flush_rows_to_storage(self.storage, desired)
+
+    def ping(self):
+        self.storage.relation_names()
+        return True
+
+
+class FaultyConnector(MemberConnector):
+    """Decorator that injects faults into any inner connector.
+
+    Fault sources, all deterministic:
+
+    * ``failure_rate`` — each operation fails with this probability,
+      drawn from a ``seed``-ed RNG (transient errors);
+    * ``fail_next(n)`` — the next ``n`` operations fail (scripted
+      schedules);
+    * ``set_outage(True)`` — every operation fails until
+      ``restore()`` (permanent outage);
+    * ``latency`` — each operation first sleeps on the injected
+      ``clock`` (pairs with policy deadlines; use a
+      :class:`~repro.multidb.resilience.FakeClock` to keep tests
+      instant);
+    * ``torn_writes=True`` — a failing ``apply`` first writes a
+      truncated prefix of the desired state to the inner connector,
+      simulating a member without transactional flush.
+
+    Counters (``calls``, ``injected``) expose what actually happened.
+    """
+
+    def __init__(self, inner, failure_rate=0.0, latency=0.0, seed=0,
+                 clock=None, outage=False, torn_writes=False):
+        self.inner = inner
+        self.failure_rate = failure_rate
+        self.latency = latency
+        self.clock = clock
+        self.outage = outage
+        self.torn_writes = torn_writes
+        self.calls = 0
+        self.injected = 0
+        self._fail_next = 0
+        self._rng = random.Random(seed)
+
+    # -- fault scripting ------------------------------------------------
+
+    def fail_next(self, n=1):
+        """Script the next ``n`` operations to fail."""
+        self._fail_next += n
+        return self
+
+    def set_outage(self, down=True):
+        self.outage = down
+        return self
+
+    def restore(self):
+        """Clear the outage and any scripted failures (the member is
+        healthy again; ``failure_rate`` stays as configured)."""
+        self.outage = False
+        self._fail_next = 0
+        return self
+
+    # -- fault injection ------------------------------------------------
+
+    def _enter(self, op):
+        self.calls += 1
+        if self.latency and self.clock is not None:
+            self.clock.sleep(self.latency)
+        if self.outage:
+            self._injected(op, "member is down")
+        if self._fail_next > 0:
+            self._fail_next -= 1
+            self._injected(op, "scripted failure")
+        if self.failure_rate and self._rng.random() < self.failure_rate:
+            self._injected(op, "transient failure")
+
+    def _injected(self, op, why):
+        self.injected += 1
+        raise MemberUnavailableError(f"injected fault during {op}: {why}")
+
+    # -- the connector surface ------------------------------------------
+
+    def scan(self):
+        self._enter("scan")
+        return self.inner.scan()
+
+    def apply(self, desired):
+        try:
+            self._enter("apply")
+        except MemberUnavailableError:
+            if self.torn_writes:
+                torn = {
+                    rel: rows[: len(rows) // 2]
+                    for rel, rows in dict(desired).items()
+                }
+                self.inner.apply(torn)
+            raise
+        self.inner.apply(desired)
+
+    def ping(self):
+        self._enter("ping")
+        return self.inner.ping()
+
+
+def as_connector(relations=None, storage=None, connector=None):
+    """Normalize the three ways a member can be specified into one
+    connector (explicit connector wins; then storage; then rows)."""
+    if connector is not None:
+        return connector
+    if storage is not None:
+        return StorageConnector(storage)
+    return InMemoryConnector(relations or {})

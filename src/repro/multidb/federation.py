@@ -1,26 +1,129 @@
 """The federation facade: members in, Figure 1 out.
 
 :class:`Federation` manages a set of autonomous member databases (plain
-row data or :class:`~repro.storage.database.StorageDatabase` instances),
+row data, :class:`~repro.storage.database.StorageDatabase` instances, or
+arbitrary :class:`~repro.multidb.connectors.MemberConnector` objects),
 their schema styles, optional name mappings, and the user groups who
 want customized views. ``install()`` generates and loads the whole
 two-level mapping — unified view, customized views, maintenance and
 view-update programs — onto an :class:`~repro.core.engine.IdlEngine`.
+
+Members are autonomous systems the federation cannot assume are up
+(paper Section 3), so every member sits behind a
+:class:`~repro.multidb.resilience.ResilientConnector`: retries with
+backoff, per-member circuit breakers, health counters. ``install()``
+quarantines unreachable members instead of failing, ``query(...,
+partial=True)`` degrades gracefully with an availability report, and
+``probe()`` re-attaches and resyncs members when they recover. See
+``docs/fault_tolerance.md``.
 """
 
 from __future__ import annotations
 
 from repro.core.engine import IdlEngine
-from repro.errors import FederationError
-from repro.multidb.adapters import storage_to_relations
+from repro.errors import (
+    CircuitOpenError,
+    FederationError,
+    MemberUnavailableError,
+    StaleMemberError,
+)
+from repro.multidb.adapters import storage_to_relations, universe_rows
+from repro.multidb.connectors import as_connector
+from repro.multidb.resilience import (
+    CLOSED,
+    ResiliencePolicy,
+    ResilientConnector,
+)
 from repro.multidb.transparency import (
     STYLES,
     customized_view_rule,
     maintenance_programs,
+    member_view_rule,
     reconciliation_rule,
     unified_view_rules,
     view_update_programs,
 )
+
+# Availability statuses, worst first.
+QUARANTINED = "quarantined"
+CIRCUIT_OPEN = "circuit-open"
+STALE = "stale"
+OK = "ok"
+
+
+class MemberAvailability:
+    """One member's availability at query time."""
+
+    __slots__ = ("member", "status", "detail")
+
+    def __init__(self, member, status, detail=""):
+        self.member = member
+        self.status = status
+        self.detail = detail
+
+    @property
+    def available(self):
+        return self.status in (OK, STALE)
+
+    def __repr__(self):
+        return (f"MemberAvailability({self.member!r}, {self.status!r}, "
+                f"{self.detail!r})")
+
+
+class AvailabilityReport:
+    """Which members contributed to an answer, which were skipped, why."""
+
+    def __init__(self, entries):
+        self.entries = list(entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def status_of(self, member):
+        for entry in self.entries:
+            if entry.member == member:
+                return entry.status
+        raise FederationError(f"no member named {member!r}")
+
+    @property
+    def contributed(self):
+        """Members whose data is in the answers (possibly stale)."""
+        return {e.member for e in self.entries if e.available}
+
+    @property
+    def unavailable(self):
+        """Members skipped entirely (quarantined or circuit-open)."""
+        return {e.member for e in self.entries
+                if e.status in (QUARANTINED, CIRCUIT_OPEN)}
+
+    @property
+    def stale(self):
+        return {e.member for e in self.entries if e.status == STALE}
+
+    @property
+    def complete(self):
+        return all(e.status == OK for e in self.entries)
+
+    def __repr__(self):
+        summary = ", ".join(f"{e.member}={e.status}" for e in self.entries)
+        return f"AvailabilityReport({summary})"
+
+
+class PartialResult(list):
+    """Query answers plus the availability report that qualifies them.
+
+    Behaves as the plain list of answers; ``availability`` says which
+    members contributed and which were skipped (and why), ``complete``
+    is True only when every member answered fresh.
+    """
+
+    def __init__(self, answers, availability):
+        super().__init__(answers)
+        self.availability = availability
+
+    @property
+    def complete(self):
+        return self.availability.complete
 
 
 class Federation:
@@ -32,29 +135,68 @@ class Federation:
         self.unified_db = unified_db
         self.unified_relation = unified_relation
         self.control_db = control_db
-        self.members = {}  # name -> style
+        self.members = {}  # name -> style (None until a deferred attach)
         self.users = {}  # user db name -> style
         self.mappings = {}  # member name -> (db, rel, from_attr, to_attr)
         self.storage_members = {}  # name -> StorageDatabase
+        self.connectors = {}  # name -> ResilientConnector
+        self.quarantined = {}  # name -> reason the member is detached
+        self._attached = set()  # members snapshotted into the universe
+        self._wired = set()  # members whose rules/programs are installed
+        self._flushed = set()  # members with a real backend to flush to
+        self._stale = {}  # name -> "push" | "pull" resync direction
         self._installed = False
 
     # -- membership -----------------------------------------------------------
 
     def add_member(self, name, style=None, relations=None, storage=None,
-                   mapping=None):
+                   mapping=None, connector=None, policy=None, clock=None):
         """Register a member database.
 
         ``relations`` is ``{rel: rows}``; alternatively pass ``storage``
-        (a StorageDatabase) to snapshot from the storage substrate.
-        ``style=None`` auto-detects the schema style from the data.
-        ``mapping`` optionally names the member's name-mapping relation
-        as ``(db, rel, from_attr, to_attr)``.
+        (a StorageDatabase) or ``connector`` (any
+        :class:`~repro.multidb.connectors.MemberConnector`) to reach the
+        member through a transport that can fail. ``style=None``
+        auto-detects the schema style from the data. ``mapping``
+        optionally names the member's name-mapping relation as ``(db,
+        rel, from_attr, to_attr)``. ``policy`` is a
+        :class:`~repro.multidb.resilience.ResiliencePolicy` (explicit
+        connectors default to the standard policy; plain data and
+        storage members default to a passthrough policy preserving their
+        historical fail-fast behavior); ``clock`` injects a fake clock
+        for deterministic tests.
+
+        Connector-backed members attach lazily: the first ``scan`` runs
+        at :meth:`install`, which quarantines them if it fails.
         """
         if name in self.members:
             raise FederationError(f"member {name!r} already registered")
+        if policy is None:
+            policy = (ResiliencePolicy() if connector is not None
+                      else ResiliencePolicy.passthrough())
+        deferred = connector is not None
+        if not deferred:
+            # Eager attach, exactly as before connectors existed: snapshot
+            # now, fail the registration (not quarantine) on bad input.
+            if storage is not None:
+                relations = storage_to_relations(storage)
+            style = self._resolve_style(name, style, relations)
+            self.engine.add_database(name, relations or {})
+            self._attached.add(name)
+        resilient = ResilientConnector(
+            name, as_connector(relations, storage, connector), policy, clock
+        )
+        self.connectors[name] = resilient
         if storage is not None:
-            relations = storage_to_relations(storage)
             self.storage_members[name] = storage
+        if storage is not None or connector is not None:
+            self._flushed.add(name)
+        self.members[name] = style
+        if mapping is not None:
+            self.mappings[name] = mapping
+        return self
+
+    def _resolve_style(self, name, style, relations):
         if style is None:
             from repro.multidb.schema_styles import detect_style
 
@@ -66,11 +208,7 @@ class Federation:
                 )
         if style not in STYLES:
             raise FederationError(f"unknown schema style {style!r}")
-        self.engine.add_database(name, relations or {})
-        self.members[name] = style
-        if mapping is not None:
-            self.mappings[name] = mapping
-        return self
+        return style
 
     def add_mapping_relation(self, member, rel, pairs, from_attr, to_attr):
         """Create a name-mapping relation in the control database and
@@ -95,17 +233,40 @@ class Federation:
     # -- installation -----------------------------------------------------------
 
     def install(self, reconcile=False):
-        """Generate and load the full two-level mapping. Idempotent-ish:
-        raises if called twice."""
+        """Generate and load the full two-level mapping.
+
+        Idempotent: calling it again is a no-op (see :meth:`reinstall`
+        to re-attach recovered members without rebuilding). Members
+        whose connector cannot be reached are *quarantined* — install
+        succeeds without them, their attach is deferred until a
+        successful :meth:`probe` or :meth:`reinstall` — as long as at
+        least one member attaches.
+        """
         if self._installed:
-            raise FederationError("federation already installed")
+            return self
         if not self.members:
             raise FederationError("no member databases registered")
         self._ensure_control_db()
 
+        for name in list(self.members):
+            if name not in self._attached:
+                try:
+                    self._attach(name)
+                except MemberUnavailableError as exc:
+                    self._quarantine(name, exc)
+        if not self._attached:
+            raise MemberUnavailableError(
+                "every member is unavailable: "
+                + ", ".join(sorted(self.quarantined))
+            )
+
+        attached = {
+            name: style for name, style in self.members.items()
+            if name in self._attached
+        }
         self.engine.define(
             unified_view_rules(
-                self.members, self.unified_db, self.unified_relation,
+                attached, self.unified_db, self.unified_relation,
                 self.mappings,
             )
         )
@@ -120,13 +281,30 @@ class Federation:
             self.engine.define(rule, merge_on=merge_on)
 
         self.engine.define_update(
-            maintenance_programs(self.members, self.control_db)
+            maintenance_programs(attached, self.control_db)
         )
         if self.users:
             self.engine.define_update(
                 view_update_programs(self.users, self.control_db)
             )
+        self._wired |= set(attached)
         self._installed = True
+        return self
+
+    def reinstall(self):
+        """Try to re-attach every quarantined member (after faults were
+        repaired out of band). Members that still fail stay quarantined.
+        """
+        if not self._installed:
+            return self.install()
+        for name in sorted(self.quarantined):
+            # Operator-initiated, so an open circuit gets its half-open
+            # trial immediately instead of waiting out the timeout.
+            self.connectors[name].breaker.force_half_open()
+            try:
+                self._attach(name)
+            except MemberUnavailableError as exc:
+                self._quarantine(name, exc)
         return self
 
     def _ensure_control_db(self):
@@ -134,22 +312,194 @@ class Federation:
             self.engine.universe.add_database(self.control_db)
             self.engine.invalidate()
 
+    # -- member lifecycle -------------------------------------------------------
+
+    def _attach(self, name):
+        """Snapshot ``name`` through its connector into the universe and
+        (post-install) wire its rules and update programs."""
+        relations = self.connectors[name].scan()
+        style = self._resolve_style(name, self.members[name], relations)
+        self.members[name] = style
+        if self.engine.universe.has(name):
+            self.engine.drop_database(name)
+        self.engine.add_database(name, relations)
+        self._attached.add(name)
+        self.quarantined.pop(name, None)
+        self._stale.pop(name, None)
+        if self._installed and name not in self._wired:
+            self.engine.define(
+                member_view_rule(
+                    name, style, self.unified_db, self.unified_relation,
+                    self.mappings.get(name),
+                )
+            )
+            self.engine.define_update(
+                maintenance_programs({name: style}, self.control_db)
+            )
+            self._wired.add(name)
+        return self
+
+    def _quarantine(self, name, reason):
+        """Detach ``name``: drop its snapshot, remember why. Its rules
+        (if wired) stay installed and simply derive nothing."""
+        if name in self._attached:
+            self._attached.discard(name)
+            if self.engine.universe.has(name):
+                self.engine.drop_database(name)
+        self.quarantined[name] = str(reason)
+        self._stale.pop(name, None)
+
+    def probe(self, name):
+        """Health-probe one member; on success, recover it.
+
+        A successful probe closes the member's breaker, re-attaches it
+        if it was quarantined, and resyncs it if it was stale. Returns
+        True when the member is healthy afterwards.
+        """
+        if name not in self.members:
+            raise FederationError(f"no member named {name!r}")
+        if not self.connectors[name].probe():
+            return False
+        if name in self.quarantined:
+            try:
+                self._attach(name)
+            except MemberUnavailableError:
+                return False
+        elif name in self._stale:
+            try:
+                self.resync(name)
+            except MemberUnavailableError:
+                return False
+        return True
+
+    def probe_all(self):
+        """Probe every member; returns ``{name: healthy}``."""
+        return {name: self.probe(name) for name in sorted(self.members)}
+
+    def resync(self, name):
+        """Repair a stale member.
+
+        Direction depends on how it went stale: a failed flush is
+        re-*pushed* (the universe is ahead of the member); a member that
+        recovered from an outage is re-*pulled* (the member is the
+        authority on its own data).
+        """
+        direction = self._stale.get(name, "pull")
+        if direction == "push":
+            self.connectors[name].apply(
+                universe_rows(self.engine.universe, name)
+            )
+        else:
+            relations = self.connectors[name].scan()
+            if self.engine.universe.has(name):
+                self.engine.drop_database(name)
+            self.engine.add_database(name, relations)
+        self._stale.pop(name, None)
+        return self
+
+    # -- availability -----------------------------------------------------------
+
+    def availability(self):
+        """Per-member availability right now (an AvailabilityReport)."""
+        entries = []
+        for name in sorted(self.members):
+            if name in self.quarantined:
+                entries.append(MemberAvailability(
+                    name, QUARANTINED, self.quarantined[name]))
+            elif self.connectors[name].breaker.state != CLOSED:
+                entries.append(MemberAvailability(
+                    name, CIRCUIT_OPEN,
+                    f"breaker {self.connectors[name].breaker.state}"))
+            elif name in self._stale:
+                entries.append(MemberAvailability(
+                    name, STALE, f"pending {self._stale[name]} resync"))
+            else:
+                entries.append(MemberAvailability(name, OK))
+        return AvailabilityReport(entries)
+
+    def health_report(self):
+        """Structured per-member health counters and breaker states."""
+        report = {}
+        for name in sorted(self.members):
+            resilient = self.connectors[name]
+            entry = resilient.health.as_dict()
+            entry["breaker"] = resilient.breaker.state
+            entry["status"] = self.availability().status_of(name)
+            report[name] = entry
+        return report
+
+    def _check_available(self):
+        """Raise the most specific degradation error, if any."""
+        report = self.availability()
+        quarantined = sorted(
+            e.member for e in report if e.status == QUARANTINED
+        )
+        if quarantined:
+            raise MemberUnavailableError(
+                f"member(s) unavailable: {', '.join(quarantined)} "
+                f"(query with partial=True for a degraded answer)",
+                member=quarantined[0],
+            )
+        opened = sorted(e.member for e in report if e.status == CIRCUIT_OPEN)
+        if opened:
+            raise CircuitOpenError(
+                f"circuit open for member(s): {', '.join(opened)} "
+                f"(query with partial=True for a degraded answer)",
+                member=opened[0],
+            )
+        stale = sorted(report.stale)
+        if stale:
+            raise StaleMemberError(
+                f"member(s) stale: {', '.join(stale)} (resync them or "
+                f"query with partial=True)",
+                member=stale[0],
+            )
+
     # -- convenience -----------------------------------------------------------
 
-    def query(self, source, **params):
-        return self.engine.query(source, **params)
+    def query(self, source, partial=False, **params):
+        """Answer a query.
+
+        With ``partial=False`` (the default) the federation insists on
+        full availability: a quarantined member, an open circuit, or a
+        stale snapshot raises instead of silently answering from a
+        subset. With ``partial=True`` the answer is computed from
+        whatever is available and returned as a :class:`PartialResult`
+        whose ``availability`` report names the members that
+        contributed, the ones that were skipped, and why.
+        """
+        if not partial:
+            self._check_available()
+            return self.engine.query(source, **params)
+        return PartialResult(
+            self.engine.query(source, **params), self.availability()
+        )
 
     def ask(self, source, **params):
         return self.engine.ask(source, **params)
 
     def update(self, source, **params):
+        """Execute an update request, then flush the affected members.
+
+        Refused outright (before any mutation) while any member is
+        quarantined, circuit-open, or stale: translated updates must
+        reach *every* member or none (the paper's all-or-nothing update
+        semantics), and a member we cannot reach — or whose snapshot we
+        know diverges — would silently miss its share.
+        """
+        self._check_available()
         result = self.engine.update(source, **params)
-        self._sync_storage()
+        if result.changed:
+            self._sync_members()
         return result
 
     def call(self, program, **args):
+        """Call a control-database update program (same availability and
+        flush rules as :meth:`update`)."""
+        self._check_available()
         result = self.engine.call(self.control_db, program, **args)
-        self._sync_storage()
+        if result.changed:
+            self._sync_members()
         return result
 
     def insert_quote(self, stk, date, price):
@@ -179,12 +529,20 @@ class Federation:
             detect_discrepancies(self.engine.universe, min_score=min_score)
         )
 
-    def _sync_storage(self):
-        """Write universe state back to storage-backed members."""
-        from repro.multidb.adapters import flush_to_storage
+    def _sync_members(self):
+        """Flush universe state to every member with a real backend.
 
-        for name, storage in self.storage_members.items():
-            flush_to_storage(self.engine.universe, name, storage)
+        A member whose flush fails is marked stale (direction: push —
+        the universe is now ahead of it) before the error propagates, so
+        a later :meth:`probe`/:meth:`resync` can repair it.
+        """
+        for name in sorted(self._flushed & self._attached):
+            desired = universe_rows(self.engine.universe, name)
+            try:
+                self.connectors[name].apply(desired)
+            except Exception:
+                self._stale[name] = "push"
+                raise
 
     def __repr__(self):
         return (

@@ -139,6 +139,60 @@ class TestStorageFaults:
         assert storage.scan("r") == rows_before
 
 
+class TestFlushConditionalOnSuccess:
+    """The member flush must not run when the engine update failed, nor
+    when the request succeeded without changing anything."""
+
+    def _federation(self):
+        from repro.multidb import FaultyConnector, StorageConnector
+
+        workload = StockWorkload(n_stocks=2, n_days=2, seed=1)
+        storage = StorageDatabase("euter")
+        storage.create_relation(
+            "r",
+            [("date", "str", False), ("stkCode", "str", False),
+             ("clsPrice", "float")],
+            key=("date", "stkCode"),
+        )
+        for day, symbol, price in workload.quotes():
+            storage.insert("r", {"date": day, "stkCode": symbol,
+                                 "clsPrice": price})
+        # A fault-free FaultyConnector is a call counter.
+        counter = FaultyConnector(StorageConnector(storage))
+        federation = Federation()
+        federation.add_member("euter", "euter", connector=counter)
+        federation.install()
+        return federation, storage, counter
+
+    def test_no_flush_when_engine_update_raises(self):
+        federation, storage, counter = self._federation()
+        rows_before = storage.scan("r")
+        calls_before = counter.calls
+        with pytest.raises(UpdateError):
+            # The insert applies, then the category error kills the
+            # request mid-flight; nothing may reach the member.
+            federation.update(
+                "?.euter.r+(.date='9/9/99', .stkCode='nova', .clsPrice=1.0),"
+                " .euter.r(.stkCode='nova', .date(+.z=1))"
+            )
+        assert counter.calls == calls_before
+        assert storage.scan("r") == rows_before
+
+    def test_no_flush_when_update_changes_nothing(self):
+        federation, storage, counter = self._federation()
+        calls_before = counter.calls
+        result = federation.update("?.euter.r-(.stkCode='nosuchstock')")
+        assert not result.changed
+        assert counter.calls == calls_before
+
+    def test_flush_happens_on_success(self):
+        federation, storage, counter = self._federation()
+        calls_before = counter.calls
+        federation.insert_quote("nova", "9/9/99", 1.0)
+        assert counter.calls == calls_before + 1
+        assert storage.lookup("r", stkCode="nova")
+
+
 class TestReplResilience:
     def test_repl_survives_every_error_kind(self):
         import io

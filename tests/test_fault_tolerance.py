@@ -1,0 +1,438 @@
+"""Fault-tolerant federation: connectors, retry/backoff, breakers,
+quarantine, partial-result queries, recovery and resync.
+
+Everything runs on a :class:`FakeClock` — no real sleeps — so the
+retry/backoff arithmetic and the breaker's timed transitions are
+asserted exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    FederationError,
+    MemberUnavailableError,
+    StaleMemberError,
+    UpdateError,
+)
+from repro.multidb import (
+    Federation,
+    FaultyConnector,
+    InMemoryConnector,
+    ResiliencePolicy,
+    ResilientConnector,
+    StorageConnector,
+)
+from repro.multidb.resilience import CLOSED, HALF_OPEN, OPEN, CircuitBreaker, FakeClock
+from repro.multidb.schema_styles import to_long
+from repro.storage import StorageDatabase
+from repro.workloads.stocks import StockWorkload
+
+
+def quotes(answers):
+    return {(a["D"], a["S"], a["P"]) for a in answers}
+
+
+def style_quotes(workload, *styles):
+    return {
+        quote
+        for style in styles
+        for quote in to_long(workload.relations_for(style), style)
+    }
+
+
+# ---------------------------------------------------------------------------
+# Retry / backoff
+# ---------------------------------------------------------------------------
+
+
+class TestRetryBackoff:
+    def make(self, connector, **policy_kwargs):
+        clock = FakeClock()
+        policy_kwargs.setdefault("jitter", 0.0)
+        policy = ResiliencePolicy(**policy_kwargs)
+        return ResilientConnector("m", connector, policy, clock), clock
+
+    def test_transient_failures_are_retried(self):
+        faulty = FaultyConnector(InMemoryConnector({"r": [{"x": 1}]}))
+        faulty.fail_next(2)
+        resilient, clock = self.make(faulty, max_attempts=3, base_delay=0.1)
+        assert resilient.scan() == {"r": [{"x": 1}]}
+        assert resilient.health.retries == 2
+        assert resilient.health.failures == 2
+        assert resilient.health.successes == 1
+
+    def test_backoff_is_exponential_and_capped(self):
+        faulty = FaultyConnector(InMemoryConnector())
+        faulty.fail_next(4)
+        resilient, clock = self.make(
+            faulty, max_attempts=5, base_delay=0.1, multiplier=2.0,
+            max_delay=0.3,
+        )
+        resilient.ping()
+        # Waits after failures 1..4: 0.1, 0.2, then capped at 0.3.
+        assert clock.sleeps == [0.1, 0.2, 0.3, 0.3]
+
+    def test_jitter_stays_within_bounds_and_is_deterministic(self):
+        def sleeps_for(seed):
+            faulty = FaultyConnector(InMemoryConnector())
+            faulty.fail_next(3)
+            clock = FakeClock()
+            policy = ResiliencePolicy(
+                max_attempts=4, base_delay=0.1, multiplier=1.0, jitter=0.5,
+                seed=seed,
+            )
+            ResilientConnector("m", faulty, policy, clock).ping()
+            return clock.sleeps
+
+        first = sleeps_for(7)
+        assert first == sleeps_for(7)  # same seed, same schedule
+        assert all(0.05 <= wait <= 0.15 for wait in first)
+
+    def test_attempts_exhausted_raises_original_error(self):
+        faulty = FaultyConnector(InMemoryConnector(), outage=True)
+        resilient, _ = self.make(faulty, max_attempts=3)
+        with pytest.raises(MemberUnavailableError):
+            resilient.scan()
+        assert resilient.health.attempts == 3
+
+    def test_non_retryable_error_propagates_immediately(self):
+        class Broken(InMemoryConnector):
+            def scan(self):
+                raise UpdateError("logic bug, not an outage")
+
+        resilient, _ = self.make(Broken(), max_attempts=5)
+        with pytest.raises(UpdateError):
+            resilient.scan()
+        assert resilient.health.attempts == 1
+        assert resilient.breaker.state == CLOSED
+
+
+class TestDeadlines:
+    def test_slow_member_exceeds_deadline(self):
+        clock = FakeClock()
+        slow = FaultyConnector(InMemoryConnector(), latency=2.0, clock=clock)
+        policy = ResiliencePolicy(max_attempts=1, deadline=0.5, jitter=0.0)
+        resilient = ResilientConnector("m", slow, policy, clock)
+        with pytest.raises(DeadlineExceededError):
+            resilient.ping()
+
+    def test_backoff_refuses_to_sleep_past_deadline(self):
+        clock = FakeClock()
+        faulty = FaultyConnector(InMemoryConnector(), outage=True)
+        policy = ResiliencePolicy(
+            max_attempts=10, base_delay=0.4, jitter=0.0, deadline=1.0,
+        )
+        resilient = ResilientConnector("m", faulty, policy, clock)
+        with pytest.raises(DeadlineExceededError):
+            resilient.ping()
+        # 0.4 + 0.8 would pass 1.0s: only the first wait was taken.
+        assert clock.sleeps == [0.4]
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, recovery_timeout=10,
+                                 clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_half_opens_after_recovery_timeout(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_timeout=10,
+                                 clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()  # the trial call
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_timeout=1,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(2)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_failure_reopens_and_restarts_timeout(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_timeout=10,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(11)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()  # the timeout restarted
+        clock.advance(11)
+        assert breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_transitions_are_recorded(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_timeout=1,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(2)
+        breaker.allow()
+        breaker.record_success()
+        assert [(a, b) for _, a, b in breaker.transitions] == [
+            (CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)
+        ]
+
+    def test_open_circuit_short_circuits_calls(self):
+        clock = FakeClock()
+        faulty = FaultyConnector(InMemoryConnector(), outage=True)
+        policy = ResiliencePolicy(max_attempts=1, failure_threshold=1,
+                                  recovery_timeout=100, jitter=0.0)
+        resilient = ResilientConnector("m", faulty, policy, clock)
+        with pytest.raises(MemberUnavailableError):
+            resilient.ping()
+        calls_before = faulty.calls
+        with pytest.raises(CircuitOpenError):
+            resilient.ping()
+        assert faulty.calls == calls_before  # the member was not touched
+
+
+# ---------------------------------------------------------------------------
+# Federation: quarantine, partial queries, recovery, resync
+# ---------------------------------------------------------------------------
+
+
+def build_federation(workload, chwab_connector, policy, clock):
+    federation = Federation()
+    federation.add_member("euter", "euter", workload.euter_relations())
+    federation.add_member("chwab", "chwab", connector=chwab_connector,
+                          policy=policy, clock=clock)
+    federation.add_member("ource", "ource", workload.ource_relations())
+    return federation
+
+
+class TestDegradedFederation:
+    @pytest.fixture
+    def workload(self):
+        return StockWorkload(n_stocks=3, n_days=2, seed=11)
+
+    def setup_down_member(self, workload, **policy_kwargs):
+        clock = FakeClock()
+        flaky = FaultyConnector(
+            InMemoryConnector(workload.chwab_relations()), outage=True
+        )
+        policy_kwargs.setdefault("max_attempts", 2)
+        policy_kwargs.setdefault("failure_threshold", 2)
+        policy_kwargs.setdefault("jitter", 0.0)
+        policy = ResiliencePolicy(**policy_kwargs)
+        federation = build_federation(workload, flaky, policy, clock)
+        return federation, flaky, clock
+
+    def test_install_quarantines_unreachable_member(self, workload):
+        federation, _, _ = self.setup_down_member(workload)
+        federation.install()
+        assert "chwab" in federation.quarantined
+        assert federation.availability().status_of("chwab") == "quarantined"
+
+    def test_strict_query_refuses_degraded_answer(self, workload):
+        federation, _, _ = self.setup_down_member(workload)
+        federation.install()
+        with pytest.raises(MemberUnavailableError):
+            federation.unified_quotes()
+
+    def test_partial_query_serves_remaining_members(self, workload):
+        federation, _, _ = self.setup_down_member(workload)
+        federation.install()
+        result = federation.query(
+            "?.dbI.p(.date=D, .stk=S, .price=P)", partial=True
+        )
+        assert quotes(result) == style_quotes(workload, "euter", "ource")
+        assert result.availability.unavailable == {"chwab"}
+        assert result.availability.contributed == {"euter", "ource"}
+        assert not result.complete
+
+    def test_updates_refused_while_member_down(self, workload):
+        federation, _, _ = self.setup_down_member(workload)
+        federation.install()
+        before = federation.query(
+            "?.dbI.p(.date=D, .stk=S, .price=P)", partial=True
+        )
+        with pytest.raises(MemberUnavailableError):
+            federation.insert_quote("nova", "9/9/99", 1.0)
+        after = federation.query(
+            "?.dbI.p(.date=D, .stk=S, .price=P)", partial=True
+        )
+        assert quotes(after) == quotes(before)  # nothing half-applied
+
+    def test_probe_recovers_attaches_and_closes_breaker(self, workload):
+        federation, flaky, _ = self.setup_down_member(workload)
+        federation.install()
+        assert federation.connectors["chwab"].breaker.state == OPEN
+        assert federation.probe("chwab") is False or "chwab" in federation.quarantined
+        flaky.restore()
+        assert federation.probe("chwab") is True
+        assert federation.connectors["chwab"].breaker.state == CLOSED
+        assert federation.quarantined == {}
+        # Fault-free answer, via the strict path.
+        expected = sorted(style_quotes(workload, "euter", "chwab", "ource"))
+        assert federation.unified_quotes() == expected
+
+    def test_probe_all_reports_every_member(self, workload):
+        federation, flaky, _ = self.setup_down_member(workload)
+        federation.install()
+        assert federation.probe_all() == {
+            "euter": True, "chwab": False, "ource": True
+        }
+        flaky.restore()
+        assert federation.probe_all() == {
+            "euter": True, "chwab": True, "ource": True
+        }
+
+    def test_reinstall_reattaches_recovered_member(self, workload):
+        federation, flaky, _ = self.setup_down_member(workload)
+        federation.install()
+        flaky.restore()
+        federation.reinstall()
+        assert federation.quarantined == {}
+        expected = sorted(style_quotes(workload, "euter", "chwab", "ource"))
+        assert federation.unified_quotes() == expected
+
+    def test_recovered_member_participates_in_updates(self, workload):
+        federation, flaky, _ = self.setup_down_member(workload)
+        federation.install()
+        flaky.restore()
+        federation.probe("chwab")
+        federation.insert_quote("nova", "9/9/99", 7.0)
+        # The translated insert reached the recovered member's connector.
+        rows = federation.connectors["chwab"].connector.inner.scan()["r"]
+        assert any(row.get("nova") == 7.0 for row in rows)
+
+    def test_every_member_down_fails_install(self, workload):
+        clock = FakeClock()
+        federation = Federation()
+        for style in ("euter", "chwab", "ource"):
+            federation.add_member(
+                style, style,
+                connector=FaultyConnector(
+                    InMemoryConnector(workload.relations_for(style)),
+                    outage=True,
+                ),
+                policy=ResiliencePolicy(max_attempts=1, jitter=0.0),
+                clock=clock,
+            )
+        with pytest.raises(MemberUnavailableError):
+            federation.install()
+
+
+class TestFlushFailureAndResync:
+    @pytest.fixture
+    def workload(self):
+        return StockWorkload(n_stocks=2, n_days=2, seed=5)
+
+    def setup_attached_flaky(self, workload, **faulty_kwargs):
+        clock = FakeClock()
+        flaky = FaultyConnector(
+            InMemoryConnector(workload.chwab_relations()), **faulty_kwargs
+        )
+        policy = ResiliencePolicy(max_attempts=2, failure_threshold=2,
+                                  recovery_timeout=50, jitter=0.0)
+        federation = build_federation(workload, flaky, policy, clock)
+        federation.install()
+        return federation, flaky, clock
+
+    def test_failed_flush_marks_member_stale_then_resync_pushes(self, workload):
+        federation, flaky, _ = self.setup_attached_flaky(workload)
+        flaky.set_outage(True)
+        with pytest.raises(MemberUnavailableError):
+            federation.insert_quote("nova", "9/9/99", 3.0)
+        assert federation.availability().status_of("chwab") in (
+            "stale", "circuit-open"
+        )
+        flaky.restore()
+        assert federation.probe("chwab") is True
+        assert federation.availability().status_of("chwab") == "ok"
+        rows = flaky.inner.scan()["r"]
+        assert any(row.get("nova") == 3.0 for row in rows)
+        # Strict queries serve again, and include the repaired update.
+        assert ("9/9/99", "nova", 3.0) in set(federation.unified_quotes())
+
+    def test_open_circuit_refuses_updates_before_mutation(self, workload):
+        federation, flaky, _ = self.setup_attached_flaky(workload)
+        flaky.set_outage(True)
+        with pytest.raises(MemberUnavailableError):
+            federation.insert_quote("nova", "9/9/99", 3.0)
+        assert federation.connectors["chwab"].breaker.state == OPEN
+        with pytest.raises(CircuitOpenError):
+            federation.insert_quote("other", "9/9/99", 4.0)
+        # The second update never reached the engine.
+        assert not federation.ask("?.euter.r(.stkCode=other)")
+
+    def test_stale_member_blocks_strict_queries_until_resync(self, workload):
+        federation, flaky, _ = self.setup_attached_flaky(workload)
+        flaky.set_outage(True)
+        with pytest.raises(MemberUnavailableError):
+            federation.insert_quote("nova", "9/9/99", 3.0)
+        flaky.restore()
+        federation.connectors["chwab"].breaker.record_success()  # close it
+        with pytest.raises(StaleMemberError):
+            federation.unified_quotes()
+        federation.resync("chwab")
+        assert ("9/9/99", "nova", 3.0) in set(federation.unified_quotes())
+
+    def test_torn_write_repaired_by_push_resync(self, workload):
+        federation, flaky, _ = self.setup_attached_flaky(
+            workload, torn_writes=True
+        )
+        flaky.set_outage(True)
+        with pytest.raises(MemberUnavailableError):
+            federation.insert_quote("nova", "9/9/99", 3.0)
+        # The member took a torn (truncated) write.
+        torn_rows = flaky.inner.scan()["r"]
+        assert len(torn_rows) < workload.n_days
+        flaky.restore()
+        assert federation.probe("chwab") is True
+        repaired = flaky.inner.scan()["r"]
+        assert len(repaired) == workload.n_days + 1  # the new 9/9/99 row
+
+
+class TestLegacyMembersUnaffected:
+    def test_storage_member_keeps_fail_fast_semantics(self):
+        workload = StockWorkload(n_stocks=2, n_days=2, seed=3)
+        storage = StorageDatabase("euter")
+        storage.create_relation(
+            "r", [("date", "str"), ("stkCode", "str"), ("clsPrice", "float")]
+        )
+        for day, symbol, price in workload.quotes():
+            storage.insert("r", {"date": day, "stkCode": symbol,
+                                 "clsPrice": price})
+        federation = Federation()
+        federation.add_member("euter", "euter", storage=storage)
+        federation.install()
+        resilient = federation.connectors["euter"]
+        assert resilient.policy.max_attempts == 1
+        federation.insert_quote("nova", "9/9/99", 1.0)
+        assert storage.lookup("r", stkCode="nova")
+        assert resilient.breaker.state == CLOSED

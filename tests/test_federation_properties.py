@@ -3,10 +3,20 @@ members (autonomous databases "may deal with different stocks")."""
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.multidb import Federation, FirstOrderFederation, to_long
+from repro.errors import MemberUnavailableError
+from repro.multidb import (
+    FakeClock,
+    FaultyConnector,
+    Federation,
+    FirstOrderFederation,
+    InMemoryConnector,
+    ResiliencePolicy,
+    to_long,
+)
 from repro.storage import StorageDatabase
 from repro.workloads.stocks import StockWorkload
 
@@ -44,6 +54,59 @@ def test_member_deletion_only_affects_that_member(seed):
     # The quote survives in the unified view via the other member.
     price = workload.price(day, symbol)
     assert federation.ask(f"?.dbI.p(.date={day}, .stk={symbol}, .price={price})")
+
+
+# How many consecutive connector failures each member throws at the
+# federation; ATTEMPTS retries per scan means a member with at least
+# ATTEMPTS scripted failures cannot be attached.
+ATTEMPTS = 2
+fault_schedules = st.fixed_dictionaries({
+    "euter": st.integers(min_value=0, max_value=4),
+    "chwab": st.integers(min_value=0, max_value=4),
+    "ource": st.integers(min_value=0, max_value=4),
+})
+
+
+@given(seeds, fault_schedules)
+@settings(max_examples=25, deadline=None)
+def test_partial_answers_are_a_subset_with_exact_availability(seed, schedule):
+    """For any fault schedule: a partial query's answers are a subset of
+    the fault-free answers (exactly the surviving members' union), and
+    the availability report names exactly the failed members."""
+    workload = StockWorkload(n_stocks=4, n_days=2, seed=seed)
+    clock = FakeClock()
+    federation = Federation()
+    fault_free, expected_available = set(), set()
+    failed = {name for name, n in schedule.items() if n >= ATTEMPTS}
+    for style in ("euter", "chwab", "ource"):
+        relations = workload.relations_for(style)
+        connector = FaultyConnector(InMemoryConnector(relations))
+        connector.fail_next(schedule[style])
+        federation.add_member(
+            style, style, connector=connector,
+            policy=ResiliencePolicy(
+                max_attempts=ATTEMPTS, base_delay=0.01, jitter=0.0,
+                failure_threshold=100, seed=seed,
+            ),
+            clock=clock,
+        )
+        rows = set(to_long(relations, style))
+        fault_free |= rows
+        if style not in failed:
+            expected_available |= rows
+    if len(failed) == 3:
+        with pytest.raises(MemberUnavailableError):
+            federation.install()
+        return
+    federation.install()
+    result = federation.query(
+        "?.dbI.p(.date=D, .stk=S, .price=P)", partial=True
+    )
+    answers = {(a["D"], a["S"], a["P"]) for a in result}
+    assert answers <= fault_free
+    assert answers == expected_available
+    assert result.availability.unavailable == failed
+    assert result.complete == (not failed)
 
 
 class TestFirstOrderPriceLookup:

@@ -110,9 +110,12 @@ class TestFederation:
     def test_discrepancy_report_convenience(self, federation):
         assert "euter.r.stkCode" in federation.discrepancy_report()
 
-    def test_install_twice_rejected(self, federation):
-        with pytest.raises(FederationError):
-            federation.install()
+    def test_install_twice_is_noop(self, federation):
+        before = federation.unified_quotes()
+        rules_before = len(federation.engine.program.rules)
+        assert federation.install() is federation
+        assert len(federation.engine.program.rules) == rules_before
+        assert federation.unified_quotes() == before
 
     def test_reconciliation(self, workload):
         fed = Federation()
