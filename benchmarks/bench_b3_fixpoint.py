@@ -32,6 +32,44 @@ def datalog_closure(n_nodes, method):
     return len(engine.evaluate(method=method).facts("tc"))
 
 
+def test_b3_dependency_edges_ground_index(benchmark):
+    """Edge discovery must probe the ground-head index, not sweep all rules.
+
+    With every head and reference ground, ``dependency_edges`` needs one
+    overlap test per (reference, bucket entry) — O(rules) overall. The
+    old all-pairs sweep performed ~rules² overlap tests.
+    """
+    from repro.core import stratify as strat
+    from repro.core.program import IdlProgram
+
+    n_rules = 150
+    program = IdlProgram()
+    program.add_rule(".d.v0(.a=X) <- .base.r(.a=X)")
+    for index in range(1, n_rules):
+        program.add_rule(f".d.v{index}(.a=X) <- .d.v{index - 1}(.a=X)")
+    rules = program.rules
+
+    counted = [0]
+    original = strat.patterns_overlap
+
+    def counting(reference, target):
+        counted[0] += 1
+        return original(reference, target)
+
+    strat.patterns_overlap = counting
+    try:
+        edges = list(strat.dependency_edges(rules))
+    finally:
+        strat.patterns_overlap = original
+
+    assert len(edges) == n_rules - 1
+    assert counted[0] <= 8 * n_rules, (
+        f"{counted[0]} overlap tests for {n_rules} ground rules — "
+        "the ground-functor index is not being used"
+    )
+    benchmark(lambda: list(strat.dependency_edges(rules)))
+
+
 @pytest.mark.parametrize("method", ("naive", "seminaive"))
 def test_idl_fixpoint(benchmark, method):
     count = benchmark(idl_closure, 25, method)

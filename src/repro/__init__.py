@@ -20,8 +20,9 @@ Quick start::
 Subpackages: ``repro.core`` (the language), ``repro.objects`` (the
 object model), ``repro.storage`` (relational substrate), ``repro.sql``
 and ``repro.datalog`` (first-order baselines), ``repro.multidb``
-(federation and transparency), ``repro.workloads`` (synthetic data),
-``repro.bench`` (experiment harness).
+(federation and transparency), ``repro.analysis`` (the ``idlcheck``
+static analyzer), ``repro.workloads`` (synthetic data), ``repro.bench``
+(experiment harness).
 """
 
 from repro.core.engine import IdlEngine, QueryAnswer

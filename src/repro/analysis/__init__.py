@@ -1,0 +1,37 @@
+"""``repro.analysis`` — the ``idlcheck`` static analyzer.
+
+Ahead-of-time, whole-program analysis of IDL multidatabase programs:
+schema-aware name resolution against member catalogs, safety and
+stratification, update-program coverage, and dead-code detection. See
+``docs/static_analysis.md`` for the diagnostic code reference.
+"""
+
+from repro.analysis.catalog import Catalog
+from repro.analysis.checker import (
+    CallShape,
+    ProgramChecker,
+    check_engine,
+    check_source,
+    check_statements,
+)
+from repro.analysis.diagnostics import (
+    CODES,
+    ERROR,
+    WARNING,
+    Diagnostic,
+    DiagnosticReport,
+)
+
+__all__ = [
+    "CODES",
+    "ERROR",
+    "WARNING",
+    "CallShape",
+    "Catalog",
+    "Diagnostic",
+    "DiagnosticReport",
+    "ProgramChecker",
+    "check_engine",
+    "check_source",
+    "check_statements",
+]

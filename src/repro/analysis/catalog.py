@@ -1,0 +1,137 @@
+"""Member schema catalogs for schema-aware static analysis.
+
+A :class:`Catalog` is the analyzer's picture of what the federation's
+members actually expose: database names, relation names, and (when
+enumerable) attribute names per relation. It is deliberately a plain
+value object — built from a live :class:`~repro.objects.universe.Universe`,
+from ``{db: {rel: rows}}`` snapshots a connector scanned, or by hand in
+tests — so ``idlcheck`` never needs to touch a member to validate a
+program against it.
+
+A database may be marked **opaque**: it is known to exist but its
+relations cannot be enumerated (e.g. the member is quarantined behind a
+failing connector). References into opaque databases are never reported
+as unknown — the analyzer cannot prove them wrong.
+"""
+
+from __future__ import annotations
+
+#: Stop sampling attribute names after this many elements per relation;
+#: schemas repeat long before data does.
+_ATTR_SAMPLE_LIMIT = 500
+
+
+class Catalog:
+    """What databases/relations/attributes the analyzed program may read."""
+
+    def __init__(self):
+        self.databases = {}  # db -> {rel -> frozenset(attr names) | None}
+        self.opaque = set()  # dbs that exist but cannot be enumerated
+
+    # -- construction --------------------------------------------------------
+
+    def add_database(self, name):
+        self.databases.setdefault(name, {})
+        return self
+
+    def add_relation(self, db, rel, attrs=None):
+        self.add_database(db)
+        self.databases[db][rel] = (
+            None if attrs is None else frozenset(attrs)
+        )
+        return self
+
+    def mark_opaque(self, db):
+        """``db`` exists, but what it contains is unknowable right now."""
+        self.add_database(db)
+        self.opaque.add(db)
+        return self
+
+    def update(self, other):
+        """Merge another catalog into this one (attrs union per relation)."""
+        for db, relations in other.databases.items():
+            self.add_database(db)
+            for rel, attrs in relations.items():
+                existing = self.databases[db].get(rel)
+                if existing is None or attrs is None:
+                    merged = existing if attrs is None else attrs
+                    if rel in self.databases[db] and existing is None:
+                        merged = None
+                else:
+                    merged = existing | attrs
+                self.databases[db][rel] = merged
+        self.opaque |= other.opaque
+        return self
+
+    @classmethod
+    def from_relations(cls, databases):
+        """Build from ``{db: {rel: [row dicts]}}`` connector snapshots."""
+        catalog = cls()
+        for db, relations in (databases or {}).items():
+            catalog.add_database(db)
+            for rel, rows in (relations or {}).items():
+                attrs = set()
+                for row in list(rows)[:_ATTR_SAMPLE_LIMIT]:
+                    if isinstance(row, dict):
+                        attrs.update(
+                            key for key in row if isinstance(key, str)
+                        )
+                catalog.add_relation(db, rel, attrs)
+        return catalog
+
+    @classmethod
+    def from_universe(cls, universe):
+        """Build from a live universe of IDL objects."""
+        catalog = cls()
+        for db_name in universe.attr_names():
+            db = universe.get(db_name)
+            catalog.add_database(db_name)
+            if not db.is_tuple:
+                catalog.mark_opaque(db_name)
+                continue
+            for rel_name in db.attr_names():
+                rel = db.get(rel_name)
+                if not rel.is_set:
+                    continue
+                attrs = set()
+                for index, element in enumerate(rel.elements()):
+                    if index >= _ATTR_SAMPLE_LIMIT:
+                        break
+                    if element.is_tuple:
+                        attrs.update(element.attr_names())
+                catalog.add_relation(db_name, rel_name, attrs)
+        return catalog
+
+    # -- queries -------------------------------------------------------------
+
+    def has_database(self, db):
+        return db in self.databases
+
+    def is_opaque(self, db):
+        return db in self.opaque
+
+    def relations(self, db):
+        return sorted(self.databases.get(db, ()))
+
+    def has_relation(self, db, rel):
+        return rel in self.databases.get(db, {})
+
+    def attributes(self, db, rel):
+        """Attribute names of ``db.rel``, or None when not enumerable."""
+        return self.databases.get(db, {}).get(rel)
+
+    def paths(self):
+        """Every known ``(db, rel)`` pair (opaque databases excluded)."""
+        return [
+            (db, rel)
+            for db, relations in self.databases.items()
+            if db not in self.opaque
+            for rel in relations
+        ]
+
+    def __repr__(self):
+        sizes = {
+            db: ("?" if db in self.opaque else len(rels))
+            for db, rels in self.databases.items()
+        }
+        return f"Catalog({sizes})"

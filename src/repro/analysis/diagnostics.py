@@ -1,0 +1,199 @@
+"""Structured diagnostics for the ``idlcheck`` static analyzer.
+
+Every finding carries a **stable code** (``IDL0xx``), a severity, a
+message, an optional ``(line, column)`` source location and an optional
+context string (usually the pretty-printed statement the finding is
+about). Codes are stable across releases so CI pipelines and editors can
+filter or suppress them; the human-readable slug and default severity
+live in :data:`CODES`.
+
+See ``docs/static_analysis.md`` for the full code reference.
+"""
+
+from __future__ import annotations
+
+from repro.core.ast import format_loc
+
+ERROR = "error"
+WARNING = "warning"
+
+#: code -> (slug, default severity, one-line description)
+CODES = {
+    "IDL000": (
+        "syntax-error",
+        ERROR,
+        "the source does not lex or parse as IDL",
+    ),
+    "IDL001": (
+        "unsafe-variable",
+        ERROR,
+        "a variable cannot be grounded by enumeration before it is "
+        "consumed (no safe evaluation order exists)",
+    ),
+    "IDL002": (
+        "unrestricted-name-variable",
+        WARNING,
+        "a higher-order head variable names a relation/attribute but is "
+        "never bound in a name position by the body, so it may resolve "
+        "to a non-name value at run time",
+    ),
+    "IDL003": (
+        "malformed-statement",
+        ERROR,
+        "a statement violates a structural rule (bad rule head, bad "
+        "update program head, invalid parameter list, ...)",
+    ),
+    "IDL010": (
+        "unstratifiable",
+        ERROR,
+        "the rule program has negation through recursion (Section 6 "
+        "requires view definitions to be stratified)",
+    ),
+    "IDL011": (
+        "recursive-update-program",
+        ERROR,
+        "update programs call each other recursively (disallowed by "
+        "Section 7.1)",
+    ),
+    "IDL020": (
+        "unknown-relation",
+        ERROR,
+        "a ground .db.rel reference resolves to no member catalog "
+        "relation and no derived view target",
+    ),
+    "IDL021": (
+        "unknown-attribute",
+        WARNING,
+        "a constant attribute name does not occur in the referenced "
+        "catalog relation (the conjunct can never match)",
+    ),
+    "IDL030": (
+        "uncovered-view-update",
+        ERROR,
+        "a view update or program call has no translator clause whose "
+        "binding signature covers the call shape",
+    ),
+    "IDL031": (
+        "uncallable-clause",
+        WARNING,
+        "no call binding can execute the clause body safely — the "
+        "clause can never run",
+    ),
+    "IDL040": (
+        "dead-rule",
+        WARNING,
+        "the rule can never derive a fact (a positive body reference "
+        "has no producer, e.g. recursion with no base case)",
+    ),
+    "IDL041": (
+        "shadowed-clause",
+        WARNING,
+        "a rule or update clause exactly duplicates an earlier one; the "
+        "later copy adds nothing (and doubles update effects)",
+    ),
+}
+
+
+class Diagnostic:
+    """One analyzer finding."""
+
+    __slots__ = ("code", "severity", "message", "loc", "context")
+
+    def __init__(self, code, message, loc=None, context=None, severity=None):
+        if code not in CODES:
+            raise ValueError(f"unknown diagnostic code {code!r}")
+        self.code = code
+        self.severity = severity if severity is not None else CODES[code][1]
+        self.message = message
+        self.loc = loc
+        self.context = context
+
+    @property
+    def slug(self):
+        return CODES[self.code][0]
+
+    @property
+    def is_error(self):
+        return self.severity == ERROR
+
+    def render(self):
+        location = f" at {format_loc(self.loc)}" if self.loc else ""
+        context = f"\n    in: {self.context}" if self.context else ""
+        return (
+            f"{self.severity} {self.code} ({self.slug}){location}: "
+            f"{self.message}{context}"
+        )
+
+    def _sort_key(self):
+        line, column = self.loc if self.loc else (1 << 30, 1 << 30)
+        return (0 if self.is_error else 1, line, column, self.code)
+
+    def __repr__(self):
+        return f"<Diagnostic {self.code} {self.slug} {self.message!r}>"
+
+
+class DiagnosticReport:
+    """The ordered collection of diagnostics one analysis produced."""
+
+    def __init__(self, diagnostics=()):
+        self.diagnostics = list(diagnostics)
+
+    def add(self, code, message, loc=None, context=None, severity=None):
+        diagnostic = Diagnostic(code, message, loc, context, severity)
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, other):
+        self.diagnostics.extend(other.diagnostics)
+        return self
+
+    # -- access --------------------------------------------------------------
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self):
+        return len(self.diagnostics)
+
+    @property
+    def errors(self):
+        return [d for d in self.diagnostics if d.is_error]
+
+    @property
+    def warnings(self):
+        return [d for d in self.diagnostics if not d.is_error]
+
+    @property
+    def has_errors(self):
+        return any(d.is_error for d in self.diagnostics)
+
+    def by_code(self, code):
+        return [d for d in self.diagnostics if d.code == code]
+
+    @property
+    def codes(self):
+        return sorted({d.code for d in self.diagnostics})
+
+    # -- rendering -----------------------------------------------------------
+
+    def summary(self):
+        n_errors, n_warnings = len(self.errors), len(self.warnings)
+        return (
+            f"{n_errors} error{'s' if n_errors != 1 else ''}, "
+            f"{n_warnings} warning{'s' if n_warnings != 1 else ''}"
+        )
+
+    def render(self):
+        if not self.diagnostics:
+            return "ok: no diagnostics"
+        lines = [
+            diagnostic.render()
+            for diagnostic in sorted(
+                self.diagnostics, key=Diagnostic._sort_key
+            )
+        ]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"<DiagnosticReport {self.summary()}>"

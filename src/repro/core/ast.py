@@ -33,10 +33,23 @@ MINUS = "-"
 SIGNS = (None, PLUS, MINUS)
 
 
-class Expr:
-    """Abstract expression node."""
+def format_loc(loc):
+    """Render a ``(line, column)`` pair as ``line:column`` (or ``?``)."""
+    if not loc:
+        return "?"
+    return f"{loc[0]}:{loc[1]}"
 
-    __slots__ = ()
+
+class Expr:
+    """Abstract expression node.
+
+    Every node carries an optional ``loc`` — the ``(line, column)`` of
+    the token that started it, threaded through by the parser so later
+    passes (safety, stratification, the ``idlcheck`` analyzer) can cite
+    source positions. ``loc`` never participates in equality or hashing.
+    """
+
+    __slots__ = ("loc",)
 
     def variables(self):
         """All variable names occurring in the expression."""
@@ -77,6 +90,9 @@ class Epsilon(Expr):
 
     __slots__ = ()
 
+    def __init__(self, loc=None):
+        self.loc = loc
+
     def variables(self):
         return frozenset()
 
@@ -92,7 +108,7 @@ class AtomicExpr(Expr):
 
     __slots__ = ("op", "term", "sign")
 
-    def __init__(self, op, term, sign=None):
+    def __init__(self, op, term, sign=None, loc=None):
         if sign not in SIGNS:
             raise ValueError(f"bad sign {sign!r}")
         if sign is not None and op != "=":
@@ -102,6 +118,7 @@ class AtomicExpr(Expr):
         self.op = op
         self.term = term
         self.sign = sign
+        self.loc = loc
 
     def variables(self):
         return self.term.variables()
@@ -123,7 +140,7 @@ class AttrStep(Expr):
 
     __slots__ = ("sign", "attr", "expr")
 
-    def __init__(self, attr, expr, sign=None):
+    def __init__(self, attr, expr, sign=None, loc=None):
         if sign not in SIGNS:
             raise ValueError(f"bad sign {sign!r}")
         if not isinstance(attr, (Const, Var)):
@@ -131,6 +148,7 @@ class AttrStep(Expr):
         self.sign = sign
         self.attr = attr
         self.expr = expr
+        self.loc = loc
 
     def variables(self):
         return self.attr.variables() | self.expr.variables()
@@ -155,8 +173,11 @@ class TupleExpr(Expr):
 
     __slots__ = ("conjuncts",)
 
-    def __init__(self, conjuncts):
+    def __init__(self, conjuncts, loc=None):
         self.conjuncts = tuple(conjuncts)
+        if loc is None and self.conjuncts:
+            loc = self.conjuncts[0].loc
+        self.loc = loc
 
     def variables(self):
         names = frozenset()
@@ -179,11 +200,12 @@ class SetExpr(Expr):
 
     __slots__ = ("inner", "sign")
 
-    def __init__(self, inner, sign=None):
+    def __init__(self, inner, sign=None, loc=None):
         if sign not in SIGNS:
             raise ValueError(f"bad sign {sign!r}")
         self.inner = inner
         self.sign = sign
+        self.loc = loc
 
     def variables(self):
         return self.inner.variables()
@@ -209,12 +231,13 @@ class Constraint(Expr):
 
     __slots__ = ("left", "op", "right")
 
-    def __init__(self, left, op, right):
+    def __init__(self, left, op, right, loc=None):
         if not isinstance(left, Term) or not isinstance(right, Term):
             raise TypeError("constraints compare terms")
         self.left = left
         self.op = op
         self.right = right
+        self.loc = loc
 
     def variables(self):
         return self.left.variables() | self.right.variables()
@@ -235,10 +258,11 @@ class NegExpr(Expr):
 
     __slots__ = ("inner",)
 
-    def __init__(self, inner):
+    def __init__(self, inner, loc=None):
         if inner.has_update():
             raise ValueError("update expressions cannot be negated")
         self.inner = inner
+        self.loc = loc
 
     def variables(self):
         return self.inner.variables()
@@ -259,9 +283,9 @@ class NegExpr(Expr):
 
 
 class Statement:
-    """Abstract parsed statement."""
+    """Abstract parsed statement (``loc`` as for :class:`Expr`)."""
 
-    __slots__ = ()
+    __slots__ = ("loc",)
 
 
 class Query(Statement):
@@ -270,10 +294,11 @@ class Query(Statement):
 
     __slots__ = ("expr",)
 
-    def __init__(self, expr):
+    def __init__(self, expr, loc=None):
         if not isinstance(expr, TupleExpr):
             expr = TupleExpr([expr])
         self.expr = expr
+        self.loc = loc if loc is not None else expr.loc
 
     @property
     def is_update_request(self):
@@ -305,9 +330,10 @@ class Rule(Statement):
 
     __slots__ = ("head", "body")
 
-    def __init__(self, head, body):
+    def __init__(self, head, body, loc=None):
         self.head = head if isinstance(head, TupleExpr) else TupleExpr([head])
         self.body = body if isinstance(body, TupleExpr) else TupleExpr([body])
+        self.loc = loc if loc is not None else self.head.loc
 
     def variables(self):
         return self.head.variables() | self.body.variables()
@@ -337,9 +363,10 @@ class UpdateClause(Statement):
 
     __slots__ = ("head", "body")
 
-    def __init__(self, head, body):
+    def __init__(self, head, body, loc=None):
         self.head = head if isinstance(head, TupleExpr) else TupleExpr([head])
         self.body = body if isinstance(body, TupleExpr) else TupleExpr([body])
+        self.loc = loc if loc is not None else self.head.loc
 
     def variables(self):
         return self.head.variables() | self.body.variables()

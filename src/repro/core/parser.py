@@ -122,19 +122,24 @@ def parse_update_clause(source):
 # ---------------------------------------------------------------------------
 
 
+def _loc(token):
+    return (token.line, token.column)
+
+
 def _parse_statement(stream):
+    start = stream.peek()
     if stream.at(lx.QUESTION):
         stream.next()
         expr = _parse_conjunction(stream)
         _end_statement(stream)
-        return ast.Query(expr)
+        return ast.Query(expr, loc=_loc(start))
 
     head = _parse_conjunction(stream)
     if stream.at(lx.LARROW):
         stream.next()
         body = _parse_conjunction(stream)
         _end_statement(stream)
-        return ast.Rule(head, body)
+        return ast.Rule(head, body, loc=_loc(start))
     if stream.at(lx.RARROW):
         stream.next()
         if stream.at(lx.SEP, lx.EOF):
@@ -142,7 +147,7 @@ def _parse_statement(stream):
         else:
             body = _parse_conjunction(stream)
         _end_statement(stream)
-        return ast.UpdateClause(head, body)
+        return ast.UpdateClause(head, body, loc=_loc(start))
     stream.error("expected '<-' or '->' after expression (or '?' before it)")
 
 
@@ -171,11 +176,13 @@ def _parse_expr(stream, allow_epsilon=True):
 
     if token.type == lx.NEG:
         stream.next()
-        return ast.NegExpr(_parse_expr(stream, allow_epsilon=False))
+        return ast.NegExpr(
+            _parse_expr(stream, allow_epsilon=False), loc=_loc(token)
+        )
 
     if token.type == lx.PLUS:
         stream.next()
-        return _parse_signed_target(stream, ast.PLUS)
+        return _parse_signed_target(stream, ast.PLUS, start=token)
 
     if token.type == lx.MINUS:
         # ``-5 = X`` is a constraint with a negative literal, not a minus
@@ -184,9 +191,9 @@ def _parse_expr(stream, allow_epsilon=True):
             left = _parse_term(stream)
             op_token = stream.expect(lx.COMPARE)
             right = _parse_term(stream)
-            return ast.Constraint(left, op_token.value, right)
+            return ast.Constraint(left, op_token.value, right, loc=_loc(token))
         stream.next()
-        return _parse_signed_target(stream, ast.MINUS)
+        return _parse_signed_target(stream, ast.MINUS, start=token)
 
     if token.type == lx.DOT:
         return _parse_attr_step(stream, sign=None)
@@ -197,7 +204,7 @@ def _parse_expr(stream, allow_epsilon=True):
     if token.type == lx.COMPARE:
         op = stream.next().value
         term = _parse_term(stream)
-        return ast.AtomicExpr(op, term)
+        return ast.AtomicExpr(op, term, loc=_loc(token))
 
     # Standalone constraint: ``X = ource``, ``S != date``, ``P > 2*Q``
     # (paper footnote 7). Recognized by a term followed by a comparison.
@@ -207,41 +214,45 @@ def _parse_expr(stream, allow_epsilon=True):
         left = _parse_term(stream)
         op_token = stream.expect(lx.COMPARE)
         right = _parse_term(stream)
-        return ast.Constraint(left, op_token.value, right)
+        return ast.Constraint(left, op_token.value, right, loc=_loc(token))
 
     if allow_epsilon and token.type in _EXPR_FOLLOW:
-        return ast.Epsilon()
+        return ast.Epsilon(loc=_loc(token))
 
     stream.error(f"unexpected {token.type} ({token.value!r}) in expression")
 
 
-def _parse_signed_target(stream, sign):
+def _parse_signed_target(stream, sign, start=None):
     """Parse the target after a '+' or '-' update sign."""
     token = stream.peek()
+    loc = _loc(start if start is not None else token)
     if token.type == lx.LPAREN:
-        return _parse_set_expr(stream, sign=sign)
+        return _parse_set_expr(stream, sign=sign, start=start)
     if token.type == lx.DOT:
-        return _parse_attr_step(stream, sign=sign)
+        return _parse_attr_step(stream, sign=sign, start=start)
     if token.type == lx.COMPARE and token.value == "=":
         stream.next()
         term = _parse_term(stream)
-        return ast.AtomicExpr("=", term, sign=sign)
+        return ast.AtomicExpr("=", term, sign=sign, loc=loc)
     stream.error(f"expected '(', '.' or '=' after update sign {sign!r}")
 
 
-def _parse_attr_step(stream, sign):
-    stream.expect(lx.DOT)
+def _parse_attr_step(stream, sign, start=None):
+    dot = stream.expect(lx.DOT)
+    loc = _loc(start if start is not None else dot)
     attr = _parse_attr_name(stream)
     # Shorthand: ``.a += t`` / ``.a -= t`` (atomic update on the a-object).
     if stream.at(lx.PLUS, lx.MINUS) and stream.peek(1).type == lx.COMPARE and (
         stream.peek(1).value == "="
     ):
-        inner_sign = ast.PLUS if stream.next().type == lx.PLUS else ast.MINUS
+        sign_token = stream.next()
+        inner_sign = ast.PLUS if sign_token.type == lx.PLUS else ast.MINUS
         stream.expect(lx.COMPARE)
         term = _parse_term(stream)
-        return ast.AttrStep(attr, ast.AtomicExpr("=", term, sign=inner_sign), sign=sign)
+        atomic = ast.AtomicExpr("=", term, sign=inner_sign, loc=_loc(sign_token))
+        return ast.AttrStep(attr, atomic, sign=sign, loc=loc)
     expr = _parse_expr(stream, allow_epsilon=True)
-    return ast.AttrStep(attr, expr, sign=sign)
+    return ast.AttrStep(attr, expr, sign=sign, loc=loc)
 
 
 def _parse_attr_name(stream):
@@ -255,14 +266,15 @@ def _parse_attr_name(stream):
     stream.error("expected an attribute name or variable after '.'")
 
 
-def _parse_set_expr(stream, sign):
-    stream.expect(lx.LPAREN)
+def _parse_set_expr(stream, sign, start=None):
+    lparen = stream.expect(lx.LPAREN)
+    loc = _loc(start if start is not None else lparen)
     if stream.at(lx.RPAREN):
         stream.next()
-        return ast.SetExpr(ast.Epsilon(), sign=sign)
+        return ast.SetExpr(ast.Epsilon(loc=loc), sign=sign, loc=loc)
     inner = _parse_conjunction(stream)
     stream.expect(lx.RPAREN)
-    return ast.SetExpr(inner, sign=sign)
+    return ast.SetExpr(inner, sign=sign, loc=loc)
 
 
 # ---------------------------------------------------------------------------

@@ -28,11 +28,12 @@ class ProgramClause:
 
     __slots__ = ("key", "param_names", "param_terms", "body", "clause_source")
 
-    def __init__(self, key, param_names, param_terms, body):
+    def __init__(self, key, param_names, param_terms, body, clause_source=None):
         self.key = key  # (db, name_or_None, sign)
         self.param_names = param_names  # tuple of attribute names
         self.param_terms = param_terms  # {attr_name: Var/Const term}
         self.body = body
+        self.clause_source = clause_source  # the UpdateClause statement
 
     @property
     def db(self):
@@ -129,7 +130,10 @@ def analyze_clause(clause):
             )
         param_terms["__relation__"] = Var(rel_var)
 
-    return ProgramClause((db, name, sign), tuple(param_names), param_terms, clause.body)
+    return ProgramClause(
+        (db, name, sign), tuple(param_names), param_terms, clause.body,
+        clause_source=clause,
+    )
 
 
 class IdlProgram:

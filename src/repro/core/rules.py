@@ -95,7 +95,9 @@ def analyze_rule(rule, merge_on=()):
     try:
         order_conjuncts(ast.conjuncts_of(rule.body), frozenset())
     except SafetyError as exc:
-        raise SafetyError(f"unsafe rule body: {exc}") from exc
+        raise SafetyError(
+            f"unsafe rule body in {_describe_rule(rule)}: {exc}"
+        ) from exc
 
     if merge_on:
         constructor_attrs = _constructor_attr_names(constructor)
@@ -107,6 +109,16 @@ def analyze_rule(rule, merge_on=()):
 
     references = body_references(rule.body)
     return AnalyzedRule(rule, target, constructor, tuple(merge_on), references)
+
+
+def _describe_rule(rule):
+    """``'head <- body' (at line:column)`` for error messages."""
+    from repro.core.pretty import to_source
+
+    rendered = f"rule '{to_source(rule)}'"
+    if rule.loc is not None:
+        rendered += f" (at {ast.format_loc(rule.loc)})"
+    return rendered
 
 
 def _head_structure(expr):

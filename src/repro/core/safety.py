@@ -23,6 +23,16 @@ from repro.core.terms import Arith, Const, Var
 from repro.errors import SafetyError
 
 
+def describe_conjunct(conjunct):
+    """``<source text> (at line:column)`` for error messages."""
+    from repro.core.pretty import to_source
+
+    rendered = to_source(conjunct)
+    if conjunct.loc is not None:
+        rendered += f" (at {ast.format_loc(conjunct.loc)})"
+    return rendered
+
+
 def produced_vars(expr):
     """Variables that positive evaluation of ``expr`` binds."""
     if isinstance(expr, ast.Epsilon):
@@ -171,6 +181,8 @@ def order_conjuncts(conjuncts, bound, heuristic=True):
                 raise SafetyError(
                     "no safe evaluation order: cannot ground "
                     + ", ".join(sorted(_unbound_of(pending, bound)))
+                    + "; blocked conjunct(s): "
+                    + "; ".join(describe_conjunct(c) for c in pending)
                 )
             if heuristic and len(eligible) > 1:
                 chosen = min(
@@ -191,7 +203,7 @@ def order_conjuncts(conjuncts, bound, heuristic=True):
             if not is_ready(conjunct, frozenset(bound)):
                 raise SafetyError(
                     "update expression is not ground when reached: "
-                    f"{conjunct!r}"
+                    + describe_conjunct(conjunct)
                 )
             ordered.append(conjunct)
             bound.update(produced_vars(conjunct))

@@ -14,16 +14,53 @@ means negation through recursion, which is rejected with
 
 from __future__ import annotations
 
+from repro.core.ast import format_loc
 from repro.core.rules import patterns_overlap
+from repro.core.terms import Const
 from repro.errors import StratificationError
 
 
+def _functor(pattern):
+    """The ground ``(db, rel)`` head of a pattern, or None if the first
+    two positions are not both constants."""
+    if (
+        len(pattern) >= 2
+        and isinstance(pattern[0], Const)
+        and isinstance(pattern[1], Const)
+    ):
+        return (pattern[0].value, pattern[1].value)
+    return None
+
+
 def dependency_edges(analyzed_rules):
-    """Yield ``(from_index, to_index, positive)`` rule dependencies."""
+    """Yield ``(from_index, to_index, positive)`` rule dependencies.
+
+    Writers are indexed by their ground head functor ``(db, rel)``, so a
+    ground reference probes one bucket instead of overlap-testing every
+    rule (the full O(rules²) sweep is kept only for higher-order heads
+    and higher-order references, which can match anything).
+    """
+    ground_writers = {}  # (db, rel) -> [rule index]
+    open_writers = []  # higher-order or short heads: match conservatively
+    for index, writer in enumerate(analyzed_rules):
+        functor = _functor(writer.target)
+        if functor is None:
+            open_writers.append(index)
+        else:
+            ground_writers.setdefault(functor, []).append(index)
+
+    all_indices = range(len(analyzed_rules))
     for from_index, reader in enumerate(analyzed_rules):
         for pattern, positive in reader.references:
-            for to_index, writer in enumerate(analyzed_rules):
-                if patterns_overlap(pattern, writer.target):
+            functor = _functor(pattern)
+            if functor is None:
+                candidates = all_indices
+            else:
+                candidates = ground_writers.get(functor, ())
+                if open_writers:
+                    candidates = list(candidates) + open_writers
+            for to_index in candidates:
+                if patterns_overlap(pattern, analyzed_rules[to_index].target):
                     yield (from_index, to_index, positive)
 
 
@@ -53,11 +90,13 @@ def stratify(analyzed_rules):
     for from_index in range(count):
         for to_index in negative_edges[from_index]:
             if component_of[from_index] == component_of[to_index]:
-                raise StratificationError(
-                    "negation through recursion: rules "
-                    f"{analyzed_rules[from_index].rule!r} and "
-                    f"{analyzed_rules[to_index].rule!r} are mutually "
-                    "recursive through a negated reference"
+                raise _negative_cycle_error(
+                    analyzed_rules,
+                    from_index,
+                    to_index,
+                    components[component_of[from_index]],
+                    positive_edges,
+                    negative_edges,
                 )
 
     # Order components topologically (dependencies first) and merge
@@ -68,6 +107,60 @@ def stratify(analyzed_rules):
     for component_index in order:
         strata.append([analyzed_rules[member] for member in components[component_index]])
     return strata
+
+
+def _rule_label(analyzed):
+    """Pretty-printed rule source plus its position, for diagnostics."""
+    from repro.core.pretty import to_source
+
+    label = f"'{to_source(analyzed.rule)}'"
+    if analyzed.rule.loc is not None:
+        label += f" (at {format_loc(analyzed.rule.loc)})"
+    return label
+
+
+def _negative_cycle_error(analyzed_rules, from_index, to_index, members,
+                          positive_edges, negative_edges):
+    """Build a StratificationError with a human-readable cycle trace.
+
+    The negative edge reads ``from -> to``; the trace walks dependency
+    edges from ``to`` back to ``from`` inside the offending component,
+    so the message shows the full negation-through-recursion loop. The
+    rule cycle is attached to the exception as ``.cycle``.
+    """
+    member_set = set(members)
+    parents = {to_index: None}
+    frontier = [to_index]
+    while frontier and from_index not in parents:
+        node = frontier.pop(0)
+        for successor in sorted(positive_edges[node] | negative_edges[node]):
+            if successor in member_set and successor not in parents:
+                parents[successor] = node
+                frontier.append(successor)
+
+    path = []  # to_index ... from_index along dependency edges
+    node = from_index if from_index in parents else to_index
+    while node is not None:
+        path.append(node)
+        node = parents[node]
+    path.reverse()
+
+    trace = [from_index] + path
+    lines = [
+        "negation through recursion: "
+        f"{_rule_label(analyzed_rules[from_index])} negatively reads the "
+        "target of a rule that (transitively) depends back on it; cycle:"
+    ]
+    lines.append(f"  {_rule_label(analyzed_rules[trace[0]])}")
+    for step_index, member in enumerate(trace[1:]):
+        arrow = "--~-->" if step_index == 0 else "----->"
+        lines.append(f"  {arrow} {_rule_label(analyzed_rules[member])}")
+    if trace[-1] != from_index:
+        lines.append(f"  -----> {_rule_label(analyzed_rules[from_index])}")
+
+    error = StratificationError("\n".join(lines))
+    error.cycle = [analyzed_rules[index] for index in trace]
+    return error
 
 
 def _tarjan_scc(count, positive_edges, negative_edges):

@@ -66,6 +66,16 @@ class BindingError(SemanticError):
     binding-signature analysis)."""
 
 
+class ValidationError(SemanticError):
+    """Static analysis (``idlcheck``) found errors and strict validation
+    was requested. Carries the full :class:`DiagnosticReport` as
+    ``report``; its rendering is the exception message."""
+
+    def __init__(self, report):
+        self.report = report
+        super().__init__(report.render())
+
+
 class EvaluationError(IdlError):
     """A runtime failure while evaluating a query expression."""
 

@@ -26,6 +26,7 @@ from repro.errors import (
     FederationError,
     MemberUnavailableError,
     StaleMemberError,
+    ValidationError,
 )
 from repro.multidb.adapters import storage_to_relations, universe_rows
 from repro.multidb.connectors import as_connector
@@ -49,6 +50,29 @@ QUARANTINED = "quarantined"
 CIRCUIT_OPEN = "circuit-open"
 STALE = "stale"
 OK = "ok"
+
+# Call shapes the federation's own API issues against the control
+# database, and per style against a user's customized view — the
+# "declared call shapes" static validation must prove covered.
+_CONTROL_SHAPES = (
+    ("insStk", ("stk", "date", "price")),
+    ("delStk", ("stk", "date")),
+    ("rmStk", ("stk",)),
+)
+_STYLE_SHAPES = {
+    "euter": (
+        ("r", "+", ("date", "stkCode", "clsPrice")),
+        ("r", "-", ("date", "stkCode")),
+    ),
+    "ource": (
+        (None, "+", ("date", "clsPrice")),
+        (None, "-", ("date",)),
+    ),
+    "chwab": (
+        ("setPrice", None, ("stk", "date", "price")),
+        ("delPrice", None, ("stk", "date")),
+    ),
+}
 
 
 class MemberAvailability:
@@ -145,7 +169,9 @@ class Federation:
         self._wired = set()  # members whose rules/programs are installed
         self._flushed = set()  # members with a real backend to flush to
         self._stale = {}  # name -> "push" | "pull" resync direction
+        self._prefetched = {}  # name -> scanned relations (or None), from validation
         self._installed = False
+        self.last_validation = None  # DiagnosticReport of the last validate run
 
     # -- membership -----------------------------------------------------------
 
@@ -232,7 +258,7 @@ class Federation:
 
     # -- installation -----------------------------------------------------------
 
-    def install(self, reconcile=False):
+    def install(self, reconcile=False, validate="off"):
         """Generate and load the full two-level mapping.
 
         Idempotent: calling it again is a no-op (see :meth:`reinstall`
@@ -241,12 +267,34 @@ class Federation:
         succeeds without them, their attach is deferred until a
         successful :meth:`probe` or :meth:`reinstall` — as long as at
         least one member attaches.
+
+        ``validate`` runs ``idlcheck`` (see :mod:`repro.analysis`) over
+        the program about to be installed, *before* any member is
+        attached:
+
+        * ``"off"`` (default) — no analysis, historical behavior;
+        * ``"warn"`` — install regardless, but return the
+          :class:`~repro.analysis.DiagnosticReport` instead of ``self``;
+        * ``"strict"`` — raise :class:`~repro.errors.ValidationError`
+          (carrying the report) when any error-severity diagnostic
+          fires, leaving the federation un-installed and members
+          un-attached.
         """
+        if validate not in ("off", "warn", "strict"):
+            raise FederationError(
+                f"validate must be 'off', 'warn' or 'strict', not {validate!r}"
+            )
         if self._installed:
             return self
         if not self.members:
             raise FederationError("no member databases registered")
         self._ensure_control_db()
+
+        report = None
+        if validate != "off":
+            report = self.validation_report()
+            if validate == "strict" and report.has_errors:
+                raise ValidationError(report)
 
         for name in list(self.members):
             if name not in self._attached:
@@ -289,6 +337,8 @@ class Federation:
             )
         self._wired |= set(attached)
         self._installed = True
+        if validate == "warn":
+            return report
         return self
 
     def reinstall(self):
@@ -312,12 +362,113 @@ class Federation:
             self.engine.universe.add_database(self.control_db)
             self.engine.invalidate()
 
+    # -- static validation -------------------------------------------------------
+
+    def required_shapes(self):
+        """The :class:`~repro.analysis.CallShape` entry points this
+        federation's API and users rely on: the control-database
+        maintenance programs, plus each user view's update programs."""
+        from repro.analysis import CallShape
+
+        shapes = [
+            CallShape(self.control_db, name, None, params,
+                      origin="the federation maintenance API")
+            for name, params in _CONTROL_SHAPES
+        ]
+        for user_db, style in sorted(self.users.items()):
+            for name, sign, params in _STYLE_SHAPES[style]:
+                shapes.append(CallShape(
+                    user_db, name, sign, params,
+                    origin=f"customized view {user_db!r} ({style}-style)",
+                ))
+        return shapes
+
+    def validation_report(self, required=None):
+        """Run ``idlcheck`` over the program :meth:`install` would load.
+
+        Builds the member catalogs without attaching anyone: already
+        attached members come from the engine universe; deferred
+        (connector-backed) members are scanned once and the snapshot is
+        cached for :meth:`_attach` to reuse, so validation never doubles
+        a connector's observed traffic. Unreachable members become
+        *opaque* catalog entries — references into them are not judged.
+        """
+        from repro.analysis import Catalog, check_statements
+        from repro.core.parser import parse_program
+
+        self._ensure_control_db()
+        catalog = Catalog.from_universe(self.engine.universe)
+        styles = {}
+        for name in sorted(self.members):
+            style = self.members[name]
+            relations = None
+            if name not in self._attached:
+                if name not in self._prefetched:
+                    try:
+                        self._prefetched[name] = self.connectors[name].scan()
+                    except MemberUnavailableError:
+                        self._prefetched[name] = None
+                relations = self._prefetched[name]
+                if relations is None:
+                    catalog.mark_opaque(name)
+                    continue  # unreachable: no rules will be generated yet
+                catalog.update(Catalog.from_relations({name: relations}))
+            if style is None:
+                try:
+                    style = self._resolve_style(name, None, relations)
+                except FederationError:
+                    continue
+            styles[name] = style
+
+        # Everything the administrator already defined on the engine,
+        # plus what install() is about to generate (unless it already
+        # did — install is idempotent, so don't double the program).
+        statements = [analyzed.rule for analyzed in self.engine.program.rules]
+        for clause_list in self.engine.program.clauses.values():
+            for clause in clause_list:
+                if clause.clause_source is not None:
+                    statements.append(clause.clause_source)
+        if not self._installed:
+            for source in self._prospective_sources(styles):
+                statements.extend(parse_program(source))
+        if required is None:
+            required = self.required_shapes() if styles else ()
+        report = check_statements(statements, catalog=catalog, required=required)
+        self.last_validation = report
+        return report
+
+    def _prospective_sources(self, styles):
+        """IDL source texts install() would define, for members whose
+        style is already resolvable."""
+        sources = []
+        if styles:
+            sources.append(unified_view_rules(
+                styles, self.unified_db, self.unified_relation, self.mappings
+            ))
+        for user_db, style in self.users.items():
+            rule, _merge_on = customized_view_rule(
+                user_db, style, self.unified_db, self.unified_relation
+            )
+            sources.append(rule)
+        if styles:
+            sources.append(maintenance_programs(styles, self.control_db))
+        if self.users:
+            sources.append(view_update_programs(self.users, self.control_db))
+        return [source for source in sources if source]
+
     # -- member lifecycle -------------------------------------------------------
 
     def _attach(self, name):
         """Snapshot ``name`` through its connector into the universe and
         (post-install) wire its rules and update programs."""
-        relations = self.connectors[name].scan()
+        if name in self._prefetched:
+            # validation_report already scanned this member; reuse the
+            # snapshot instead of consuming another connector call.
+            relations = self._prefetched.pop(name)
+            if relations is None:
+                relations = self.connectors[name].scan()
+        else:
+            relations = self.connectors[name].scan()
         style = self._resolve_style(name, self.members[name], relations)
         self.members[name] = style
         if self.engine.universe.has(name):

@@ -1,0 +1,151 @@
+"""``idlcheck`` as a command line tool.
+
+Usage::
+
+    python -m repro.tools.lint [options] <file> [<file> ...]
+
+Plain files are treated as IDL program text and fully checked
+(including syntax). Files ending in ``.py`` are scanned for embedded
+IDL — string literals whose every line starts like an IDL statement
+(``.``, ``?`` or ``~``) and that parse cleanly are each checked as an
+independent snippet; everything else in the Python file is ignored.
+That is how CI lints ``examples/``: every IDL program and query an
+example ships must be statically clean.
+
+Options:
+
+* ``--engine saved.json`` — validate schema references against the
+  universe of a persisted engine (see ``repro.io``); without it the
+  catalog-based checks (IDL020/IDL021/IDL040) are skipped;
+* ``--strict`` — exit nonzero on warnings too.
+
+Exit status: 0 when clean, 1 when diagnostics failed the run, 2 on
+usage errors (unreadable file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast as python_ast
+import sys
+
+from repro.analysis import Catalog, DiagnosticReport, check_source, check_statements
+from repro.core.parser import parse_program
+from repro.errors import IdlSyntaxError
+
+
+def looks_like_idl(snippet):
+    """Could this string literal be IDL statements?
+
+    Every non-blank, non-comment line must start like an IDL statement;
+    prose, format strings and REPL ``:``-commands all fail the gate.
+    """
+    lines = [line.strip() for line in snippet.strip().splitlines()]
+    lines = [line for line in lines if line and not line.startswith("%")]
+    if not lines:
+        return False
+    return all(line.startswith((".", "?", "~")) for line in lines)
+
+
+def python_snippets(text):
+    """Yield ``(lineno, statements)`` for embedded IDL literals.
+
+    Candidates that fail to parse are skipped silently — a string that
+    merely *looks* like IDL (``".date"``, a format spec) is not a
+    finding. Real IDL files get full syntax checking via
+    :func:`lint_text` instead.
+    """
+    try:
+        module = python_ast.parse(text)
+    except SyntaxError:
+        return
+    for node in python_ast.walk(module):
+        if not isinstance(node, python_ast.Constant):
+            continue
+        if not isinstance(node.value, str) or not looks_like_idl(node.value):
+            continue
+        try:
+            statements = parse_program(node.value)
+        except IdlSyntaxError:
+            continue
+        if statements:
+            yield node.lineno, statements
+
+
+def lint_text(text, catalog=None, required=()):
+    """Check one IDL program text; returns a DiagnosticReport."""
+    return check_source(text, catalog=catalog, required=required)
+
+
+def lint_python(text, catalog=None):
+    """Check every embedded IDL snippet of a Python source text.
+
+    Snippets are checked independently — they come from unrelated
+    engine setups, so whole-program checks (duplicates, stratification)
+    apply within a snippet only.
+    """
+    combined = DiagnosticReport()
+    for lineno, statements in python_snippets(text):
+        report = check_statements(statements)
+        for diagnostic in report:
+            # Point at the embedding line; the snippet-relative position
+            # is kept in the message context.
+            snippet_loc = diagnostic.loc
+            diagnostic.loc = (lineno, 1)
+            if snippet_loc and snippet_loc != (1, 1):
+                diagnostic.message += (
+                    f" (at {snippet_loc[0]}:{snippet_loc[1]} in the snippet)"
+                )
+        combined.extend(report)
+    return combined
+
+
+def lint_path(path, catalog=None, required=()):
+    with open(path) as handle:
+        text = handle.read()
+    if path.endswith(".py"):
+        return lint_python(text, catalog=catalog)
+    return lint_text(text, catalog=catalog, required=required)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.lint",
+        description="Static analysis (idlcheck) for IDL programs.",
+    )
+    parser.add_argument("files", nargs="+", help="IDL program or Python files")
+    parser.add_argument(
+        "--engine", metavar="SAVED.json", default=None,
+        help="persisted engine whose universe provides the schema catalog",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on warnings as well as errors",
+    )
+    options = parser.parse_args(argv)
+
+    catalog = None
+    if options.engine:
+        from repro.io import load_engine
+
+        catalog = Catalog.from_universe(load_engine(options.engine).universe)
+
+    failed = False
+    for path in options.files:
+        try:
+            report = lint_path(path, catalog=catalog)
+        except OSError as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            return 2
+        if len(report):
+            print(f"== {path} ==")
+            print(report.render())
+        else:
+            print(f"{path}: ok")
+        if report.has_errors or (options.strict and len(report)):
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ IDL console commands:
   :program             show loaded rules and update programs
   :explain ?<expr>     show the evaluation plan of a query
   :profile ?<expr>     evaluate with node-visit counters
+  :check [<path>]      run idlcheck over the loaded program (or a file)
   :load <path>         load a program file (rules + clauses)
   :save <path>         persist the engine (data + program) to JSON
   :open <path>         replace the engine from a persisted JSON file
@@ -135,6 +136,18 @@ class IdlRepl:
             self.write(f"answers: {len(results)}")
             for kind in sorted(counters):
                 self.write(f"  {kind:<12} {counters[kind]}")
+        elif command == ":check":
+            from repro.analysis import Catalog, check_engine, check_source
+
+            if argument:
+                with open(argument) as handle:
+                    report = check_source(
+                        handle.read(),
+                        catalog=Catalog.from_universe(self.engine.universe),
+                    )
+            else:
+                report = check_engine(self.engine)
+            self.write(report.render())
         elif command == ":load":
             with open(argument) as handle:
                 self.engine.load(handle.read())
