@@ -17,8 +17,9 @@ from repro.datalog import DatalogEngine, lit
 SIZES = (10, 25, 40)
 
 
-def idl_closure(n_nodes, method):
-    engine = IdlEngine(universe=chain_universe(n_nodes), fixpoint_method=method)
+def idl_closure(n_nodes, method, obs=None):
+    engine = IdlEngine(universe=chain_universe(n_nodes), fixpoint_method=method,
+                       obs=obs)
     engine.define(TC_PROGRAM)
     return len(engine.overlay.get("g").get("tc"))
 
@@ -80,6 +81,46 @@ def test_idl_fixpoint(benchmark, method):
 def test_datalog_fixpoint(benchmark, method):
     count = benchmark(datalog_closure, 25, method)
     assert count == 25 * 26 // 2
+
+
+def test_b3_tracing_overhead(benchmark):
+    """Observability must be free when it is off.
+
+    Three configurations of the same closure workload: a bare engine
+    (``obs=None``, the literally-unchanged code path), observability
+    constructed but disabled, and tracing fully on. Interleaved
+    min-of-N timing; the disabled path must cost < 5% over the bare
+    baseline (the ISSUE's acceptance bar for the no-op fast path).
+    """
+    from repro.obs import Observability
+
+    n_nodes = 40
+    expected = n_nodes * (n_nodes + 1) // 2
+    configurations = {
+        "baseline": lambda: idl_closure(n_nodes, "seminaive"),
+        "disabled": lambda: idl_closure(
+            n_nodes, "seminaive", obs=Observability(enabled=False)
+        ),
+        "enabled": lambda: idl_closure(
+            n_nodes, "seminaive", obs=Observability()
+        ),
+    }
+    for run in configurations.values():
+        assert run() == expected  # warm-up; identical answers throughout
+
+    best = {name: float("inf") for name in configurations}
+    for _ in range(7):  # interleaved so machine noise hits all three alike
+        for name, run in configurations.items():
+            seconds, count = time_call(run, repeat=1)
+            assert count == expected
+            best[name] = min(best[name], seconds)
+
+    assert best["disabled"] <= best["baseline"] * 1.05 + 1e-3, (
+        f"disabled observability costs "
+        f"{best['disabled'] / best['baseline'] - 1:+.1%} over the bare "
+        f"engine (budget: 5%)"
+    )
+    benchmark(configurations["baseline"])
 
 
 def test_b3_speedup_table(benchmark):

@@ -6,8 +6,9 @@ example runs the full degradation-and-recovery story:
 
 1. chwab is down when the federation installs → it is quarantined,
    not fatal;
-2. strict queries refuse to answer from a subset; ``partial=True``
-   answers from the surviving members with an availability report;
+2. strict queries refuse to answer from a subset;
+   ``on_unavailable="partial"`` answers from the surviving members
+   with an availability report;
 3. updates are refused while a member is unreachable (all-or-nothing);
 4. the fault clears → a health probe closes the breaker, re-attaches
    the member, and the unified view equals the fault-free result;
@@ -65,7 +66,7 @@ def main():
         print(f"\nstrict query refused: {exc}")
 
     result = federation.query(
-        "?.dbI.p(.date=D, .stk=S, .price=P)", partial=True
+        "?.dbI.p(.date=D, .stk=S, .price=P)", on_unavailable="partial"
     )
     print(f"\npartial query: {len(result)} quotes from "
           f"{sorted(result.availability.contributed)}, "

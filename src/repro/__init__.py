@@ -22,23 +22,72 @@ object model), ``repro.storage`` (relational substrate), ``repro.sql``
 and ``repro.datalog`` (first-order baselines), ``repro.multidb``
 (federation and transparency), ``repro.analysis`` (the ``idlcheck``
 static analyzer), ``repro.workloads`` (synthetic data), ``repro.bench``
-(experiment harness).
+(experiment harness), ``repro.obs`` (tracing, metrics, query
+profiles).
+
+The public surface is this module's ``__all__``: the engine, the
+federation with its result types, the error hierarchy, and the
+observability entry points. Everything else is importable from its
+subpackage but not part of the stable API.
 """
 
 from repro.core.engine import IdlEngine, QueryAnswer
 from repro.core.program import IdlProgram
 from repro.core.updates import UpdateResult
-from repro.errors import IdlError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    FederationError,
+    IdlError,
+    MemberUnavailableError,
+    StaleMemberError,
+    ValidationError,
+)
+from repro.multidb.federation import AvailabilityReport, Federation
+from repro.multidb.resilience import FakeClock, ResiliencePolicy
+from repro.multidb.results import PartialResult, QueryResult
+from repro.obs import (
+    InMemoryCollector,
+    JsonLinesExporter,
+    MetricsRegistry,
+    Observability,
+    QueryProfile,
+    Span,
+    Tracer,
+)
 from repro.objects.universe import Universe
 
 __version__ = "1.0.0"
 
 __all__ = [
+    # the language engine
     "IdlEngine",
-    "IdlError",
     "IdlProgram",
     "QueryAnswer",
     "Universe",
+    # the federation and its result types
+    "AvailabilityReport",
+    "Federation",
+    "FakeClock",
+    "PartialResult",
+    "QueryResult",
+    "ResiliencePolicy",
     "UpdateResult",
+    # errors
+    "CircuitOpenError",
+    "DeadlineExceededError",
+    "FederationError",
+    "IdlError",
+    "MemberUnavailableError",
+    "StaleMemberError",
+    "ValidationError",
+    # observability
+    "InMemoryCollector",
+    "JsonLinesExporter",
+    "MetricsRegistry",
+    "Observability",
+    "QueryProfile",
+    "Span",
+    "Tracer",
     "__version__",
 ]

@@ -68,10 +68,19 @@ class QueryAnswer:
 
 
 class IdlEngine:
-    """A multidatabase engine speaking IDL."""
+    """A multidatabase engine speaking IDL.
+
+    ``obs`` optionally attaches a :class:`repro.obs.Observability`:
+    queries and updates then run inside spans (federation → engine →
+    fixpoint strata), evaluation collects node-visit counters, and
+    coarse metrics (``fixpoint.iterations``, ...) accumulate in its
+    registry. With ``obs=None`` (the default) the engine takes the
+    exact pre-observability code path — benchmark B3 asserts a
+    disabled :class:`~repro.obs.Observability` costs within 5% of it.
+    """
 
     def __init__(self, universe=None, program=None, fixpoint_method="seminaive",
-                 reorder=True):
+                 reorder=True, obs=None):
         from repro.core.integrity import ConstraintSet
 
         self.universe = universe if universe is not None else Universe()
@@ -79,10 +88,21 @@ class IdlEngine:
         self.fixpoint_method = fixpoint_method
         self.eval_ctx = EvalContext(reorder=reorder)
         self.constraints = ConstraintSet()
+        self.obs = None
+        if obs is not None:
+            self.use_observability(obs)
         self._overlay = None
         self._overlay_stats = None
         self._strata = None  # [(key, stratum, overlay)] in evaluation order
         self._reusable = {}  # stratum key -> overlay (selective rebuild)
+
+    def use_observability(self, obs):
+        """Attach an :class:`~repro.obs.Observability` (the federation
+        shares its own with the engine so spans nest in one trace)."""
+        self.obs = obs
+        self.eval_ctx.tracer = obs.tracer if obs.enabled else None
+        self.eval_ctx.metrics = obs.metrics
+        return self
 
     # -- data management -----------------------------------------------------
 
@@ -208,33 +228,70 @@ class IdlEngine:
         """Answer a query; returns a list of :class:`QueryAnswer`.
 
         ``params`` pre-bind variables: ``engine.query("?.db.r(.a=X,.b=Y)",
-        X=3)``.
+        X=3)``. With observability attached and enabled, the evaluation
+        runs inside ``engine.query``/``engine.evaluate`` spans and the
+        profiling counters land on the ``engine.evaluate`` span.
         """
         statement = self._one_query(source)
         if statement.is_update_request:
             raise SemanticError(
                 "this is an update request; use IdlEngine.update()"
             )
-        view = self.materialized_view()
-        results = answers(statement, view, params or None, self.eval_ctx)
-        rendered = []
-        for substitution in results:
-            rendered.append(
-                QueryAnswer(
-                    {
-                        name: obj.to_python()
-                        for name, obj in sorted(substitution.as_dict().items())
-                    }
-                )
-            )
-        return rendered
+        obs = self.obs
+        if obs is None or not obs.enabled:
+            view = self.materialized_view()
+            results = answers(statement, view, params or None, self.eval_ctx)
+            return self._render_answers(results)
+        with obs.span("engine.query") as span:
+            view = self.materialized_view()
+            context = self._profiled_context()
+            with obs.span("engine.evaluate") as evaluate_span:
+                results = answers(statement, view, params or None, context)
+                evaluate_span.set("answers", len(results))
+                if context.counters is not None:
+                    evaluate_span.set("counters", dict(context.counters))
+            span.set("answers", len(results))
+        return self._render_answers(results)
 
     def ask(self, source, **params):
         """Boolean query: is the expression satisfiable?"""
         statement = self._one_query(source)
         if statement.is_update_request:
             raise SemanticError("this is an update request; use IdlEngine.update()")
-        return holds(statement, self.materialized_view(), params or None, self.eval_ctx)
+        obs = self.obs
+        if obs is None or not obs.enabled:
+            return holds(statement, self.materialized_view(), params or None,
+                         self.eval_ctx)
+        with obs.span("engine.ask") as span:
+            view = self.materialized_view()
+            result = holds(statement, view, params or None,
+                           self._profiled_context())
+            span.set("satisfiable", result)
+        return result
+
+    def _render_answers(self, results):
+        return [
+            QueryAnswer(
+                {
+                    name: obj.to_python()
+                    for name, obj in sorted(substitution.as_dict().items())
+                }
+            )
+            for substitution in results
+        ]
+
+    def _profiled_context(self):
+        """A per-statement evaluation context that collects node-visit
+        counters (when the observability asks for profiles) while
+        sharing the engine tracer and metrics. The shared ``eval_ctx``
+        keeps serving the un-observed path and the fixpoint."""
+        obs = self.obs
+        return EvalContext(
+            reorder=self.eval_ctx.reorder,
+            profile=obs.profile_queries,
+            tracer=self.eval_ctx.tracer,
+            metrics=self.eval_ctx.metrics,
+        )
 
     # -- updates ------------------------------------------------------------
 
@@ -243,23 +300,36 @@ class IdlEngine:
         included). ``atomic=True`` snapshots the universe and rolls back
         on any error; the request still *succeeds-or-not* per the paper's
         success/failure semantics — inspect the returned UpdateResult."""
+        from repro.obs.trace import NOOP_SPAN
+
         statement = self._one_query(source, allow_update=True)
+        obs = self.obs
+        span = (obs.span("engine.update")
+                if obs is not None and obs.enabled else NOOP_SPAN)
         executor = UpdateExecutor(self.program, self.universe, self.eval_ctx)
         snapshot = self.universe.snapshot() if atomic else None
-        try:
-            result = executor.execute_request(statement, params or None)
-            self._reindex_universe()
-            if len(self.constraints):
-                self.constraints.enforce(self.universe)
-        except IdlError:
-            if snapshot is not None:
-                self._restore(snapshot)
-            else:
-                # Non-atomic failure: the base may be partially mutated,
-                # so cached views (and set indexes) must not survive.
+        with span:
+            try:
+                result = executor.execute_request(statement, params or None)
                 self._reindex_universe()
-                self.invalidate()
-            raise
+                if len(self.constraints):
+                    self.constraints.enforce(self.universe)
+            except IdlError:
+                if snapshot is not None:
+                    self._restore(snapshot)
+                else:
+                    # Non-atomic failure: the base may be partially mutated,
+                    # so cached views (and set indexes) must not survive.
+                    self._reindex_universe()
+                    self.invalidate()
+                span.set("rolled_back", snapshot is not None)
+                raise
+            span.set("inserted", result.inserted)
+            span.set("deleted", result.deleted)
+            span.set("modified", result.modified)
+            span.set("touched", sorted(".".join(p) for p in result.touched))
+        if obs is not None:
+            obs.metrics.counter("engine.updates").inc()
         if result.changed:
             self._selective_invalidate(result.touched)
         return result

@@ -39,15 +39,29 @@ class EvalContext:
     ``trace``      — optional callable receiving (expr, obj, subst) on
                      every satisfaction attempt; used by the debug tools.
     ``profile``    — collect node-visit counters into ``self.counters``
-                     (off by default: it costs in the hot path).
+                     (off by default: it costs in the hot path). The
+                     engine's observed query path turns it on and folds
+                     the counters into the ``engine.evaluate`` span, so
+                     they reach callers on the result objects.
+    ``tracer``     — optional :class:`repro.obs.trace.Tracer`; the
+                     fixpoint hangs its per-stratum spans off it. None
+                     (the default) keeps the hot path branch-free.
+    ``metrics``    — optional :class:`repro.obs.metrics.MetricsRegistry`
+                     receiving coarse counters (reorderings computed,
+                     fixpoint totals). Guarded by ``is not None``
+                     everywhere it is touched.
     """
 
-    __slots__ = ("reorder", "trace", "counters", "_order_cache")
+    __slots__ = ("reorder", "trace", "counters", "tracer", "metrics",
+                 "_order_cache")
 
-    def __init__(self, reorder=True, trace=None, profile=False):
+    def __init__(self, reorder=True, trace=None, profile=False, tracer=None,
+                 metrics=None):
         self.reorder = reorder
         self.trace = trace
         self.counters = {} if profile else None
+        self.tracer = tracer
+        self.metrics = metrics
         self._order_cache = {}
 
     def count(self, kind):
@@ -69,6 +83,8 @@ class EvalContext:
         if cached is None or cached[0] is not expr:
             ordering = tuple(order_conjuncts(list(expr.conjuncts), domain))
             self._order_cache[key] = (expr, ordering)
+            if self.metrics is not None:
+                self.metrics.counter("evaluator.reorder.applied").inc()
             return ordering
         return cached[1]
 

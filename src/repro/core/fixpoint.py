@@ -30,6 +30,7 @@ from repro.core.rules import (
 from repro.core.evaluator import satisfy
 from repro.core.stratify import is_recursive_stratum, stratify
 from repro.core.terms import Const
+from repro.obs.trace import NOOP_SPAN
 from repro.objects.merged import MergedTuple
 from repro.objects.tuple import TupleObject
 
@@ -83,23 +84,55 @@ def materialize_strata(analyzed_rules, universe, method="seminaive",
     """
     if method not in ("naive", "seminaive"):
         raise ValueError(f"unknown fixpoint method {method!r}")
+    tracer = context.tracer if context is not None else None
+    metrics = context.metrics if context is not None else None
     stats = FixpointStats(method)
     overlays = []
     view_base = universe
-    for stratum in stratify(analyzed_rules):
-        key = tuple(id(analyzed) for analyzed in stratum)
-        cached = reuse.get(key) if reuse else None
-        if cached is not None:
-            overlay = cached
-            stats.reused_strata += 1
-        else:
-            overlay = TupleObject()
-            if method == "seminaive":
-                _seminaive_stratum(stratum, view_base, overlay, stats, context)
-            else:
-                _naive_stratum(stratum, view_base, overlay, stats, context)
-        overlays.append((key, stratum, overlay))
-        view_base = MergedTuple(view_base, overlay)
+    outer = (tracer.span("fixpoint.materialize", method=method)
+             if tracer is not None else NOOP_SPAN)
+    with outer:
+        for index, stratum in enumerate(stratify(analyzed_rules)):
+            key = tuple(id(analyzed) for analyzed in stratum)
+            cached = reuse.get(key) if reuse else None
+            span = (tracer.span("fixpoint.stratum", index=index,
+                                rules=len(stratum))
+                    if tracer is not None else NOOP_SPAN)
+            with span:
+                rounds = stats.rounds
+                firings = stats.rule_firings
+                derivations = stats.derivations
+                if cached is not None:
+                    overlay = cached
+                    stats.reused_strata += 1
+                    span.set("reused", True)
+                else:
+                    overlay = TupleObject()
+                    if method == "seminaive":
+                        _seminaive_stratum(stratum, view_base, overlay,
+                                           stats, context)
+                    else:
+                        _naive_stratum(stratum, view_base, overlay, stats,
+                                       context)
+                    span.set("reused", False)
+                    span.set("rounds", stats.rounds - rounds)
+                    span.set("firings", stats.rule_firings - firings)
+                    span.set("derivations", stats.derivations - derivations)
+                if tracer is not None:
+                    span.set("facts", count_overlay_facts(overlay))
+            overlays.append((key, stratum, overlay))
+            view_base = MergedTuple(view_base, overlay)
+        outer.set("strata", len(overlays))
+        outer.set("rounds", stats.rounds)
+        outer.set("firings", stats.rule_firings)
+        outer.set("derivations", stats.derivations)
+        outer.set("reused_strata", stats.reused_strata)
+    if metrics is not None:
+        metrics.counter("fixpoint.runs").inc()
+        metrics.counter("fixpoint.iterations").inc(stats.rounds)
+        metrics.counter("fixpoint.rule_firings").inc(stats.rule_firings)
+        metrics.counter("fixpoint.derivations").inc(stats.derivations)
+        metrics.counter("fixpoint.reused_strata").inc(stats.reused_strata)
     return overlays, stats
 
 

@@ -42,8 +42,8 @@ from repro.multidb.federation import (
     AvailabilityReport,
     Federation,
     MemberAvailability,
-    PartialResult,
 )
+from repro.multidb.results import PartialResult, QueryResult, UpdateResult
 from repro.multidb.firstorder import FirstOrderFederation
 from repro.multidb.resilience import (
     CircuitBreaker,
@@ -85,6 +85,8 @@ __all__ = [
     "MemberHealth",
     "MonotonicClock",
     "PartialResult",
+    "QueryResult",
+    "UpdateResult",
     "ResiliencePolicy",
     "ResilientConnector",
     "RetryPolicy",

@@ -173,7 +173,7 @@ class FaultyConnector(MemberConnector):
         return self.inner.ping()
 
 
-def as_connector(relations=None, storage=None, connector=None):
+def _as_connector(relations=None, storage=None, connector=None):
     """Normalize the three ways a member can be specified into one
     connector (explicit connector wins; then storage; then rows)."""
     if connector is not None:

@@ -13,12 +13,23 @@ Members are autonomous systems the federation cannot assume are up
 :class:`~repro.multidb.resilience.ResilientConnector`: retries with
 backoff, per-member circuit breakers, health counters. ``install()``
 quarantines unreachable members instead of failing, ``query(...,
-partial=True)`` degrades gracefully with an availability report, and
-``probe()`` re-attaches and resyncs members when they recover. See
-``docs/fault_tolerance.md``.
+on_unavailable="partial")`` degrades gracefully with an availability
+report, and ``probe()`` re-attaches and resyncs members when they
+recover. See ``docs/fault_tolerance.md``.
+
+The whole pipeline is observable: the federation owns a
+:class:`~repro.obs.Observability` (tracing on by default) shared with
+its engine and every member connector, ``query``/``update``/``call``
+open a root span, and the returned
+:class:`~repro.multidb.results.QueryResult` /
+:class:`~repro.multidb.results.UpdateResult` carry the span tree, the
+EXPLAIN-style profile, the fixpoint statistics and a metrics snapshot.
+See ``docs/observability.md``.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.core.engine import IdlEngine
 from repro.errors import (
@@ -29,12 +40,22 @@ from repro.errors import (
     ValidationError,
 )
 from repro.multidb.adapters import storage_to_relations, universe_rows
-from repro.multidb.connectors import as_connector
+from repro.multidb.connectors import _as_connector
 from repro.multidb.resilience import (
     CLOSED,
     ResiliencePolicy,
     ResilientConnector,
 )
+from repro.multidb.results import (
+    APPLIED,
+    FAILED,
+    SNAPSHOT_ONLY,
+    UNCHANGED,
+    PartialResult,
+    QueryResult,
+    UpdateResult,
+)
+from repro.obs import Observability, QueryProfile
 from repro.multidb.transparency import (
     STYLES,
     customized_view_rule,
@@ -133,29 +154,24 @@ class AvailabilityReport:
         return f"AvailabilityReport({summary})"
 
 
-class PartialResult(list):
-    """Query answers plus the availability report that qualifies them.
+class Federation:
+    """A multidatabase federation with schematic discrepancies.
 
-    Behaves as the plain list of answers; ``availability`` says which
-    members contributed and which were skipped (and why), ``complete``
-    is True only when every member answered fresh.
+    ``obs`` injects a configured :class:`~repro.obs.Observability`
+    (e.g. with exporters, or ``enabled=False`` to turn tracing off);
+    by default the federation builds its own with tracing enabled and
+    shares it with the engine and every member connector.
     """
 
-    def __init__(self, answers, availability):
-        super().__init__(answers)
-        self.availability = availability
-
-    @property
-    def complete(self):
-        return self.availability.complete
-
-
-class Federation:
-    """A multidatabase federation with schematic discrepancies."""
-
     def __init__(self, engine=None, unified_db="dbI", unified_relation="p",
-                 control_db="dbU"):
-        self.engine = engine if engine is not None else IdlEngine()
+                 control_db="dbU", obs=None):
+        if obs is None:
+            obs = (engine.obs if engine is not None and engine.obs is not None
+                   else Observability())
+        self.obs = obs
+        self.engine = engine if engine is not None else IdlEngine(obs=obs)
+        if self.engine.obs is not obs:
+            self.engine.use_observability(obs)
         self.unified_db = unified_db
         self.unified_relation = unified_relation
         self.control_db = control_db
@@ -210,7 +226,8 @@ class Federation:
             self.engine.add_database(name, relations or {})
             self._attached.add(name)
         resilient = ResilientConnector(
-            name, as_connector(relations, storage, connector), policy, clock
+            name, _as_connector(relations, storage, connector), policy, clock,
+            obs=self.obs,
         )
         self.connectors[name] = resilient
         if storage is not None:
@@ -296,47 +313,50 @@ class Federation:
             if validate == "strict" and report.has_errors:
                 raise ValidationError(report)
 
-        for name in list(self.members):
-            if name not in self._attached:
-                try:
-                    self._attach(name)
-                except MemberUnavailableError as exc:
-                    self._quarantine(name, exc)
-        if not self._attached:
-            raise MemberUnavailableError(
-                "every member is unavailable: "
-                + ", ".join(sorted(self.quarantined))
-            )
+        with self.obs.span("federation.install", validate=validate) as span:
+            for name in list(self.members):
+                if name not in self._attached:
+                    try:
+                        self._attach(name)
+                    except MemberUnavailableError as exc:
+                        self._quarantine(name, exc)
+            if not self._attached:
+                raise MemberUnavailableError(
+                    "every member is unavailable: "
+                    + ", ".join(sorted(self.quarantined))
+                )
 
-        attached = {
-            name: style for name, style in self.members.items()
-            if name in self._attached
-        }
-        self.engine.define(
-            unified_view_rules(
-                attached, self.unified_db, self.unified_relation,
-                self.mappings,
-            )
-        )
-        if reconcile:
+            attached = {
+                name: style for name, style in self.members.items()
+                if name in self._attached
+            }
             self.engine.define(
-                reconciliation_rule(self.unified_db, self.unified_relation)
+                unified_view_rules(
+                    attached, self.unified_db, self.unified_relation,
+                    self.mappings,
+                )
             )
-        for user_db, style in self.users.items():
-            rule, merge_on = customized_view_rule(
-                user_db, style, self.unified_db, self.unified_relation
-            )
-            self.engine.define(rule, merge_on=merge_on)
+            if reconcile:
+                self.engine.define(
+                    reconciliation_rule(self.unified_db, self.unified_relation)
+                )
+            for user_db, style in self.users.items():
+                rule, merge_on = customized_view_rule(
+                    user_db, style, self.unified_db, self.unified_relation
+                )
+                self.engine.define(rule, merge_on=merge_on)
 
-        self.engine.define_update(
-            maintenance_programs(attached, self.control_db)
-        )
-        if self.users:
             self.engine.define_update(
-                view_update_programs(self.users, self.control_db)
+                maintenance_programs(attached, self.control_db)
             )
-        self._wired |= set(attached)
-        self._installed = True
+            if self.users:
+                self.engine.define_update(
+                    view_update_programs(self.users, self.control_db)
+                )
+            self._wired |= set(attached)
+            self._installed = True
+            span.set("attached", sorted(self._attached))
+            span.set("quarantined", sorted(self.quarantined))
         if validate == "warn":
             return report
         return self
@@ -588,42 +608,87 @@ class Federation:
         if quarantined:
             raise MemberUnavailableError(
                 f"member(s) unavailable: {', '.join(quarantined)} "
-                f"(query with partial=True for a degraded answer)",
+                f'(query with on_unavailable="partial" for a degraded '
+                f"answer)",
                 member=quarantined[0],
             )
         opened = sorted(e.member for e in report if e.status == CIRCUIT_OPEN)
         if opened:
             raise CircuitOpenError(
                 f"circuit open for member(s): {', '.join(opened)} "
-                f"(query with partial=True for a degraded answer)",
+                f'(query with on_unavailable="partial" for a degraded '
+                f"answer)",
                 member=opened[0],
             )
         stale = sorted(report.stale)
         if stale:
             raise StaleMemberError(
                 f"member(s) stale: {', '.join(stale)} (resync them or "
-                f"query with partial=True)",
+                f'query with on_unavailable="partial")',
                 member=stale[0],
             )
 
     # -- convenience -----------------------------------------------------------
 
-    def query(self, source, partial=False, **params):
-        """Answer a query.
+    def _resolve_on_unavailable(self, partial, on_unavailable):
+        """Fold the deprecated ``partial=`` flag into ``on_unavailable``."""
+        if partial is not None:
+            warnings.warn(
+                'Federation.query(partial=...) is deprecated; use '
+                'on_unavailable="partial" (or "fail") instead',
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if on_unavailable is None:
+                on_unavailable = "partial" if partial else "fail"
+        if on_unavailable is None:
+            on_unavailable = "fail"
+        if on_unavailable not in ("fail", "partial"):
+            raise FederationError(
+                f'on_unavailable must be "fail" or "partial", '
+                f"got {on_unavailable!r}"
+            )
+        return on_unavailable
 
-        With ``partial=False`` (the default) the federation insists on
-        full availability: a quarantined member, an open circuit, or a
-        stale snapshot raises instead of silently answering from a
-        subset. With ``partial=True`` the answer is computed from
-        whatever is available and returned as a :class:`PartialResult`
-        whose ``availability`` report names the members that
-        contributed, the ones that were skipped, and why.
+    def query(self, source, partial=None, *, on_unavailable=None, **params):
+        """Answer a query; returns a :class:`QueryResult`.
+
+        With ``on_unavailable="fail"`` (the default) the federation
+        insists on full availability: a quarantined member, an open
+        circuit, or a stale snapshot raises instead of silently
+        answering from a subset. With ``on_unavailable="partial"`` the
+        answer is computed from whatever is available; the result's
+        ``availability`` report names the members that contributed, the
+        ones that were skipped, and why.
+
+        The result is still the plain list of answers, and additionally
+        carries ``stats``, ``profile``, ``trace`` and ``metrics`` (see
+        :mod:`repro.multidb.results`). ``partial=True``/``False`` is a
+        deprecated alias for ``on_unavailable``.
         """
-        if not partial:
-            self._check_available()
-            return self.engine.query(source, **params)
-        return PartialResult(
-            self.engine.query(source, **params), self.availability()
+        on_unavailable = self._resolve_on_unavailable(partial, on_unavailable)
+        with self.obs.span(
+            "federation.query", on_unavailable=on_unavailable
+        ) as root:
+            if on_unavailable == "fail":
+                self._check_available()
+            answers = self.engine.query(source, **params)
+            availability = self.availability()
+            root.set("answers", len(answers))
+            skipped = sorted(availability.unavailable | availability.stale)
+            if skipped:
+                root.set("unavailable", skipped)
+        return self._query_result(answers, availability, root)
+
+    def _query_result(self, answers, availability, root):
+        enabled = self.obs.enabled
+        return QueryResult(
+            answers,
+            availability=availability,
+            stats=self.engine.fixpoint_stats,
+            profile=QueryProfile(root) if enabled else None,
+            trace=root if enabled else None,
+            metrics=self.obs.metrics.snapshot(),
         )
 
     def ask(self, source, **params):
@@ -636,22 +701,48 @@ class Federation:
         quarantined, circuit-open, or stale: translated updates must
         reach *every* member or none (the paper's all-or-nothing update
         semantics), and a member we cannot reach — or whose snapshot we
-        know diverges — would silently miss its share.
+        know diverges — would silently miss its share. Returns a
+        federation :class:`~repro.multidb.results.UpdateResult` with
+        per-member apply outcomes.
         """
-        self._check_available()
-        result = self.engine.update(source, **params)
-        if result.changed:
-            self._sync_members()
-        return result
+        with self.obs.span("federation.update") as root:
+            self._check_available()
+            engine_result = self.engine.update(source, **params)
+            outcomes, flushed = self._flush_if_changed(engine_result, root)
+        return self._update_result(engine_result, outcomes, flushed, root)
 
     def call(self, program, **args):
         """Call a control-database update program (same availability and
         flush rules as :meth:`update`)."""
-        self._check_available()
-        result = self.engine.call(self.control_db, program, **args)
-        if result.changed:
-            self._sync_members()
-        return result
+        with self.obs.span("federation.call", program=program) as root:
+            self._check_available()
+            engine_result = self.engine.call(self.control_db, program, **args)
+            outcomes, flushed = self._flush_if_changed(engine_result, root)
+        return self._update_result(engine_result, outcomes, flushed, root)
+
+    def _flush_if_changed(self, engine_result, root):
+        """Flush members when the engine mutated anything; returns
+        ``(member_outcomes, flushed)``."""
+        if not engine_result.changed:
+            root.set("flushed", False)
+            return {name: UNCHANGED for name in sorted(self._attached)}, False
+        with self.obs.span("federation.flush") as span:
+            outcomes = self._sync_members()
+            span.set("members", sorted(self._flushed & self._attached))
+        root.set("flushed", True)
+        return outcomes, True
+
+    def _update_result(self, engine_result, outcomes, flushed, root):
+        enabled = self.obs.enabled
+        return UpdateResult(
+            engine_result,
+            member_outcomes=outcomes,
+            flushed=flushed,
+            availability=self.availability(),
+            profile=QueryProfile(root) if enabled else None,
+            trace=root if enabled else None,
+            metrics=self.obs.metrics.snapshot(),
+        )
 
     def insert_quote(self, stk, date, price):
         return self.call("insStk", stk=stk, date=date, price=price)
@@ -683,17 +774,28 @@ class Federation:
     def _sync_members(self):
         """Flush universe state to every member with a real backend.
 
-        A member whose flush fails is marked stale (direction: push —
-        the universe is now ahead of it) before the error propagates, so
-        a later :meth:`probe`/:meth:`resync` can repair it.
+        Returns ``{member: outcome}`` over the attached members:
+        ``"applied"`` for members that took the new state,
+        ``"snapshot-only"`` for members with no backend to flush to. A
+        member whose flush fails is marked stale (direction: push — the
+        universe is now ahead of it) and recorded as ``"failed"``
+        before the error propagates, so a later
+        :meth:`probe`/:meth:`resync` can repair it.
         """
+        outcomes = {
+            name: SNAPSHOT_ONLY
+            for name in sorted(self._attached - self._flushed)
+        }
         for name in sorted(self._flushed & self._attached):
             desired = universe_rows(self.engine.universe, name)
             try:
                 self.connectors[name].apply(desired)
             except Exception:
                 self._stale[name] = "push"
+                outcomes[name] = FAILED
                 raise
+            outcomes[name] = APPLIED
+        return outcomes
 
     def __repr__(self):
         return (

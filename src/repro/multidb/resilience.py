@@ -140,7 +140,7 @@ class CircuitBreaker:
     """
 
     def __init__(self, failure_threshold=5, recovery_timeout=30.0,
-                 clock=None):
+                 clock=None, on_transition=None):
         self.failure_threshold = failure_threshold
         self.recovery_timeout = recovery_timeout
         self.clock = clock if clock is not None else MonotonicClock()
@@ -148,10 +148,14 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         self.opened_at = None
         self.transitions = []  # (time, from_state, to_state)
+        self.on_transition = on_transition  # callback(from_state, to_state)
 
     def _transition(self, to_state):
-        self.transitions.append((self.clock.now(), self.state, to_state))
+        from_state = self.state
+        self.transitions.append((self.clock.now(), from_state, to_state))
         self.state = to_state
+        if self.on_transition is not None:
+            self.on_transition(from_state, to_state)
 
     def allow(self):
         """May a call be issued right now? (May move open → half-open.)"""
@@ -238,18 +242,29 @@ class ResilientConnector:
     raised. Outcomes feed the breaker and the health counters.
     """
 
-    def __init__(self, name, connector, policy=None, clock=None):
+    def __init__(self, name, connector, policy=None, clock=None, obs=None):
         self.name = name
         self.connector = connector
         self.policy = policy if policy is not None else ResiliencePolicy()
         self.clock = clock if clock is not None else MonotonicClock()
+        self.obs = obs  # repro.obs.Observability, or None
         self.breaker = CircuitBreaker(
             self.policy.failure_threshold,
             self.policy.recovery_timeout,
             self.clock,
+            on_transition=self._record_transition,
         )
         self.health = MemberHealth(name)
         self._rng = random.Random(self.policy.seed)
+
+    def _record_transition(self, from_state, to_state):
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                "circuit.state_changes", member=self.name
+            ).inc()
+            self.obs.metrics.counter(
+                "circuit.transitions", member=self.name, to=to_state
+            ).inc()
 
     # -- the connector surface ----------------------------------------
 
@@ -276,6 +291,17 @@ class ResilientConnector:
     # -- policy enforcement --------------------------------------------
 
     def _run(self, op, fn, max_attempts=None):
+        from repro.obs.trace import NOOP_SPAN
+
+        obs = self.obs
+        metrics = obs.metrics if obs is not None else None
+        span = (obs.span(f"connector.{op}", member=self.name)
+                if obs is not None and obs.enabled else NOOP_SPAN)
+        with span:
+            result = self._attempt_loop(op, fn, max_attempts, span, metrics)
+        return result
+
+    def _attempt_loop(self, op, fn, max_attempts, span, metrics):
         policy = self.policy
         attempts_allowed = (policy.max_attempts if max_attempts is None
                             else max_attempts)
@@ -285,22 +311,36 @@ class ResilientConnector:
         attempt = 0
         while True:
             if not self.breaker.allow():
+                span.event("circuit-open")
+                if metrics is not None:
+                    metrics.counter(f"connector.{op}.rejected",
+                                    member=self.name).inc()
                 raise CircuitOpenError(
                     f"member {self.name!r}: circuit open, {op} refused",
                     member=self.name,
                 )
             attempt += 1
             self.health.attempts += 1
+            if metrics is not None:
+                metrics.counter(f"connector.{op}.attempts",
+                                member=self.name).inc()
             try:
                 result = fn()
             except policy.retry_on as exc:
                 self.health.failures += 1
                 self.health.last_error = exc
                 self.breaker.record_failure()
+                if metrics is not None:
+                    metrics.counter(f"connector.{op}.failures",
+                                    member=self.name).inc()
                 if attempt >= attempts_allowed:
+                    span.set("attempts", attempt)
+                    span.event("exhausted", attempts=attempt)
                     raise
                 wait = policy.delay(attempt, self._rng)
                 if deadline is not None and self.clock.now() + wait > deadline:
+                    span.set("attempts", attempt)
+                    span.event("deadline-exceeded", deadline=policy.deadline)
                     raise DeadlineExceededError(
                         f"member {self.name!r}: {op} deadline of "
                         f"{policy.deadline}s exceeded after {attempt} "
@@ -308,11 +348,17 @@ class ResilientConnector:
                         member=self.name, cause=exc,
                     ) from exc
                 self.health.retries += 1
+                if metrics is not None:
+                    metrics.counter(f"connector.{op}.retries",
+                                    member=self.name).inc()
+                span.event("retry", attempt=attempt, wait=wait)
                 self.clock.sleep(wait)
                 continue
             if deadline is not None and self.clock.now() > deadline:
                 self.health.failures += 1
                 self.breaker.record_failure()
+                span.set("attempts", attempt)
+                span.event("deadline-exceeded", deadline=policy.deadline)
                 raise DeadlineExceededError(
                     f"member {self.name!r}: {op} took longer than the "
                     f"{policy.deadline}s deadline",
@@ -320,6 +366,7 @@ class ResilientConnector:
                 )
             self.health.successes += 1
             self.breaker.record_success()
+            span.set("attempts", attempt)
             return result
 
     def __repr__(self):

@@ -1,0 +1,98 @@
+"""Observability for the multidatabase federation.
+
+The paper's two-level mapping (members → unified view → customized
+views, Figure 1) means every answer is the product of a pipeline: name
+mapping, higher-order rewriting, stratified fixpoint, connector scans.
+This package makes that pipeline inspectable end to end:
+
+* :mod:`repro.obs.trace` — hierarchical spans with wall time, fact
+  counts and structured attributes; a no-op fast path when disabled;
+* :mod:`repro.obs.metrics` — counters and histograms
+  (``fixpoint.iterations``, ``connector.scan.retries``,
+  ``circuit.state_changes``, ``evaluator.reorder.applied``, ...);
+* :mod:`repro.obs.profile` — the per-query EXPLAIN-style profile tree;
+* :mod:`repro.obs.export` — JSON-lines exporter and an in-memory
+  collector.
+
+:class:`Observability` bundles one tracer, one metrics registry and the
+exporters; a :class:`~repro.multidb.federation.Federation` creates one
+by default and threads it through its engine and every member
+connector, so ``federation.query(...)`` returns a
+:class:`~repro.multidb.results.QueryResult` whose ``trace``/``profile``
+/``metrics`` cover the whole pipeline. Pass
+``Observability(enabled=False)`` (or build a bare ``IdlEngine`` with no
+``obs``) to turn tracing off — benchmark B3 asserts the disabled path
+costs under 5%.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import InMemoryCollector, JsonLinesExporter
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.profile import QueryProfile
+from repro.obs.trace import NOOP_SPAN, NOOP_TRACER, NoopTracer, Span, Tracer
+
+
+class Observability:
+    """One tracer + one metrics registry + the exporters.
+
+    ``enabled`` gates tracing and per-query profiling; metrics stay on
+    either way (increments are cheap and only fire at coarse-grained
+    points). ``profile_queries`` additionally controls whether query
+    evaluation collects node-visit counters (on by default when
+    enabled; it costs in the evaluator's hot loop, which is the point
+    of profiling).
+    """
+
+    __slots__ = ("enabled", "profile_queries", "metrics", "exporters",
+                 "tracer")
+
+    def __init__(self, enabled=True, profile_queries=None, exporters=(),
+                 clock=None):
+        self.enabled = bool(enabled)
+        self.profile_queries = (
+            self.enabled if profile_queries is None else bool(profile_queries)
+        )
+        self.metrics = MetricsRegistry()
+        self.exporters = list(exporters)
+        if self.enabled:
+            self.tracer = Tracer(clock=clock, on_finish=self._export)
+        else:
+            self.tracer = NOOP_TRACER
+
+    def span(self, name, **attributes):
+        """A new span from this observability's tracer (no-op span when
+        tracing is disabled)."""
+        return self.tracer.span(name, **attributes)
+
+    def add_exporter(self, exporter):
+        self.exporters.append(exporter)
+        return exporter
+
+    def snapshot(self):
+        """Point-in-time metrics snapshot (JSON-ready)."""
+        return self.metrics.snapshot()
+
+    def _export(self, span):
+        for exporter in self.exporters:
+            exporter.export(span)
+
+    def __repr__(self):
+        return (f"Observability(enabled={self.enabled}, "
+                f"exporters={len(self.exporters)}, metrics={self.metrics!r})")
+
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "InMemoryCollector",
+    "JsonLinesExporter",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "Observability",
+    "QueryProfile",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,89 @@
+"""Trace exporters: where finished root spans go.
+
+Exporters receive every finished *root* span (one per
+``Federation.query``/``update``/``call``/``install``) from the tracer's
+``on_finish`` hook:
+
+* :class:`InMemoryCollector` keeps the span objects — what tests and
+  the REPL use;
+* :class:`JsonLinesExporter` appends one JSON document per span to a
+  file or stream, ready for offline analysis (``jq``, pandas, a trace
+  viewer).
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class InMemoryCollector:
+    """Collects finished root spans in memory."""
+
+    __slots__ = ("spans",)
+
+    def __init__(self):
+        self.spans = []
+
+    def export(self, span):
+        self.spans.append(span)
+
+    @property
+    def last(self):
+        return self.spans[-1] if self.spans else None
+
+    def find(self, name):
+        """Most recent root span with this name, or None."""
+        for span in reversed(self.spans):
+            if span.name == name:
+                return span
+        return None
+
+    def clear(self):
+        self.spans.clear()
+
+    def __len__(self):
+        return len(self.spans)
+
+    def __iter__(self):
+        return iter(self.spans)
+
+    def __repr__(self):
+        return f"InMemoryCollector({len(self.spans)} spans)"
+
+
+class JsonLinesExporter:
+    """Writes each finished root span as one JSON line.
+
+    ``target`` is a path (opened in append mode, closed by
+    :meth:`close`) or any object with a ``write`` method (left open —
+    the caller owns it).
+    """
+
+    def __init__(self, target):
+        if hasattr(target, "write"):
+            self._stream = target
+            self._owned = False
+        else:
+            self._stream = open(target, "a", encoding="utf-8")
+            self._owned = True
+        self.exported = 0
+
+    def export(self, span):
+        self._stream.write(json.dumps(span.as_dict(), sort_keys=True) + "\n")
+        if hasattr(self._stream, "flush"):
+            self._stream.flush()
+        self.exported += 1
+
+    def close(self):
+        if self._owned:
+            self._stream.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return f"JsonLinesExporter(exported={self.exported})"

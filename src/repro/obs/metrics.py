@@ -1,0 +1,172 @@
+"""Federation-wide metrics: counters and histograms with tags.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments,
+optionally qualified by tags (``counter("connector.scan.retries",
+member="chwab")``). Instruments are created on first use and accumulate
+for the registry's lifetime — one registry per
+:class:`~repro.obs.Observability`, shared by every layer it is threaded
+through (federation, engine, fixpoint, connectors).
+
+Increments are a dict lookup plus an integer add, cheap enough to stay
+on even when tracing is disabled; the hot evaluator loop still guards
+behind ``metrics is not None`` so an engine without observability pays
+nothing.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "tags", "value")
+
+    def __init__(self, name, tags):
+        self.name = name
+        self.tags = tags
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+        return self
+
+    def __repr__(self):
+        return f"Counter({_render_key(self.name, self.tags)}={self.value})"
+
+
+class Histogram:
+    """Summary statistics of an observed distribution (count, sum,
+    min, max, mean) — enough for latency reporting without keeping
+    every sample."""
+
+    __slots__ = ("name", "tags", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name, tags):
+        self.name = name
+        self.tags = tags
+        self.count = 0
+        self.total = 0.0
+        self.minimum = None
+        self.maximum = None
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        return self
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else None
+
+    def as_dict(self):
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+    def __repr__(self):
+        return (f"Histogram({_render_key(self.name, self.tags)}, "
+                f"count={self.count}, mean={self.mean})")
+
+
+def _tag_key(tags):
+    return tuple(sorted(tags.items()))
+
+
+def _render_key(name, tags):
+    if not tags:
+        return name
+    inner = ",".join(f"{key}={value}" for key, value in sorted(tags.items()))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first use."""
+
+    __slots__ = ("_counters", "_histograms")
+
+    def __init__(self):
+        self._counters = {}
+        self._histograms = {}
+
+    # -- instruments ---------------------------------------------------
+
+    def counter(self, name, **tags):
+        key = (name, _tag_key(tags))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, dict(tags))
+        return instrument
+
+    def histogram(self, name, **tags):
+        key = (name, _tag_key(tags))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(name, dict(tags))
+        return instrument
+
+    # -- reading -------------------------------------------------------
+
+    def counter_value(self, name, **tags):
+        """Current value of a counter, 0 when it never fired."""
+        instrument = self._counters.get((name, _tag_key(tags)))
+        return instrument.value if instrument is not None else 0
+
+    def counter_total(self, name):
+        """Sum of a counter across every tag combination."""
+        return sum(
+            instrument.value
+            for (counter_name, _), instrument in self._counters.items()
+            if counter_name == name
+        )
+
+    def snapshot(self):
+        """A point-in-time, JSON-ready copy of every instrument:
+        ``{"counters": {key: int}, "histograms": {key: summary}}``."""
+        return {
+            "counters": {
+                _render_key(name, instrument.tags): instrument.value
+                for (name, _), instrument in sorted(self._counters.items())
+            },
+            "histograms": {
+                _render_key(name, instrument.tags): instrument.as_dict()
+                for (name, _), instrument in sorted(self._histograms.items())
+            },
+        }
+
+    def render(self):
+        """Aligned plain-text listing (the REPL's ``:metrics``)."""
+        snapshot = self.snapshot()
+        if not snapshot["counters"] and not snapshot["histograms"]:
+            return "(no metrics recorded)"
+        width = max(
+            (len(key) for section in snapshot.values() for key in section),
+            default=0,
+        )
+        lines = []
+        for key, value in snapshot["counters"].items():
+            lines.append(f"{key:<{width}}  {value}")
+        for key, summary in snapshot["histograms"].items():
+            mean = summary["mean"]
+            rendered_mean = f"{mean:.6g}" if mean is not None else "-"
+            lines.append(
+                f"{key:<{width}}  count={summary['count']} "
+                f"mean={rendered_mean} min={summary['min']} "
+                f"max={summary['max']}"
+            )
+        return "\n".join(lines)
+
+    def reset(self):
+        self._counters.clear()
+        self._histograms.clear()
+
+    def __repr__(self):
+        return (f"MetricsRegistry(counters={len(self._counters)}, "
+                f"histograms={len(self._histograms)})")

@@ -1,0 +1,65 @@
+"""Per-query profiles: the trace rendered as an EXPLAIN-style tree.
+
+A :class:`QueryProfile` wraps the root span of one ``Federation.query``
+/ ``update`` / ``call`` and exposes the numbers a user asks for first:
+the evaluator's node-visit counters (finally reachable from the result
+object instead of dying inside ``EvalContext``), the fixpoint work per
+stratum, and a rendering that reads like a database EXPLAIN plan::
+
+    federation.query  [answers=12 on_unavailable=fail]  (2.31 ms)
+    ├─ engine.query  [answers=12]  (2.20 ms)
+    │  ├─ fixpoint.materialize  [method=seminaive strata=2]  (1.61 ms)
+    │  │  ├─ fixpoint.stratum  [index=0 rounds=1 ...]  (0.90 ms)
+    │  │  └─ fixpoint.stratum  [index=1 rounds=1 ...]  (0.62 ms)
+    │  └─ engine.evaluate  [answers=12 visits=345 ...]  (0.48 ms)
+    └─ ...
+"""
+
+from __future__ import annotations
+
+
+class QueryProfile:
+    """The profile of one query/update, built from its root span."""
+
+    __slots__ = ("trace",)
+
+    def __init__(self, trace):
+        self.trace = trace
+
+    @property
+    def counters(self):
+        """Evaluator node-visit counters, merged across every
+        ``engine.evaluate`` span of the trace (``{}`` when profiling
+        was off)."""
+        merged = {}
+        if self.trace is None:
+            return merged
+        for span in self.trace.find_all("engine.evaluate"):
+            for kind, count in span.attributes.get("counters", {}).items():
+                merged[kind] = merged.get(kind, 0) + count
+        return merged
+
+    @property
+    def strata(self):
+        """Attribute dicts of every ``fixpoint.stratum`` span, in
+        evaluation order (empty when the materialization was cached)."""
+        if self.trace is None:
+            return []
+        return [
+            dict(span.attributes)
+            for span in self.trace.find_all("fixpoint.stratum")
+        ]
+
+    @property
+    def duration_ms(self):
+        return self.trace.duration_ms if self.trace is not None else None
+
+    def render(self):
+        """The EXPLAIN-style tree (see the module docstring)."""
+        if self.trace is None:
+            return "(no trace recorded)"
+        return self.trace.render()
+
+    def __repr__(self):
+        root = self.trace.name if self.trace is not None else None
+        return f"QueryProfile(root={root!r}, counters={self.counters!r})"

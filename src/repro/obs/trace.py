@@ -1,0 +1,288 @@
+"""Hierarchical span tracing for the federation pipeline.
+
+A :class:`Span` is one timed step of answering a query or applying an
+update — ``federation.query``, ``fixpoint.stratum``, ``connector.apply``
+— with structured attributes (fact counts, strategy, member name),
+point-in-time events (retries, circuit transitions) and child spans.
+A :class:`Tracer` maintains the active-span stack so the layers of the
+pipeline (federation facade, engine, fixpoint, connectors) nest their
+spans without threading a context object through every call.
+
+Tracing must be free when it is off: :data:`NOOP_SPAN` is a stateless
+singleton whose every method is a no-op, and components guard their
+instrumentation behind an ``is not None`` check on the tracer so the
+disabled path costs a pointer comparison (benchmark B3 asserts the
+overhead stays under 5%).
+
+The tracer is deliberately not thread-safe: the engine evaluates one
+statement at a time, which is the unit a trace describes.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Span:
+    """One timed, attributed step; a node of the trace tree.
+
+    Use as a context manager::
+
+        with tracer.span("fixpoint.stratum", index=0) as span:
+            ...
+            span.set("rounds", rounds)
+            span.event("delta-drained", round=3)
+
+    ``start``/``end`` come from the tracer's clock (``perf_counter``
+    seconds); ``duration_ms`` is derived. Entering a span parents it
+    under the tracer's current span and makes it current.
+    """
+
+    __slots__ = ("name", "attributes", "events", "children", "start",
+                 "end", "_tracer")
+
+    def __init__(self, name, attributes, tracer):
+        self.name = name
+        self.attributes = dict(attributes)
+        self.events = []
+        self.children = []
+        self.start = None
+        self.end = None
+        self._tracer = tracer
+
+    # -- lifecycle ----------------------------------------------------
+
+    def __enter__(self):
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc is not None:
+            self.attributes.setdefault("error", type(exc).__name__)
+        self._tracer._exit(self)
+        return False
+
+    # -- recording ----------------------------------------------------
+
+    def set(self, key, value):
+        """Attach (or overwrite) one structured attribute."""
+        self.attributes[key] = value
+        return self
+
+    def event(self, name, **attributes):
+        """Record a point-in-time event inside this span."""
+        self.events.append((name, attributes))
+        return self
+
+    # -- reading ------------------------------------------------------
+
+    @property
+    def duration(self):
+        """Elapsed seconds, or None while the span is still open."""
+        if self.start is None or self.end is None:
+            return None
+        return self.end - self.start
+
+    @property
+    def duration_ms(self):
+        elapsed = self.duration
+        return None if elapsed is None else elapsed * 1000.0
+
+    def walk(self):
+        """Yield this span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            for span in child.walk():
+                yield span
+
+    def find(self, name):
+        """First span (self included, depth first) with this name."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name):
+        return [span for span in self.walk() if span.name == name]
+
+    def tree(self):
+        """The span tree as nested ``(name, [children])`` pairs — the
+        shape golden tests pin down (no timings, no attributes)."""
+        return (self.name, [child.tree() for child in self.children])
+
+    def as_dict(self):
+        """JSON-ready representation (used by the exporters)."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration_ms": self.duration_ms,
+            "attributes": self.attributes,
+            "events": [
+                {"name": name, "attributes": attributes}
+                for name, attributes in self.events
+            ],
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    def render(self, indent=""):
+        """EXPLAIN-style tree rendering of this span and its subtree."""
+        lines = [indent + self._line()] if not indent else [self._line()]
+        self._render_children(lines, indent)
+        return "\n".join(lines)
+
+    def _line(self):
+        parts = [self.name]
+        if self.attributes:
+            rendered = " ".join(
+                f"{key}={_format_value(value)}"
+                for key, value in sorted(self.attributes.items())
+            )
+            parts.append(f"[{rendered}]")
+        if self.duration is not None:
+            parts.append(f"({self.duration_ms:.2f} ms)")
+        return "  ".join(parts)
+
+    def _render_children(self, lines, indent):
+        entries = [("event", event) for event in self.events]
+        entries += [("span", child) for child in self.children]
+        for position, (kind, entry) in enumerate(entries):
+            last = position == len(entries) - 1
+            branch = "└─ " if last else "├─ "
+            extension = "   " if last else "│  "
+            if kind == "event":
+                name, attributes = entry
+                rendered = " ".join(
+                    f"{key}={_format_value(value)}"
+                    for key, value in sorted(attributes.items())
+                )
+                suffix = f"  [{rendered}]" if rendered else ""
+                lines.append(f"{indent}{branch}* {name}{suffix}")
+            else:
+                lines.append(f"{indent}{branch}{entry._line()}")
+                entry._render_children(lines, indent + extension)
+
+    def __repr__(self):
+        return (f"Span({self.name!r}, children={len(self.children)}, "
+                f"attributes={self.attributes!r})")
+
+
+def _format_value(value):
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, dict):
+        inner = ", ".join(
+            f"{key}={_format_value(item)}" for key, item in sorted(value.items())
+        )
+        return "{" + inner + "}"
+    if isinstance(value, (set, frozenset)):
+        value = sorted(value, key=str)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_format_value(item) for item in value) + "]"
+    return str(value)
+
+
+class _NoopSpan:
+    """The disabled-tracing span: every operation is a no-op. A single
+    stateless instance is shared by every caller (re-entrant)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set(self, key, value):
+        return self
+
+    def event(self, name, **attributes):
+        return self
+
+    @property
+    def duration(self):
+        return None
+
+    duration_ms = duration
+
+    def walk(self):
+        return iter(())
+
+    def find(self, name):
+        return None
+
+    def find_all(self, name):
+        return []
+
+    def tree(self):
+        return None
+
+    def as_dict(self):
+        return {}
+
+    def render(self, indent=""):
+        return "(tracing disabled)"
+
+    def __repr__(self):
+        return "NoopSpan()"
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Creates spans and maintains the active-span stack.
+
+    ``on_finish`` is called with every finished *root* span — the hook
+    the exporters attach to. ``clock`` defaults to
+    :func:`time.perf_counter`.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=None, on_finish=None):
+        self.clock = clock if clock is not None else time.perf_counter
+        self.on_finish = on_finish
+        self._stack = []
+
+    def span(self, name, **attributes):
+        """A new span, parented under the current one when entered."""
+        return Span(name, attributes, self)
+
+    @property
+    def current(self):
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    # -- span lifecycle (called by Span) --------------------------------
+
+    def _enter(self, span):
+        parent = self.current
+        if parent is not None:
+            parent.children.append(span)
+        self._stack.append(span)
+        span.start = self.clock()
+
+    def _exit(self, span):
+        span.end = self.clock()
+        # Tolerate mispaired exits rather than corrupting the stack.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        if not self._stack and self.on_finish is not None:
+            self.on_finish(span)
+
+
+class NoopTracer:
+    """The disabled tracer: hands out :data:`NOOP_SPAN` and nothing
+    else. Shared as :data:`NOOP_TRACER`."""
+
+    enabled = False
+    current = None
+
+    def span(self, name, **attributes):
+        return NOOP_SPAN
+
+
+NOOP_TRACER = NoopTracer()

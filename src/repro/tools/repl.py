@@ -25,6 +25,7 @@ from repro.core.explain import explain_query
 from repro.core.parser import parse_program
 from repro.core.program import parse_call_shape
 from repro.errors import IdlError
+from repro.obs import InMemoryCollector, Observability, QueryProfile
 
 HELP = """\
 IDL console commands:
@@ -35,7 +36,9 @@ IDL console commands:
   :rels <db>           list relations of a database
   :program             show loaded rules and update programs
   :explain ?<expr>     show the evaluation plan of a query
-  :profile ?<expr>     evaluate with node-visit counters
+  :profile ?<expr>     evaluate with node-visit counters and, when
+                       tracing is on, the span tree of the run
+  :metrics             show the engine's metrics registry
   :check [<path>]      run idlcheck over the loaded program (or a file)
   :load <path>         load a program file (rules + clauses)
   :save <path>         persist the engine (data + program) to JSON
@@ -47,10 +50,17 @@ IDL console commands:
 
 
 class IdlRepl:
-    """A scriptable read-eval-print loop over one engine."""
+    """A scriptable read-eval-print loop over one engine.
+
+    A console started without an engine gets one with observability
+    enabled, so ``:profile`` renders span trees and ``:metrics`` has
+    counters to show; a supplied engine keeps whatever (if any)
+    observability it was built with.
+    """
 
     def __init__(self, engine=None, out=None):
-        self.engine = engine if engine is not None else IdlEngine()
+        self.engine = (engine if engine is not None
+                       else IdlEngine(obs=Observability()))
         self.out = out if out is not None else sys.stdout
         self.running = True
 
@@ -128,14 +138,13 @@ class IdlRepl:
             if not argument:
                 self.write("usage: :profile ?<expr>")
                 return
-            from repro.core.explain import profile_query
-
-            results, counters = profile_query(
-                argument, self.engine.materialized_view()
-            )
-            self.write(f"answers: {len(results)}")
-            for kind in sorted(counters):
-                self.write(f"  {kind:<12} {counters[kind]}")
+            self._profile(argument)
+        elif command == ":metrics":
+            obs = self.engine.obs
+            if obs is None:
+                self.write("(observability disabled)")
+            else:
+                self.write(obs.metrics.render())
         elif command == ":check":
             from repro.analysis import Catalog, check_engine, check_source
 
@@ -176,6 +185,35 @@ class IdlRepl:
                 self.write("  (none)")
         else:
             self.write(f"unknown command {command}; try :help")
+
+    def _profile(self, argument):
+        """Evaluate once with profiling; with tracing on, one observed
+        run yields the answers, the counters and the span tree."""
+        obs = self.engine.obs
+        if obs is not None and obs.enabled:
+            collector = InMemoryCollector()
+            obs.add_exporter(collector)
+            try:
+                self.engine.query(argument)
+            finally:
+                obs.exporters.remove(collector)
+            root = collector.last
+            profile = QueryProfile(root)
+            counters = profile.counters
+            answers = root.attributes.get("answers", 0)
+            self.write(f"answers: {answers}")
+            for kind in sorted(counters):
+                self.write(f"  {kind:<12} {counters[kind]}")
+            self.write(profile.render())
+            return
+        from repro.core.explain import profile_query
+
+        results, counters = profile_query(
+            argument, self.engine.materialized_view()
+        )
+        self.write(f"answers: {len(results)}")
+        for kind in sorted(counters):
+            self.write(f"  {kind:<12} {counters[kind]}")
 
     # -- statements ------------------------------------------------------------
 

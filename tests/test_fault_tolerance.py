@@ -99,6 +99,21 @@ class TestRetryBackoff:
             resilient.scan()
         assert resilient.health.attempts == 3
 
+    def test_retries_feed_the_metrics_registry(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        faulty = FaultyConnector(InMemoryConnector({"r": [{"x": 1}]}))
+        faulty.fail_next(2)
+        policy = ResiliencePolicy(max_attempts=3, jitter=0.0)
+        resilient = ResilientConnector("m", faulty, policy, FakeClock(),
+                                       obs=obs)
+        resilient.scan()
+        metrics = obs.metrics
+        assert metrics.counter_value("connector.scan.retries", member="m") == 2
+        assert metrics.counter_value("connector.scan.attempts", member="m") == 3
+        assert metrics.counter_value("connector.scan.failures", member="m") == 2
+
     def test_non_retryable_error_propagates_immediately(self):
         class Broken(InMemoryConnector):
             def scan(self):
@@ -256,6 +271,14 @@ class TestDegradedFederation:
         federation.install()
         assert "chwab" in federation.quarantined
         assert federation.availability().status_of("chwab") == "quarantined"
+        # The failed attach left its trail in the metrics registry.
+        metrics = federation.obs.metrics
+        assert metrics.counter_value(
+            "connector.scan.retries", member="chwab") >= 1
+        assert metrics.counter_value(
+            "connector.scan.failures", member="chwab") >= 2
+        assert metrics.counter_value(
+            "circuit.state_changes", member="chwab") >= 1
 
     def test_strict_query_refuses_degraded_answer(self, workload):
         federation, _, _ = self.setup_down_member(workload)
@@ -267,7 +290,7 @@ class TestDegradedFederation:
         federation, _, _ = self.setup_down_member(workload)
         federation.install()
         result = federation.query(
-            "?.dbI.p(.date=D, .stk=S, .price=P)", partial=True
+            "?.dbI.p(.date=D, .stk=S, .price=P)", on_unavailable="partial"
         )
         assert quotes(result) == style_quotes(workload, "euter", "ource")
         assert result.availability.unavailable == {"chwab"}
@@ -278,12 +301,12 @@ class TestDegradedFederation:
         federation, _, _ = self.setup_down_member(workload)
         federation.install()
         before = federation.query(
-            "?.dbI.p(.date=D, .stk=S, .price=P)", partial=True
+            "?.dbI.p(.date=D, .stk=S, .price=P)", on_unavailable="partial"
         )
         with pytest.raises(MemberUnavailableError):
             federation.insert_quote("nova", "9/9/99", 1.0)
         after = federation.query(
-            "?.dbI.p(.date=D, .stk=S, .price=P)", partial=True
+            "?.dbI.p(.date=D, .stk=S, .price=P)", on_unavailable="partial"
         )
         assert quotes(after) == quotes(before)  # nothing half-applied
 
@@ -389,6 +412,12 @@ class TestFlushFailureAndResync:
             federation.insert_quote("other", "9/9/99", 4.0)
         # The second update never reached the engine.
         assert not federation.ask("?.euter.r(.stkCode=other)")
+        # The failed flush and the breaker trip were counted.
+        metrics = federation.obs.metrics
+        assert metrics.counter_value(
+            "connector.apply.failures", member="chwab") >= 1
+        assert metrics.counter_value(
+            "circuit.state_changes", member="chwab") >= 1
 
     def test_stale_member_blocks_strict_queries_until_resync(self, workload):
         federation, flaky, _ = self.setup_attached_flaky(workload)

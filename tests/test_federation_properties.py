@@ -100,7 +100,7 @@ def test_partial_answers_are_a_subset_with_exact_availability(seed, schedule):
         return
     federation.install()
     result = federation.query(
-        "?.dbI.p(.date=D, .stk=S, .price=P)", partial=True
+        "?.dbI.p(.date=D, .stk=S, .price=P)", on_unavailable="partial"
     )
     answers = {(a["D"], a["S"], a["P"]) for a in result}
     assert answers <= fault_free
