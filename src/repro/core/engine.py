@@ -80,13 +80,13 @@ class IdlEngine:
     """
 
     def __init__(self, universe=None, program=None, fixpoint_method="seminaive",
-                 reorder=True, obs=None):
+                 reorder=True, obs=None, use_indexes=True):
         from repro.core.integrity import ConstraintSet
 
         self.universe = universe if universe is not None else Universe()
         self.program = program if program is not None else IdlProgram()
         self.fixpoint_method = fixpoint_method
-        self.eval_ctx = EvalContext(reorder=reorder)
+        self.eval_ctx = EvalContext(reorder=reorder, use_indexes=use_indexes)
         self.constraints = ConstraintSet()
         self.obs = None
         if obs is not None:
@@ -291,6 +291,7 @@ class IdlEngine:
             profile=obs.profile_queries,
             tracer=self.eval_ctx.tracer,
             metrics=self.eval_ctx.metrics,
+            use_indexes=self.eval_ctx.use_indexes,
         )
 
     # -- updates ------------------------------------------------------------
@@ -409,7 +410,11 @@ def _literal(value):
 
 def _reindex(obj):
     if obj.is_set:
-        for element in obj.elements():
+        # Direct view iteration is safe: recursing mutates the elements'
+        # own internals, never this set's key dict; reindex() runs after
+        # the loop completes (and only bumps the version — invalidating
+        # attribute indexes — when the mapping actually changed).
+        for element in obj:
             _reindex(element)
         obj.reindex()
     elif obj.is_tuple:

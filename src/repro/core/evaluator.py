@@ -25,44 +25,60 @@ from __future__ import annotations
 from repro.core import ast
 from repro.core.safety import order_conjuncts
 from repro.core.substitution import Substitution
-from repro.core.terms import NOT_A_NAME, Var, evaluate_term, term_name
+from repro.core.terms import NOT_A_NAME, Const, Var, evaluate_term, term_name
 from repro.errors import EvaluationError
 from repro.objects.atom import Atom, compare_values
 from repro.objects.base import same_value
+from repro.objects.set import SetObject
+
+#: Bound on the per-context caches (safety orderings and probe plans).
+#: Long-lived engines and federations evaluate an unbounded stream of
+#: distinct (expression, domain) pairs — delta-rewritten rule variants
+#: are freshly allocated every materialization — so both caches evict
+#: their least-recently-used entry past this size.
+ORDER_CACHE_LIMIT = 1024
+PROBE_CACHE_LIMIT = 1024
 
 
 class EvalContext:
     """Evaluation options and per-evaluation caches.
 
-    ``reorder``    — apply safety goal reordering (default True; the B3
-                     ablation turns it off for already-ordered programs).
-    ``trace``      — optional callable receiving (expr, obj, subst) on
-                     every satisfaction attempt; used by the debug tools.
-    ``profile``    — collect node-visit counters into ``self.counters``
-                     (off by default: it costs in the hot path). The
-                     engine's observed query path turns it on and folds
-                     the counters into the ``engine.evaluate`` span, so
-                     they reach callers on the result objects.
-    ``tracer``     — optional :class:`repro.obs.trace.Tracer`; the
-                     fixpoint hangs its per-stratum spans off it. None
-                     (the default) keeps the hot path branch-free.
-    ``metrics``    — optional :class:`repro.obs.metrics.MetricsRegistry`
-                     receiving coarse counters (reorderings computed,
-                     fixpoint totals). Guarded by ``is not None``
-                     everywhere it is touched.
+    ``reorder``     — apply safety goal reordering (default True; the B3
+                      ablation turns it off for already-ordered programs).
+    ``use_indexes`` — probe per-set hash indexes when a set expression
+                      carries a ground ``=`` selection on a known
+                      attribute (default True; the B13 ablation turns it
+                      off to measure the scan baseline).
+    ``trace``       — optional callable receiving (expr, obj, subst) on
+                      every satisfaction attempt; used by the debug tools.
+    ``profile``     — collect node-visit counters into ``self.counters``
+                      (off by default: it costs in the hot path). The
+                      engine's observed query path turns it on and folds
+                      the counters into the ``engine.evaluate`` span, so
+                      they reach callers on the result objects.
+    ``tracer``      — optional :class:`repro.obs.trace.Tracer`; the
+                      fixpoint hangs its per-stratum spans off it. None
+                      (the default) keeps the hot path branch-free.
+    ``metrics``     — optional :class:`repro.obs.metrics.MetricsRegistry`
+                      receiving coarse counters (reorderings computed,
+                      index builds/hits/misses/fallbacks, cache
+                      evictions, fixpoint totals). Guarded by
+                      ``is not None`` everywhere it is touched.
     """
 
-    __slots__ = ("reorder", "trace", "counters", "tracer", "metrics",
-                 "_order_cache")
+    __slots__ = ("reorder", "use_indexes", "trace", "counters", "tracer",
+                 "metrics", "_order_cache", "_probe_cache")
 
     def __init__(self, reorder=True, trace=None, profile=False, tracer=None,
-                 metrics=None):
+                 metrics=None, use_indexes=True):
         self.reorder = reorder
+        self.use_indexes = use_indexes
         self.trace = trace
         self.counters = {} if profile else None
         self.tracer = tracer
         self.metrics = metrics
         self._order_cache = {}
+        self._probe_cache = {}
 
     def count(self, kind):
         if self.counters is not None:
@@ -74,19 +90,44 @@ class EvalContext:
         Keyed by object identity for speed, but the expression itself is
         pinned in the cache entry — otherwise a garbage-collected
         expression's id could be reused by a different one and serve it a
-        stale ordering.
+        stale ordering. The cache is LRU-bounded at
+        :data:`ORDER_CACHE_LIMIT` entries (pop-and-reinsert marks
+        recency) so long-lived contexts cannot grow without limit.
         """
         if not self.reorder:
             return expr.conjuncts
+        cache = self._order_cache
         key = (id(expr), frozenset(domain))
-        cached = self._order_cache.get(key)
-        if cached is None or cached[0] is not expr:
-            ordering = tuple(order_conjuncts(list(expr.conjuncts), domain))
-            self._order_cache[key] = (expr, ordering)
+        cached = cache.pop(key, None)
+        if cached is not None and cached[0] is expr:
+            cache[key] = cached
+            return cached[1]
+        ordering = tuple(order_conjuncts(list(expr.conjuncts), domain))
+        cache[key] = (expr, ordering)
+        if self.metrics is not None:
+            self.metrics.counter("evaluator.reorder.applied").inc()
+        if len(cache) > ORDER_CACHE_LIMIT:
+            cache.pop(next(iter(cache)))
             if self.metrics is not None:
-                self.metrics.counter("evaluator.reorder.applied").inc()
-            return ordering
-        return cached[1]
+                self.metrics.counter("evaluator.order_cache.evictions").inc()
+        return ordering
+
+    def probe_plans(self, expr):
+        """Cached pushdown analysis of a SetExpr (see
+        :func:`_analyze_probe_plans`); LRU-bounded like the order cache."""
+        cache = self._probe_cache
+        key = id(expr)
+        cached = cache.pop(key, None)
+        if cached is not None and cached[0] is expr:
+            cache[key] = cached
+            return cached[1]
+        plans = _analyze_probe_plans(expr.inner)
+        cache[key] = (expr, plans)
+        if len(cache) > PROBE_CACHE_LIMIT:
+            cache.pop(next(iter(cache)))
+            if self.metrics is not None:
+                self.metrics.counter("evaluator.probe_cache.evictions").inc()
+        return plans
 
 
 _DEFAULT_CONTEXT = EvalContext()
@@ -147,6 +188,16 @@ def _satisfy(expr, obj, subst, context):
     if isinstance(expr, ast.SetExpr):
         if not obj.is_set:
             return
+        if context.use_indexes:
+            candidates = _index_candidates(expr, obj, subst, context)
+            if candidates is not None:
+                for element in candidates:
+                    for extended in _satisfy(expr.inner, element, subst, context):
+                        yield extended
+                return
+        # Full scan over a snapshot: elements() copies, so an update
+        # request mutating this set while an outer query generator is
+        # suspended keeps seeing the state at scan start.
         for element in obj.elements():
             for extended in _satisfy(expr.inner, element, subst, context):
                 yield extended
@@ -240,6 +291,119 @@ def _satisfy_constraint(expr, subst):
         return None
     if compare_values(left.value, expr.op, right.value):
         return subst
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Selection pushdown (per-set hash indexes)
+# ---------------------------------------------------------------------------
+
+# (profile counter key, metrics counter name) pairs, precomputed so the
+# hot path never concatenates strings.
+_IDX_BUILDS = ("index.builds", "evaluator.index.builds")
+_IDX_HITS = ("index.hits", "evaluator.index.hits")
+_IDX_MISSES = ("index.misses", "evaluator.index.misses")
+_IDX_FALLBACKS = ("index.fallbacks", "evaluator.index.fallbacks")
+
+
+def _count_index(context, pair):
+    if context.counters is not None:
+        context.count(pair[0])
+    if context.metrics is not None:
+        context.metrics.counter(pair[1]).inc()
+
+
+def _analyze_probe_plans(inner):
+    """The static half of pushdown: which conjuncts of a set expression's
+    inner expression could drive an index probe?
+
+    A conjunct qualifies when it is an unsigned attribute step whose
+    subexpression is an unsigned atomic ``=`` comparison — the shape
+    ``.attr = term``. The attribute may be a string constant or a
+    variable (usable at probe time only once bound to a name — the
+    "already-bound higher-order attribute" case); the compared term may
+    be a constant (its bucket key is precomputed here) or a variable
+    (ground-checked at probe time). Everything else — negation,
+    inequalities, arithmetic terms, nested patterns, higher-order
+    variables still unbound at probe time — falls back to the scan.
+
+    Returns a tuple of ``(attr_term, attr_name, value_term, const_key)``
+    plans; ``attr_name``/``const_key`` are the precomputed constant
+    halves (None when runtime resolution is needed).
+    """
+    if isinstance(inner, ast.TupleExpr):
+        conjuncts = inner.conjuncts
+    else:
+        conjuncts = (inner,)
+    plans = []
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, ast.AttrStep) or conjunct.sign is not None:
+            continue
+        attr = conjunct.attr
+        if isinstance(attr, Const):
+            if not isinstance(attr.value, str):
+                continue  # the scan path raises the proper error
+            attr_name = attr.value
+        else:
+            attr_name = None  # variable: resolve against the substitution
+        comparison = conjunct.expr
+        if (
+            not isinstance(comparison, ast.AtomicExpr)
+            or comparison.op != "="
+            or comparison.sign is not None
+        ):
+            continue
+        term = comparison.term
+        if isinstance(term, Const):
+            const_key = Atom(term.value).value_key()
+            plans.append((attr, attr_name, None, const_key))
+        elif isinstance(term, Var):
+            plans.append((attr, attr_name, term, None))
+    return tuple(plans)
+
+
+def _index_candidates(expr, obj, subst, context):
+    """Resolve a set-expression probe, or None to fall back to the scan.
+
+    Tries each cached plan in order; the first one whose attribute name
+    and compared value are ground under ``subst`` (and atomic) probes the
+    set's hash index and returns the matching bucket plus the residual
+    of unclassifiable elements. The index is a pure pre-filter — the
+    caller still evaluates the inner expression against every candidate
+    — so a probe can only drop elements that provably fail the ``=``
+    selection.
+    """
+    if not isinstance(obj, SetObject):
+        _count_index(context, _IDX_FALLBACKS)
+        return None
+    plans = context.probe_plans(expr)
+    if not plans:
+        _count_index(context, _IDX_FALLBACKS)
+        return None
+    for attr_term, attr_name, value_term, const_key in plans:
+        if attr_name is None:
+            bound = subst.lookup(attr_term.name)
+            if bound is None or not bound.is_atom or not isinstance(bound.value, str):
+                continue  # unbound or non-name: not usable as a probe
+            name = bound.value
+        else:
+            name = attr_name
+        if const_key is None:
+            value = subst.lookup(value_term.name)
+            if value is None or not value.is_atom:
+                continue  # unbound or non-atomic comparison: no pushdown
+            key = value.value_key()
+        else:
+            key = const_key
+        index = obj.peek_index(name)
+        if index is None:
+            index = obj.index_on(name)
+            _count_index(context, _IDX_MISSES)
+            _count_index(context, _IDX_BUILDS)
+        else:
+            _count_index(context, _IDX_HITS)
+        return index.candidates(key)
+    _count_index(context, _IDX_FALLBACKS)
     return None
 
 

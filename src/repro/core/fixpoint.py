@@ -154,7 +154,10 @@ def _merge_into(target, source):
         if existing.is_tuple and incoming.is_tuple:
             _merge_into(existing, incoming)
         elif existing.is_set and incoming.is_set:
-            for element in incoming.elements():
+            # incoming and existing are distinct objects (source overlays
+            # are never the combined target), so the view iteration is
+            # safe while existing mutates.
+            for element in incoming:
                 existing.add(element.copy())
         else:
             target.set(name, incoming.copy())

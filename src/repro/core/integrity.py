@@ -68,7 +68,7 @@ class KeyConstraint:
     def check(self, db, rel, relation):
         violations = []
         seen = {}
-        for element in relation.elements():
+        for element in relation:
             if not element.is_tuple:
                 continue
             key = []
@@ -129,7 +129,7 @@ class TypeConstraint:
 
     def check(self, db, rel, relation):
         violations = []
-        for element in relation.elements():
+        for element in relation:
             if not element.is_tuple or not element.has(self.attr):
                 continue
             value = element.get(self.attr)

@@ -50,7 +50,7 @@ def encode_object(obj):
     if obj.is_tuple:
         return {"t": {name: encode_object(obj.get(name)) for name in obj.attr_names()}}
     if obj.is_set:
-        return {"s": [encode_object(element) for element in obj.elements()]}
+        return {"s": [encode_object(element) for element in obj]}
     raise PersistenceError(f"cannot encode {type(obj).__name__}")
 
 

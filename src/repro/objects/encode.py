@@ -42,7 +42,8 @@ def to_python(obj):
     if obj.is_tuple:
         return {name: to_python(obj.get(name)) for name in obj.attr_names()}
     if obj.is_set:
-        return [to_python(element) for element in obj.elements()]
+        # Read-only rendering: iterate the set's live view directly.
+        return [to_python(element) for element in obj]
     raise TypeError(f"unknown object category {obj.category!r}")
 
 
@@ -76,7 +77,4 @@ def rows(relation_obj):
     Non-tuple elements (legal in IDL's heterogeneous sets) are rendered
     via :func:`to_python`.
     """
-    out = []
-    for element in relation_obj.elements():
-        out.append(to_python(element))
-    return out
+    return [to_python(element) for element in relation_obj]

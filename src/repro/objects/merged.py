@@ -119,7 +119,9 @@ class MergedSet(IdlObject):
         merged = []
         seen = set()
         for part in (self._base, self._overlay):
-            for obj in part.elements():
+            # Iterate the parts directly (no snapshot copies): this loop
+            # completes synchronously and mutates neither part.
+            for obj in part:
                 key = obj.value_key()
                 if key not in seen:
                     seen.add(key)

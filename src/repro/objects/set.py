@@ -9,6 +9,23 @@ expressible.
 Duplicates are eliminated by deep value: inserting an element equal to an
 existing one is a no-op. Insertion order of surviving elements is
 preserved, giving deterministic iteration for tests and benchmarks.
+
+Indexing
+--------
+
+Every set carries a monotonically increasing :attr:`~SetObject.version`,
+bumped by every mutating method. On top of it sits a lazy, per-set store
+of :class:`SetIndex` hash indexes: ``index_on(attr)`` buckets the tuple
+elements by the value of their atomic attribute ``attr``, letting the
+evaluator probe a selective ``.attr = value`` pattern in O(bucket)
+instead of scanning the whole set (see
+``repro.core.evaluator``). Indexes are built on first demand and
+discarded wholesale the moment the version moves, so a stale index can
+never serve an answer. Elements that are not tuples, lack ``attr``, or
+hold a non-atomic value there land in the index's *residual* list, which
+a probe always walks in addition to the matching bucket — preserving the
+Section 3 heterogeneous-set semantics exactly (the index is a pure
+pre-filter; candidates are still evaluated in full).
 """
 
 from __future__ import annotations
@@ -16,16 +33,74 @@ from __future__ import annotations
 from repro.objects.base import SET, IdlObject
 
 
+class SetIndex:
+    """A hash index over one attribute of a set's tuple elements.
+
+    ``buckets`` maps ``value_key()`` of the atomic attribute value to the
+    list of elements carrying it; ``residual`` holds every element the
+    bucket scheme cannot classify (non-tuples, tuples without the
+    attribute, non-atomic values). Bucket keys use ``value_key`` so the
+    probe equality matches IDL comparison semantics: ``5`` and ``5.0``
+    share a bucket, booleans never collide with integers, and the null
+    atom gets its own bucket (where the subsequent evaluation fails it,
+    per Section 5.2).
+
+    Indexes are immutable snapshots: mutation invalidates the whole
+    store (via the set's version) rather than patching bucket lists, so
+    an in-flight probe iterating a bucket keeps the same snapshot view a
+    full-scan copy would have given it.
+    """
+
+    __slots__ = ("attr", "buckets", "residual")
+
+    def __init__(self, attr, elements):
+        self.attr = attr
+        buckets = {}
+        residual = []
+        for element in elements:
+            if element.is_tuple:
+                value = element.get_or_none(attr)
+                if value is not None and value.is_atom:
+                    key = value.value_key()
+                    bucket = buckets.get(key)
+                    if bucket is None:
+                        buckets[key] = [element]
+                    else:
+                        bucket.append(element)
+                    continue
+            residual.append(element)
+        self.buckets = buckets
+        self.residual = residual
+
+    def candidates(self, key):
+        """Every element that could satisfy ``.attr = value`` for the
+        value behind ``key``, in set order within each class (bucket
+        first, then residual)."""
+        bucket = self.buckets.get(key)
+        if bucket is None:
+            return self.residual
+        if not self.residual:
+            return bucket
+        return bucket + self.residual
+
+    def __repr__(self):
+        return (f"SetIndex({self.attr!r}, buckets={len(self.buckets)}, "
+                f"residual={len(self.residual)})")
+
+
 class SetObject(IdlObject):
     """A mutable, deduplicated, heterogeneous collection of IdlObjects."""
 
-    __slots__ = ("_elements",)
+    __slots__ = ("_elements", "_version", "_indexes", "_indexes_version")
 
     category = SET
 
     def __init__(self, elements=None):
         # value_key -> element; dicts preserve insertion order.
         self._elements = {}
+        self._version = 0
+        self._indexes = None  # attr -> SetIndex, allocated on first use
+        self._indexes_version = -1
         if elements:
             for obj in elements:
                 self.add(obj)
@@ -33,11 +108,14 @@ class SetObject(IdlObject):
     # -- read interface -------------------------------------------------
 
     def elements(self):
-        """The elements, in insertion order."""
+        """The elements, in insertion order (a fresh list — safe to
+        iterate across mutations of the set)."""
         return list(self._elements.values())
 
     def __iter__(self):
-        return iter(list(self._elements.values()))
+        # A live view: cheap, but callers that mutate the set while
+        # iterating must use elements() instead.
+        return iter(self._elements.values())
 
     def __len__(self):
         return len(self._elements)
@@ -50,6 +128,38 @@ class SetObject(IdlObject):
     def is_empty(self):
         return not self._elements
 
+    # -- indexing -------------------------------------------------------
+
+    @property
+    def version(self):
+        """Monotonically increasing mutation counter; any change to the
+        set (or an acknowledged in-place change to an element) bumps it,
+        invalidating every index built before."""
+        return self._version
+
+    def peek_index(self, attr):
+        """The current index on ``attr`` when built *and* still valid,
+        else None (never builds)."""
+        if self._indexes is None or self._indexes_version != self._version:
+            return None
+        return self._indexes.get(attr)
+
+    def index_on(self, attr):
+        """The index on ``attr``, building it on demand.
+
+        Stale indexes (from before the last mutation) are discarded
+        wholesale first; the returned index is valid until the next
+        version bump.
+        """
+        indexes = self._indexes
+        if indexes is None or self._indexes_version != self._version:
+            indexes = self._indexes = {}
+            self._indexes_version = self._version
+        index = indexes.get(attr)
+        if index is None:
+            index = indexes[attr] = SetIndex(attr, self._elements.values())
+        return index
+
     # -- write interface ------------------------------------------------
 
     def add(self, obj):
@@ -60,11 +170,15 @@ class SetObject(IdlObject):
         if key in self._elements:
             return False
         self._elements[key] = obj
+        self._version += 1
         return True
 
     def discard_value(self, obj):
         """Remove the element equal to ``obj``; returns True if removed."""
-        return self._elements.pop(obj.value_key(), None) is not None
+        if self._elements.pop(obj.value_key(), None) is None:
+            return False
+        self._version += 1
+        return True
 
     def remove_where(self, predicate):
         """Remove every element for which ``predicate(element)`` is true.
@@ -75,9 +189,13 @@ class SetObject(IdlObject):
         removed = [obj for obj in self._elements.values() if predicate(obj)]
         for obj in removed:
             del self._elements[obj.value_key()]
+        if removed:
+            self._version += 1
         return removed
 
     def clear(self):
+        if self._elements:
+            self._version += 1
         self._elements.clear()
 
     def refresh(self, obj):
@@ -94,12 +212,31 @@ class SetObject(IdlObject):
         for key in stale_keys:
             del self._elements[key]
         self._elements[obj.value_key()] = obj
+        self._version += 1
 
     def reindex(self):
-        """Rebuild the whole value index (after bulk in-place mutation)."""
+        """Rebuild the whole value index (after bulk in-place mutation).
+
+        Bumps the version — and therefore drops the attribute indexes —
+        only when the rebuilt mapping actually differs, so the engine's
+        defensive whole-universe reindex after an update does not evict
+        indexes on sets the update never touched.
+        """
         fresh = {}
         for obj in self._elements.values():
             fresh[obj.value_key()] = obj
+        changed = len(fresh) != len(self._elements)
+        if not changed:
+            # Unchanged means: every key maps to the *same object* it did
+            # before (identity, not value equality — a value swap between
+            # two elements keeps the key set intact while invalidating the
+            # bucket lists, which hold object references).
+            for key, obj in fresh.items():
+                if self._elements.get(key) is not obj:
+                    changed = True
+                    break
+        if changed:
+            self._version += 1
         self._elements = fresh
 
     # -- value semantics --------------------------------------------------

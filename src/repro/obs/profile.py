@@ -40,6 +40,20 @@ class QueryProfile:
         return merged
 
     @property
+    def index_stats(self):
+        """Selection-pushdown counters of this query, as a plain dict:
+        ``{"builds": n, "hits": n, "misses": n, "fallbacks": n}``. Zeros
+        when the evaluation never reached a set expression (or profiling
+        was off); see ``docs/performance.md`` for how to read them."""
+        counters = self.counters
+        prefix = "index."
+        stats = {"builds": 0, "hits": 0, "misses": 0, "fallbacks": 0}
+        for kind, count in counters.items():
+            if kind.startswith(prefix):
+                stats[kind[len(prefix):]] = count
+        return stats
+
+    @property
     def strata(self):
         """Attribute dicts of every ``fixpoint.stratum`` span, in
         evaluation order (empty when the materialization was cached)."""

@@ -36,9 +36,11 @@ IDL console commands:
   :rels <db>           list relations of a database
   :program             show loaded rules and update programs
   :explain ?<expr>     show the evaluation plan of a query
-  :profile ?<expr>     evaluate with node-visit counters and, when
-                       tracing is on, the span tree of the run
-  :metrics             show the engine's metrics registry
+  :profile ?<expr>     evaluate with node-visit counters (including the
+                       evaluator's index probe stats) and, when tracing
+                       is on, the span tree of the run
+  :metrics             show the engine's metrics registry (fixpoint
+                       totals, evaluator.index.* probe counters, ...)
   :check [<path>]      run idlcheck over the loaded program (or a file)
   :load <path>         load a program file (rules + clauses)
   :save <path>         persist the engine (data + program) to JSON
@@ -204,6 +206,7 @@ class IdlRepl:
             self.write(f"answers: {answers}")
             for kind in sorted(counters):
                 self.write(f"  {kind:<12} {counters[kind]}")
+            self.write(self._index_summary(profile.index_stats))
             self.write(profile.render())
             return
         from repro.core.explain import profile_query
@@ -214,6 +217,23 @@ class IdlRepl:
         self.write(f"answers: {len(results)}")
         for kind in sorted(counters):
             self.write(f"  {kind:<12} {counters[kind]}")
+        stats = {
+            kind[len("index."):]: count
+            for kind, count in counters.items() if kind.startswith("index.")
+        }
+        self.write(self._index_summary(stats))
+
+    @staticmethod
+    def _index_summary(stats):
+        """One line summarizing the selection-pushdown behavior of a
+        profiled query (see docs/performance.md)."""
+        if not stats or not any(stats.values()):
+            return "index: (no set expressions probed)"
+        rendered = " ".join(
+            f"{kind}={stats.get(kind, 0)}"
+            for kind in ("builds", "hits", "misses", "fallbacks")
+        )
+        return f"index: {rendered}"
 
     # -- statements ------------------------------------------------------------
 

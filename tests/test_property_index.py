@@ -1,0 +1,156 @@
+"""Differential property test: indexed evaluation == scanned evaluation.
+
+Two engines over identical universes — one probing hash indexes
+(``use_indexes=True``, the default), one always scanning — are driven
+through the same random sequence of queries and updates. After every
+step the answer sets must agree exactly; any divergence is either an
+unsound probe (the bucket dropped a real answer) or a stale index (an
+update path that failed to invalidate).
+
+The universes are deliberately heterogeneous (bare atoms, tuples with
+missing attributes, nested sets, null, 1 vs 1.0 vs True collisions) and
+the query pool includes higher-order attribute variables and negation —
+the shapes the pushdown must *decline* without changing semantics.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IdlEngine
+from repro.errors import IdlError
+from repro.objects import Universe
+
+# -- data ---------------------------------------------------------------------
+
+atoms = st.sampled_from([0, 1, 1.0, True, False, None, "a", "b", 2, 5])
+nested = st.lists(atoms, max_size=2)
+rows = st.lists(
+    st.one_of(
+        atoms,  # bare atoms are legal set elements
+        st.dictionaries(
+            st.sampled_from(["k", "v", "w"]),
+            st.one_of(atoms, nested),
+            max_size=3,
+        ),
+    ),
+    max_size=10,
+)
+
+consts = st.sampled_from([0, 1, 2, 5, "a", "b"])
+
+QUERY_TEMPLATES = (
+    "?.d1.r(.k={c})",  # ground point selection: the probe case
+    "?.d1.r(.k=K)",
+    "?.d1.r(.k=K, .v=V)",
+    "?.d1.r(.k={c}, .v=V)",
+    "?.d1.r(.A={c})",  # higher-order attribute variable
+    "?.d1.r~(.k={c})",  # negated set expression
+    "?.D.R(.k={c})",  # database and relation both enumerated
+    "?.d1.r(.k=K), .d2.r(.k=K)",  # cross-database join
+    "?.d1.r(.k=K), .d1.s(.k=K, .v=V)",
+)
+
+UPDATE_TEMPLATES = (
+    "?.d1.r+(.k={c}, .v={d})",
+    "?.d1.r+(.k={c})",
+    "?.d1.r-(.k={c})",
+    "?.d2.r-(.k={c}, .v={d})",
+    "?.d1.s+(.k={c}, .v={d})",
+    "?.d1.r(.k={c}, .v-=C)",  # null the value in place
+    "?.d1.r(.k={c}, +.w={d})",  # add an attribute in place
+)
+
+steps = st.lists(
+    st.tuples(
+        st.booleans(),  # True: query, False: update
+        st.integers(min_value=0, max_value=100),  # template pick
+        consts,
+        consts,
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def build_engine(data, use_indexes):
+    return IdlEngine(
+        universe=Universe.from_python(data), use_indexes=use_indexes
+    )
+
+
+def _freeze(value):
+    """Hashable rendering of a binding (nested sets arrive as lists)."""
+    if isinstance(value, list):
+        return frozenset(_freeze(child) for child in value)
+    if isinstance(value, dict):
+        return frozenset(
+            (name, _freeze(child)) for name, child in value.items()
+        )
+    return (type(value).__name__, value)
+
+
+def answer_key(results):
+    return {
+        frozenset(
+            (name, _freeze(value))
+            for name, value in answer.bindings.items()
+        )
+        for answer in results
+    }
+
+
+# -- the property -------------------------------------------------------------
+
+
+@given(rows, rows, rows, steps)
+@settings(max_examples=60, deadline=None)
+def test_indexed_and_scanned_engines_agree(r1, s1, r2, script):
+    data = {"d1": {"r": r1, "s": s1}, "d2": {"r": r2}}
+    indexed = build_engine(data, use_indexes=True)
+    scanned = build_engine(data, use_indexes=False)
+    for is_query, pick, c, d in script:
+        if is_query:
+            template = QUERY_TEMPLATES[pick % len(QUERY_TEMPLATES)]
+            statement = template.format(c=c, d=d)
+            assert answer_key(indexed.query(statement)) == answer_key(
+                scanned.query(statement)
+            ), statement
+            assert indexed.ask(statement) == scanned.ask(statement)
+        else:
+            template = UPDATE_TEMPLATES[pick % len(UPDATE_TEMPLATES)]
+            statement = template.format(c=c, d=d)
+            first = second = None
+            try:
+                first = indexed.update(statement)
+            except IdlError as exc:
+                first = type(exc)
+            try:
+                second = scanned.update(statement)
+            except IdlError as exc:
+                second = type(exc)
+            if isinstance(first, type):
+                assert first == second, statement
+            else:
+                assert (first.inserted, first.deleted, first.modified) == (
+                    second.inserted,
+                    second.deleted,
+                    second.modified,
+                ), statement
+    # Closing sweep: the full contents still agree element by element.
+    probe = "?.D.R(.k=K, .v=V)"
+    assert answer_key(indexed.query(probe)) == answer_key(scanned.query(probe))
+
+
+@given(rows, st.lists(consts, min_size=1, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_probe_after_every_insert_sees_the_insert(r1, inserts):
+    indexed = build_engine({"d1": {"r": r1}}, use_indexes=True)
+    for value in inserts:
+        query = f"?.d1.r(.k={value}, .v=V)"
+        before = len(indexed.query(query))  # builds/uses the index
+        indexed.update(f"?.d1.r+(.k={value}, .v={value})")
+        after = indexed.query(query)
+        assert len(after) >= 1
+        assert len(after) >= before, "stale index dropped an insert"
