@@ -1,0 +1,120 @@
+"""B14 — write-ahead journal overhead on the federation flush path.
+
+Question: every federation update now journals intent -> per-member
+outcome -> commit before/around the member applies (see
+``docs/fault_tolerance.md``). What does that durability cost per update,
+for each backend — ``NullJournal`` (journaling off, the pre-journal
+flush), ``InMemoryJournal`` (the default), and ``FileJournal`` (JSON
+lines on disk, with and without fsync)?
+
+Guard test (run by the CI bench-smoke job): the in-memory journal adds
+< 10% to the update+flush latency (plus a small absolute epsilon for
+timer jitter) — the durability record must be practically free unless
+the caller asks for disk.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.multidb import (
+    Federation,
+    FileJournal,
+    InMemoryConnector,
+    InMemoryJournal,
+    NullJournal,
+)
+from repro.bench import Experiment
+from repro.workloads.stocks import StockWorkload
+
+N_STOCKS, N_DAYS = 8, 10
+ROUNDS = 25
+
+#: Absolute slack (seconds) absorbing timer jitter on the overhead check.
+JITTER = 0.010
+
+
+def build_federation(journal, seed=1985):
+    workload = StockWorkload(n_stocks=N_STOCKS, n_days=N_DAYS, seed=seed)
+    federation = Federation(journal=journal)
+    for style in ("euter", "chwab", "ource"):
+        federation.add_member(
+            style, style,
+            connector=InMemoryConnector(workload.relations_for(style)),
+        )
+    federation.install()
+    return federation
+
+
+def churn(federation, day="9/9/99"):
+    """One insert + one delete: two journaled updates, each flushing
+    all three members; member state is identical afterwards."""
+    federation.insert_quote("churn", day, 1.0)
+    federation.delete_quote("churn", day)
+
+
+def measure(tmp_path):
+    """Total churn time per journal mode over ``ROUNDS`` rounds.
+
+    The modes are interleaved within one loop so machine drift
+    (frequency scaling, cache warmup) is shared instead of being
+    attributed to whichever mode runs last.
+    """
+    federations = {
+        "off": build_federation(NullJournal()),
+        "inmem": build_federation(InMemoryJournal()),
+        "file": build_federation(
+            FileJournal(tmp_path / "b14.wal", fsync=False)
+        ),
+        "file+fsync": build_federation(
+            FileJournal(tmp_path / "b14-fsync.wal", fsync=True)
+        ),
+    }
+    for federation in federations.values():  # warm every pipeline once
+        churn(federation)
+    totals = {mode: 0.0 for mode in federations}
+    for _ in range(ROUNDS):
+        for mode, federation in federations.items():
+            start = time.perf_counter()
+            churn(federation)
+            totals[mode] += time.perf_counter() - start
+    for mode in ("file", "file+fsync"):
+        federations[mode].journal.close()
+    return totals
+
+
+def test_b14_journal_overhead(benchmark, tmp_path):
+    totals = benchmark.pedantic(measure, args=(tmp_path,), rounds=1,
+                                iterations=1)
+    experiment = Experiment(
+        "B14",
+        "write-ahead journal overhead per federation update",
+        "journaled intent/outcome/commit records make multi-member "
+        "updates atomic under crashes; the in-memory default must not "
+        "tax the flush path",
+    )
+    per_update = {mode: total / (2 * ROUNDS) for mode, total in
+                  totals.items()}
+    for mode in ("off", "inmem", "file", "file+fsync"):
+        experiment.add_row(
+            journal=mode,
+            total_ms=totals[mode] * 1000,
+            per_update_ms=per_update[mode] * 1000,
+            overhead=(f"{(totals[mode] / totals['off'] - 1) * 100:+.1f}%"
+                      if totals["off"] > 0 else "n/a"),
+        )
+    held = experiment.check(
+        totals["inmem"] <= totals["off"] * 1.10 + JITTER,
+        "in-memory journal adds < 10% to update+flush latency",
+    )
+    experiment.report()
+    assert held
+
+
+@pytest.mark.parametrize("mode", ("off", "inmem"))
+def test_b14_single_update_latency(benchmark, mode):
+    journal = NullJournal() if mode == "off" else InMemoryJournal()
+    federation = build_federation(journal)
+    benchmark(churn, federation)

@@ -39,11 +39,19 @@ from repro.errors import (
     DeadlineExceededError,
     FederationError,
     IdlError,
+    JournalError,
     MemberUnavailableError,
     StaleMemberError,
     ValidationError,
 )
 from repro.multidb.federation import AvailabilityReport, Federation
+from repro.multidb.journal import (
+    CrashInjector,
+    CrashPoint,
+    FileJournal,
+    InMemoryJournal,
+    NullJournal,
+)
 from repro.multidb.resilience import FakeClock, ResiliencePolicy
 from repro.multidb.results import PartialResult, QueryResult
 from repro.obs import (
@@ -73,11 +81,18 @@ __all__ = [
     "QueryResult",
     "ResiliencePolicy",
     "UpdateResult",
+    # durability: the write-ahead update journal and crash injection
+    "CrashInjector",
+    "CrashPoint",
+    "FileJournal",
+    "InMemoryJournal",
+    "NullJournal",
     # errors
     "CircuitOpenError",
     "DeadlineExceededError",
     "FederationError",
     "IdlError",
+    "JournalError",
     "MemberUnavailableError",
     "StaleMemberError",
     "ValidationError",

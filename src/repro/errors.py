@@ -149,6 +149,13 @@ class DeadlineExceededError(MemberUnavailableError):
     exceeded the policy's deadline."""
 
 
+class JournalError(FederationError):
+    """The write-ahead update journal is unusable: mid-log corruption
+    (valid records after an invalid line — a torn *tail* is silently
+    truncated instead), a record for an unknown update id, or a
+    protocol violation such as committing an already-resolved update."""
+
+
 class StaleMemberError(FederationError):
     """A member's snapshot in the universe is known to diverge from the
     member itself (a flush failed, or the member recovered from an

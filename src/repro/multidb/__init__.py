@@ -10,6 +10,8 @@
 * :mod:`repro.multidb.connectors` — member transports + fault injection;
 * :mod:`repro.multidb.resilience` — retry/backoff, circuit breakers,
   per-member health;
+* :mod:`repro.multidb.journal` — write-ahead update journal, crash
+  injection, and crash recovery for atomic multi-member flushes;
 * :class:`FirstOrderFederation` — the SQL-per-member counterfactual.
 """
 
@@ -42,6 +44,15 @@ from repro.multidb.federation import (
     AvailabilityReport,
     Federation,
     MemberAvailability,
+)
+from repro.multidb.journal import (
+    CrashInjector,
+    CrashPoint,
+    FileJournal,
+    InMemoryJournal,
+    NullJournal,
+    PendingUpdate,
+    UpdateJournal,
 )
 from repro.multidb.results import PartialResult, QueryResult, UpdateResult
 from repro.multidb.firstorder import FirstOrderFederation
@@ -76,16 +87,23 @@ __all__ = [
     "AuthorizedSession",
     "AvailabilityReport",
     "CircuitBreaker",
+    "CrashInjector",
+    "CrashPoint",
     "FakeClock",
     "FaultyConnector",
+    "FileJournal",
     "Grant",
     "InMemoryConnector",
+    "InMemoryJournal",
     "MemberAvailability",
     "MemberConnector",
     "MemberHealth",
     "MonotonicClock",
+    "NullJournal",
     "PartialResult",
+    "PendingUpdate",
     "QueryResult",
+    "UpdateJournal",
     "UpdateResult",
     "ResiliencePolicy",
     "ResilientConnector",

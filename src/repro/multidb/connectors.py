@@ -20,6 +20,7 @@ fault-tolerance tests and benchmarks are reproducible.
 from __future__ import annotations
 
 import copy
+import itertools
 import random
 
 from repro.errors import MemberUnavailableError
@@ -58,7 +59,13 @@ class InMemoryConnector(MemberConnector):
 
 
 class StorageConnector(MemberConnector):
-    """A member running on the relational storage substrate."""
+    """A member running on the relational storage substrate.
+
+    ``apply`` is atomic: the whole replacement runs inside one storage
+    :class:`~repro.storage.transaction.Transaction`, so a failure
+    injected (or occurring) mid-apply aborts and leaves the member
+    exactly as it was — never half-replaced.
+    """
 
     def __init__(self, storage):
         self.storage = storage
@@ -71,11 +78,18 @@ class StorageConnector(MemberConnector):
     def apply(self, desired):
         from repro.multidb.adapters import flush_rows_to_storage
 
-        flush_rows_to_storage(self.storage, desired)
+        with self.storage.begin():
+            flush_rows_to_storage(self.storage, desired)
 
     def ping(self):
         self.storage.relation_names()
         return True
+
+
+#: Auto-assigned fault-stream ids: every FaultyConnector constructed
+#: without an explicit ``stream`` takes the next one, so two connectors
+#: sharing a ``seed`` still draw from *independent* RNG streams.
+_fault_streams = itertools.count()
 
 
 class FaultyConnector(MemberConnector):
@@ -84,7 +98,12 @@ class FaultyConnector(MemberConnector):
     Fault sources, all deterministic:
 
     * ``failure_rate`` — each operation fails with this probability,
-      drawn from a ``seed``-ed RNG (transient errors);
+      drawn from a per-instance RNG keyed by ``(seed, stream)``
+      (transient errors). ``stream`` defaults to the next value of a
+      process-wide counter so sibling connectors built with the same
+      ``seed`` never share a fault schedule; pass an explicit
+      ``stream`` for schedules that must be reproducible across
+      processes (CI chaos runs);
     * ``fail_next(n)`` — the next ``n`` operations fail (scripted
       schedules);
     * ``set_outage(True)`` — every operation fails until
@@ -98,20 +117,27 @@ class FaultyConnector(MemberConnector):
       simulating a member without transactional flush.
 
     Counters (``calls``, ``injected``) expose what actually happened.
+    When ``obs`` is set (directly, or shared down by the enclosing
+    :class:`~repro.multidb.resilience.ResilientConnector`), every
+    injected latency and fault is also recorded as an event on the
+    currently-open span, so traces show *why* an attempt failed.
     """
 
     def __init__(self, inner, failure_rate=0.0, latency=0.0, seed=0,
-                 clock=None, outage=False, torn_writes=False):
+                 clock=None, outage=False, torn_writes=False, stream=None,
+                 obs=None):
         self.inner = inner
         self.failure_rate = failure_rate
         self.latency = latency
         self.clock = clock
         self.outage = outage
         self.torn_writes = torn_writes
+        self.obs = obs
         self.calls = 0
         self.injected = 0
         self._fail_next = 0
-        self._rng = random.Random(seed)
+        self.stream = next(_fault_streams) if stream is None else stream
+        self._rng = random.Random(f"{seed}/{self.stream}")
 
     # -- fault scripting ------------------------------------------------
 
@@ -137,6 +163,7 @@ class FaultyConnector(MemberConnector):
         self.calls += 1
         if self.latency and self.clock is not None:
             self.clock.sleep(self.latency)
+            self._span_event("fault.latency", op=op, seconds=self.latency)
         if self.outage:
             self._injected(op, "member is down")
         if self._fail_next > 0:
@@ -147,7 +174,15 @@ class FaultyConnector(MemberConnector):
 
     def _injected(self, op, why):
         self.injected += 1
+        self._span_event("fault.injected", op=op, why=why)
         raise MemberUnavailableError(f"injected fault during {op}: {why}")
+
+    def _span_event(self, name, **attributes):
+        if self.obs is None:
+            return
+        span = self.obs.tracer.current
+        if span is not None:
+            span.event(name, **attributes)
 
     # -- the connector surface ------------------------------------------
 

@@ -17,6 +17,16 @@ on_unavailable="partial")`` degrades gracefully with an availability
 report, and ``probe()`` re-attaches and resyncs members when they
 recover. See ``docs/fault_tolerance.md``.
 
+Updates are *atomic across members*: every flush runs a write-ahead
+update-commit protocol against an
+:class:`~repro.multidb.journal.UpdateJournal` (intent with the full
+desired state of every member, per-member apply outcomes, commit), and
+``recover()`` replays incomplete updates idempotently after a crash —
+so every member ends at exactly the pre-update or post-update state,
+never a mix. The chaos property suite (``pytest -m chaos``) drives
+random update workloads against deterministic crash schedules to hold
+the federation to that invariant.
+
 The whole pipeline is observable: the federation owns a
 :class:`~repro.obs.Observability` (tracing on by default) shared with
 its engine and every member connector, ``query``/``update``/``call``
@@ -41,6 +51,7 @@ from repro.errors import (
 )
 from repro.multidb.adapters import storage_to_relations, universe_rows
 from repro.multidb.connectors import _as_connector
+from repro.multidb.journal import InMemoryJournal
 from repro.multidb.resilience import (
     CLOSED,
     ResiliencePolicy,
@@ -164,11 +175,26 @@ class Federation:
     """
 
     def __init__(self, engine=None, unified_db="dbI", unified_relation="p",
-                 control_db="dbU", obs=None):
+                 control_db="dbU", obs=None, journal=None, crash=None):
         if obs is None:
             obs = (engine.obs if engine is not None and engine.obs is not None
                    else Observability())
         self.obs = obs
+        # The write-ahead update journal (see repro.multidb.journal):
+        # every flush is journaled intent -> per-member apply -> commit,
+        # so recover() can finish what a crash interrupted. Pass a
+        # FileJournal for durability across processes, a NullJournal to
+        # disable, or nothing for the in-memory default.
+        self.journal = journal if journal is not None else InMemoryJournal()
+        if self.journal.obs is None:
+            self.journal.obs = obs
+        # Deterministic crash-point injection (tests/chaos harness): a
+        # CrashInjector visited before every journal append and every
+        # member apply; None in production.
+        self.crash = crash
+        if crash is not None and self.journal.crash is None:
+            self.journal.crash = crash
+        self._recovered = False  # recover() ran at least once
         self.engine = engine if engine is not None else IdlEngine(obs=obs)
         if self.engine.obs is not obs:
             self.engine.use_observability(obs)
@@ -508,7 +534,38 @@ class Federation:
                 maintenance_programs({name: style}, self.control_db)
             )
             self._wired.add(name)
+        if self._recovered:
+            # Post-recovery, the journal outranks the member's own state:
+            # a member that was unreachable during recover() and owes
+            # pending updates is rolled forward now, not left at the
+            # (pre-update) state the attach scan just pulled.
+            self._replay_pending_member(name)
         return self
+
+    def _replay_pending_member(self, name):
+        """Roll one just-recovered member forward through every pending
+        journaled update it still owes (oldest first)."""
+        pending = [
+            update for update in self.journal.pending()
+            if name in update.remaining
+        ]
+        if not pending:
+            return
+        with self.obs.span("federation.replay", member=name) as span:
+            for update in pending:
+                desired = update.desired[name]
+                self._crash_point("connector.apply")
+                self.connectors[name].apply(desired)
+                self.journal.record_member(update.update_id, name, "applied",
+                                           via="recover")
+                if self.engine.universe.has(name):
+                    self.engine.drop_database(name)
+                self.engine.add_database(name, desired)
+                span.event("replay", update_id=update.update_id, member=name)
+                if not [m for m in update.desired if m not in
+                        self.journal.applied_members(update.update_id)]:
+                    self.journal.commit(update.update_id)
+                    span.event("commit", update_id=update.update_id)
 
     def _quarantine(self, name, reason):
         """Detach ``name``: drop its snapshot, remember why. Its rules
@@ -553,13 +610,17 @@ class Federation:
         Direction depends on how it went stale: a failed flush is
         re-*pushed* (the universe is ahead of the member); a member that
         recovered from an outage is re-*pulled* (the member is the
-        authority on its own data).
+        authority on its own data). A successful push also settles the
+        member's share of every pending journaled update — the pushed
+        state subsumes each journaled desired state — committing
+        updates it completes.
         """
         direction = self._stale.get(name, "pull")
         if direction == "push":
             self.connectors[name].apply(
                 universe_rows(self.engine.universe, name)
             )
+            self.journal.resolve_member(name, via="resync")
         else:
             relations = self.connectors[name].scan()
             if self.engine.universe.has(name):
@@ -567,6 +628,98 @@ class Federation:
             self.engine.add_database(name, relations)
         self._stale.pop(name, None)
         return self
+
+    # -- crash recovery ---------------------------------------------------------
+
+    def recover(self, journal=None):
+        """Replay incomplete journaled updates at startup, idempotently.
+
+        For every pending intent (oldest first), each member that never
+        journaled an ``applied`` outcome is rolled *forward* to its
+        journaled desired state — full states, so re-applying is
+        idempotent and a second :meth:`recover` is a no-op. Members
+        journaled applied are not touched. A member that cannot be
+        reached stays quarantined/stale exactly as a failed flush
+        leaves it (its share replays on the next recover, probe or
+        resync). A pending update older than a later *committed* one is
+        anomalous — replaying it would roll members backwards — and is
+        aborted as superseded.
+
+        ``journal`` (optional) adopts a different journal first —
+        typically a :class:`~repro.multidb.journal.FileJournal` reopened
+        after a crash. Requires an installed federation (the replay
+        needs connectors and snapshots). Returns ``{update_id:
+        [replayed members]}``.
+        """
+        if journal is not None:
+            self.journal = journal
+            if journal.obs is None:
+                journal.obs = self.obs
+            if self.crash is not None and journal.crash is None:
+                journal.crash = self.crash
+        if not self._installed:
+            raise FederationError(
+                "install() the federation before recover(): replay needs "
+                "attached members and their connectors"
+            )
+        journal = self.journal
+        replayed = {}
+        with self.obs.span("federation.recover") as root:
+            root.set("truncated_tails", journal.truncated_tails)
+            pending = journal.pending()
+            root.set("pending", [update.update_id for update in pending])
+            for update in pending:
+                if update.seq < journal.last_committed_seq:
+                    journal.abort(update.update_id, "superseded by a later "
+                                                    "committed update")
+                    root.event("abort-superseded",
+                               update_id=update.update_id)
+                    continue
+                done = self._replay_update(update, root)
+                if done:
+                    replayed[update.update_id] = done
+            self._recovered = True
+            root.set("replayed", sum(len(v) for v in replayed.values()))
+        return replayed
+
+    def _replay_update(self, update, span):
+        """Roll every owed member of one pending update forward; commits
+        the update when nothing remains owed. Returns the members
+        replayed here."""
+        done = []
+        for member in update.remaining:
+            if member not in self.members:
+                span.event("skip-unknown-member",
+                           update_id=update.update_id, member=member)
+                continue
+            desired = update.desired[member]
+            self._crash_point("connector.apply")
+            try:
+                self.connectors[member].apply(desired)
+            except MemberUnavailableError as exc:
+                if member not in self.quarantined:
+                    self._stale[member] = "push"
+                span.event("replay-failed", update_id=update.update_id,
+                           member=member, error=str(exc))
+                continue
+            self.journal.record_member(update.update_id, member, "applied",
+                                       via="recover")
+            if member in self._attached:
+                # The universe snapshot (scanned at install, possibly
+                # pre-update) must match the member we just rolled
+                # forward.
+                if self.engine.universe.has(member):
+                    self.engine.drop_database(member)
+                self.engine.add_database(member, desired)
+            self._stale.pop(member, None)
+            span.event("replay", update_id=update.update_id, member=member)
+            done.append(member)
+        if not [m for m in update.desired
+                if m not in self.journal.applied_members(update.update_id)]:
+            if not self.journal.is_committed(update.update_id):
+                self.journal.commit(update.update_id)
+                span.event("commit", update_id=update.update_id)
+        return done
 
     # -- availability -----------------------------------------------------------
 
@@ -589,7 +742,10 @@ class Federation:
         return AvailabilityReport(entries)
 
     def health_report(self):
-        """Structured per-member health counters and breaker states."""
+        """Structured per-member health counters and breaker states,
+        plus the update journal's status under the ``"journal"`` key
+        (backend, pending update ids, committed/aborted counts,
+        truncated tails — see :mod:`repro.multidb.journal`)."""
         report = {}
         for name in sorted(self.members):
             resilient = self.connectors[name]
@@ -597,6 +753,7 @@ class Federation:
             entry["breaker"] = resilient.breaker.state
             entry["status"] = self.availability().status_of(name)
             report[name] = entry
+        report["journal"] = self.journal.status()
         return report
 
     def _check_available(self):
@@ -695,21 +852,28 @@ class Federation:
         return self.engine.ask(source, **params)
 
     def update(self, source, **params):
-        """Execute an update request, then flush the affected members.
+        """Execute an update request, then flush the affected members
+        under the journaled two-phase protocol.
 
         Refused outright (before any mutation) while any member is
         quarantined, circuit-open, or stale: translated updates must
         reach *every* member or none (the paper's all-or-nothing update
         semantics), and a member we cannot reach — or whose snapshot we
-        know diverges — would silently miss its share. Returns a
-        federation :class:`~repro.multidb.results.UpdateResult` with
-        per-member apply outcomes.
+        know diverges — would silently miss its share. The flush itself
+        is write-ahead journaled (intent → per-member outcome →
+        commit), so a crash mid-flush leaves a durable record that
+        :meth:`recover` replays. Returns a federation
+        :class:`~repro.multidb.results.UpdateResult` with per-member
+        apply outcomes and the journal ``update_id``.
         """
         with self.obs.span("federation.update") as root:
             self._check_available()
             engine_result = self.engine.update(source, **params)
-            outcomes, flushed = self._flush_if_changed(engine_result, root)
-        return self._update_result(engine_result, outcomes, flushed, root)
+            outcomes, flushed, update_id = self._flush_if_changed(
+                engine_result, root, origin="update"
+            )
+        return self._update_result(engine_result, outcomes, flushed, root,
+                                   update_id)
 
     def call(self, program, **args):
         """Call a control-database update program (same availability and
@@ -717,22 +881,89 @@ class Federation:
         with self.obs.span("federation.call", program=program) as root:
             self._check_available()
             engine_result = self.engine.call(self.control_db, program, **args)
-            outcomes, flushed = self._flush_if_changed(engine_result, root)
-        return self._update_result(engine_result, outcomes, flushed, root)
+            outcomes, flushed, update_id = self._flush_if_changed(
+                engine_result, root, origin=f"call:{program}"
+            )
+        return self._update_result(engine_result, outcomes, flushed, root,
+                                   update_id)
 
-    def _flush_if_changed(self, engine_result, root):
-        """Flush members when the engine mutated anything; returns
-        ``(member_outcomes, flushed)``."""
+    def _flush_if_changed(self, engine_result, root, origin="update"):
+        """Two-phase flush when the engine mutated anything; returns
+        ``(member_outcomes, flushed, update_id)``.
+
+        Phase one *stages*: the desired post-state of every backed
+        member is computed from the universe and journaled as one
+        intent record (the write-ahead step — nothing has touched a
+        member yet). Phase two *applies*: each member's connector takes
+        its staged state under the usual retry/circuit machinery, and
+        its outcome is journaled as it lands; a fully-applied update is
+        closed with a commit record. A crash anywhere in between leaves
+        a pending intent that :meth:`recover` replays idempotently.
+        """
         if not engine_result.changed:
             root.set("flushed", False)
-            return {name: UNCHANGED for name in sorted(self._attached)}, False
+            outcomes = {name: UNCHANGED for name in sorted(self._attached)}
+            return outcomes, False, None
         with self.obs.span("federation.flush") as span:
-            outcomes = self._sync_members()
-            span.set("members", sorted(self._flushed & self._attached))
+            staged = {
+                name: universe_rows(self.engine.universe, name)
+                for name in sorted(self._flushed & self._attached)
+            }
+            outcomes = {
+                name: SNAPSHOT_ONLY
+                for name in sorted(self._attached - self._flushed)
+            }
+            update_id = None
+            if staged:
+                update_id = self.journal.begin(staged, origin=origin)
+                span.set("update_id", update_id)
+                span.event("journal-intent", update_id=update_id,
+                           members=sorted(staged))
+            for name, desired in staged.items():
+                try:
+                    outcomes[name] = self._apply_staged(
+                        update_id, name, desired, span
+                    )
+                except Exception:
+                    outcomes[name] = FAILED
+                    # Members not yet reached are owed the staged state
+                    # too: mark every non-applied member stale (push) so
+                    # nothing serves a divergent snapshot as fresh.
+                    for other in staged:
+                        if outcomes.get(other) != APPLIED:
+                            self._stale.setdefault(other, "push")
+                    raise
+            if staged:
+                self.journal.commit(update_id)
+                span.event("journal-commit", update_id=update_id)
+            span.set("members", sorted(staged))
         root.set("flushed", True)
-        return outcomes, True
+        return outcomes, True, update_id
 
-    def _update_result(self, engine_result, outcomes, flushed, root):
+    def _apply_staged(self, update_id, name, desired, span):
+        """Apply one member's staged state and journal the outcome. On
+        failure the member is marked stale (push) — the journaled
+        intent stays pending for resync/recover — and the error
+        propagates, exactly as an unjournaled flush failure did."""
+        self._crash_point("connector.apply")
+        try:
+            self.connectors[name].apply(desired)
+        except Exception:
+            self._stale[name] = "push"
+            if update_id is not None:
+                self.journal.record_member(update_id, name, "failed")
+            span.event("member-failed", member=name)
+            raise
+        if update_id is not None:
+            self.journal.record_member(update_id, name, "applied")
+        return APPLIED
+
+    def _crash_point(self, site):
+        if self.crash is not None:
+            self.crash.visit(site)
+
+    def _update_result(self, engine_result, outcomes, flushed, root,
+                       update_id=None):
         enabled = self.obs.enabled
         return UpdateResult(
             engine_result,
@@ -742,6 +973,7 @@ class Federation:
             profile=QueryProfile(root) if enabled else None,
             trace=root if enabled else None,
             metrics=self.obs.metrics.snapshot(),
+            update_id=update_id,
         )
 
     def insert_quote(self, stk, date, price):
@@ -770,32 +1002,6 @@ class Federation:
         return report(
             detect_discrepancies(self.engine.universe, min_score=min_score)
         )
-
-    def _sync_members(self):
-        """Flush universe state to every member with a real backend.
-
-        Returns ``{member: outcome}`` over the attached members:
-        ``"applied"`` for members that took the new state,
-        ``"snapshot-only"`` for members with no backend to flush to. A
-        member whose flush fails is marked stale (direction: push — the
-        universe is now ahead of it) and recorded as ``"failed"``
-        before the error propagates, so a later
-        :meth:`probe`/:meth:`resync` can repair it.
-        """
-        outcomes = {
-            name: SNAPSHOT_ONLY
-            for name in sorted(self._attached - self._flushed)
-        }
-        for name in sorted(self._flushed & self._attached):
-            desired = universe_rows(self.engine.universe, name)
-            try:
-                self.connectors[name].apply(desired)
-            except Exception:
-                self._stale[name] = "push"
-                outcomes[name] = FAILED
-                raise
-            outcomes[name] = APPLIED
-        return outcomes
 
     def __repr__(self):
         return (

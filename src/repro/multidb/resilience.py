@@ -248,6 +248,11 @@ class ResilientConnector:
         self.policy = policy if policy is not None else ResiliencePolicy()
         self.clock = clock if clock is not None else MonotonicClock()
         self.obs = obs  # repro.obs.Observability, or None
+        # Share observability with the wrapped connector when it wants
+        # one and has none (e.g. a FaultyConnector recording injected
+        # faults as span events on the federation's trace).
+        if obs is not None and getattr(connector, "obs", False) is None:
+            connector.obs = obs
         self.breaker = CircuitBreaker(
             self.policy.failure_threshold,
             self.policy.recovery_timeout,

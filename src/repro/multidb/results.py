@@ -103,15 +103,18 @@ class UpdateResult(EngineUpdateResult):
     ``member_outcomes`` maps every attached member to ``"applied"``,
     ``"snapshot-only"``, ``"failed"`` or ``"unchanged"``; ``flushed``
     is True when every member with a real backend took the new state.
+    ``update_id`` is the monotonic id the write-ahead journal assigned
+    to the flush (``None`` when nothing needed flushing).
     ``availability``/``profile``/``trace``/``metrics`` mirror
     :class:`QueryResult`.
     """
 
     __slots__ = ("member_outcomes", "flushed", "availability", "profile",
-                 "trace", "metrics")
+                 "trace", "metrics", "update_id")
 
     def __init__(self, engine_result, member_outcomes=None, flushed=False,
-                 availability=None, profile=None, trace=None, metrics=None):
+                 availability=None, profile=None, trace=None, metrics=None,
+                 update_id=None):
         super().__init__(
             engine_result.substitutions,
             engine_result.inserted,
@@ -125,6 +128,7 @@ class UpdateResult(EngineUpdateResult):
         self.profile = profile
         self.trace = trace
         self.metrics = metrics
+        self.update_id = update_id
 
     def __repr__(self):
         return (

@@ -137,34 +137,52 @@ class StorageDatabase:
 
     def replace_contents(self, desired, schema_factory):
         """Make this database hold exactly ``desired`` (``{rel: rows}``),
-        in one transaction.
+        atomically.
 
         Relations absent from ``desired`` are dropped, new ones created
         with ``schema_factory(rows)``, and a surviving relation whose
         rows carry columns its stored schema lacks is widened by
         recreation. Any failure aborts, leaving the database untouched —
         this is the member-side half of a federation flush.
+
+        Runs in its own transaction, or — when the caller already holds
+        one (e.g. :class:`~repro.multidb.connectors.StorageConnector`
+        wrapping the whole apply) — under a savepoint of that
+        transaction, so a mid-replace failure rolls this replacement
+        back without killing the enclosing transaction.
         """
-        with self.begin():
-            for rel_name in list(self.relation_names()):
-                if rel_name not in desired:
+        if self._transaction is not None:
+            savepoint = f"_replace_contents_{id(desired)}"
+            self._transaction.savepoint(savepoint)
+            try:
+                self._replace_contents(desired, schema_factory)
+            except Exception:
+                self._transaction.rollback_to(savepoint)
+                raise
+        else:
+            with self.begin():
+                self._replace_contents(desired, schema_factory)
+        return self
+
+    def _replace_contents(self, desired, schema_factory):
+        for rel_name in list(self.relation_names()):
+            if rel_name not in desired:
+                self.drop_relation(rel_name)
+        for rel_name, rows in desired.items():
+            if not self.has_relation(rel_name):
+                self.create_relation(rel_name, schema_factory(rows))
+            else:
+                schema = self.catalog.schema_of(rel_name)
+                incoming = {column for row in rows for column in row}
+                if not incoming <= set(schema.column_names()):
                     self.drop_relation(rel_name)
-            for rel_name, rows in desired.items():
-                if not self.has_relation(rel_name):
                     self.create_relation(rel_name, schema_factory(rows))
                 else:
-                    schema = self.catalog.schema_of(rel_name)
-                    incoming = {column for row in rows for column in row}
-                    if not incoming <= set(schema.column_names()):
-                        self.drop_relation(rel_name)
-                        self.create_relation(rel_name, schema_factory(rows))
-                    else:
-                        self.delete(rel_name)
-                if self.has_relation(rel_name) and len(self.relation(rel_name)):
                     self.delete(rel_name)
-                for row in rows:
-                    self.insert(rel_name, row)
-        return self
+            if self.has_relation(rel_name) and len(self.relation(rel_name)):
+                self.delete(rel_name)
+            for row in rows:
+                self.insert(rel_name, row)
 
     def lookup(self, relation_name, **equalities):
         return self.relation(relation_name).lookup(**equalities)

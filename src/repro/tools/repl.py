@@ -41,6 +41,8 @@ IDL console commands:
                        is on, the span tree of the run
   :metrics             show the engine's metrics registry (fixpoint
                        totals, evaluator.index.* probe counters, ...)
+  :health              per-member availability/health and the write-
+                       ahead journal's status (federation consoles)
   :check [<path>]      run idlcheck over the loaded program (or a file)
   :load <path>         load a program file (rules + clauses)
   :save <path>         persist the engine (data + program) to JSON
@@ -58,9 +60,17 @@ class IdlRepl:
     enabled, so ``:profile`` renders span trees and ``:metrics`` has
     counters to show; a supplied engine keeps whatever (if any)
     observability it was built with.
+
+    Pass a :class:`~repro.multidb.federation.Federation` as
+    ``federation`` to drive a federation console: the engine defaults
+    to the federation's, and ``:health`` reports member availability
+    and journal status.
     """
 
-    def __init__(self, engine=None, out=None):
+    def __init__(self, engine=None, out=None, federation=None):
+        self.federation = federation
+        if engine is None and federation is not None:
+            engine = federation.engine
         self.engine = (engine if engine is not None
                        else IdlEngine(obs=Observability()))
         self.out = out if out is not None else sys.stdout
@@ -147,6 +157,8 @@ class IdlRepl:
                 self.write("(observability disabled)")
             else:
                 self.write(obs.metrics.render())
+        elif command == ":health":
+            self._health()
         elif command == ":check":
             from repro.analysis import Catalog, check_engine, check_source
 
@@ -187,6 +199,37 @@ class IdlRepl:
                 self.write("  (none)")
         else:
             self.write(f"unknown command {command}; try :help")
+
+    def _health(self):
+        """Render the federation's health report: one line per member,
+        then the write-ahead journal's status."""
+        if self.federation is None:
+            self.write("(no federation attached; pass federation= to "
+                       "IdlRepl)")
+            return
+        report = self.federation.health_report()
+        journal = report.pop("journal")
+        for name, entry in sorted(report.items()):
+            error = f"  last_error={entry['last_error']}" \
+                if entry["last_error"] else ""
+            self.write(
+                f"  {name:<10} {entry['status']:<12} "
+                f"breaker={entry['breaker']:<9} "
+                f"ok={entry['successes']} fail={entry['failures']} "
+                f"retry={entry['retries']}{error}"
+            )
+        pending = ", ".join(str(uid) for uid in journal["pending"]) or "none"
+        self.write(
+            f"  journal    {journal['backend']}: "
+            f"{journal['updates']} update(s), "
+            f"{journal['committed']} committed, "
+            f"{journal['aborted']} aborted, pending: {pending}"
+        )
+        if journal["truncated_tails"] or journal["dropped_records"]:
+            self.write(
+                f"             truncated_tails={journal['truncated_tails']} "
+                f"dropped_records={journal['dropped_records']}"
+            )
 
     def _profile(self, argument):
         """Evaluate once with profiling; with tracing on, one observed

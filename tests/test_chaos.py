@@ -1,0 +1,312 @@
+"""Chaos harness: crash a federation mid-flush at every possible point
+and prove recovery restores atomicity.
+
+The invariant, from the paper's all-or-nothing update semantics: after
+a crash anywhere in the journaled flush and a restart + ``recover()``,
+every member holds *exactly* the pre-update state or *exactly* the
+post-update state — never a mix — and running ``recover()`` twice is a
+no-op.
+
+Everything is deterministic: crash points are scheduled by operation
+index (:class:`CrashInjector`), the Hypothesis property is
+``derandomize``-d, and member state lives in
+:class:`InMemoryConnector`s that survive the simulated process death
+the way a real member database survives a federation crash.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multidb import (
+    CrashInjector,
+    CrashPoint,
+    FaultyConnector,
+    Federation,
+    InMemoryConnector,
+    InMemoryJournal,
+    ResiliencePolicy,
+)
+from repro.multidb.resilience import FakeClock
+from repro.workloads.stocks import StockWorkload
+
+pytestmark = pytest.mark.chaos
+
+STYLES = ("euter", "chwab", "ource")
+
+
+def build(connectors, journal, crash=None, policy=None, clock=None):
+    """A three-member federation over pre-built connectors."""
+    federation = Federation(journal=journal, crash=crash)
+    for style in STYLES:
+        federation.add_member(style, style, connector=connectors[style],
+                              policy=policy, clock=clock)
+    federation.install()
+    return federation
+
+
+def fresh_connectors(workload):
+    return {
+        style: InMemoryConnector(workload.relations_for(style))
+        for style in STYLES
+    }
+
+
+def canon(relations):
+    """Order-insensitive canonical form of a ``{rel: rows}`` snapshot."""
+    return {
+        rel: sorted(json.dumps(row, sort_keys=True) for row in rows)
+        for rel, rows in relations.items()
+    }
+
+
+def member_states(connectors):
+    return {style: canon(connectors[style].scan()) for style in STYLES}
+
+
+def restart(connectors, buffer):
+    """What a process restart sees: the surviving members and a journal
+    reopened over the surviving buffer (torn-tail detection runs)."""
+    federation = build(connectors, InMemoryJournal(buffer=buffer))
+    return federation, federation.recover()
+
+
+class TestCrashSchedules:
+    """Exhaustive: one update, a crash at every crash-point index."""
+
+    def setup_method(self):
+        self.workload = StockWorkload(n_stocks=2, n_days=2, seed=13)
+
+    def expected_states(self):
+        """(pre, post) member states of the probe update, crash-free."""
+        connectors = fresh_connectors(self.workload)
+        pre = member_states(connectors)
+        federation = build(connectors, InMemoryJournal())
+        federation.insert_quote("nova", "9/9/99", 7.0)
+        return pre, member_states(connectors)
+
+    def count_crash_points(self):
+        """How many crash-point operations one flush performs (an
+        unarmed injector records the op sequence)."""
+        crash = CrashInjector()
+        federation = build(fresh_connectors(self.workload),
+                           InMemoryJournal(), crash=crash)
+        crash.sites.clear()
+        federation.insert_quote("nova", "9/9/99", 7.0)
+        return list(crash.sites)
+
+    def test_flush_visits_both_site_kinds(self):
+        sites = self.count_crash_points()
+        # intent + (apply + member record) per member + commit
+        assert sites[0] == "journal.append"
+        assert sites[-1] == "journal.append"
+        assert sites.count("connector.apply") == len(STYLES)
+        assert len(sites) == 2 + 2 * len(STYLES)
+
+    @pytest.mark.parametrize("torn", [False, True])
+    def test_every_crash_point_recovers_atomically(self, torn):
+        pre, post = self.expected_states()
+        n_ops = len(self.count_crash_points())
+        for after in range(n_ops):
+            connectors = fresh_connectors(self.workload)
+            buffer = []
+            crash = CrashInjector().arm(after, torn=torn)
+            federation = build(connectors, InMemoryJournal(buffer=buffer),
+                               crash=crash)
+            with pytest.raises(CrashPoint):
+                federation.insert_quote("nova", "9/9/99", 7.0)
+            restarted, _ = restart(connectors, buffer)
+            states = member_states(connectors)
+            assert states in (pre, post), (
+                f"mixed member state after crash at op {after} "
+                f"(torn={torn})"
+            )
+            # Recovery is idempotent: a second pass changes nothing.
+            assert restarted.recover() == {}
+            assert member_states(connectors) == states
+            assert restarted.journal.pending() == []
+
+    def test_crash_after_intent_rolls_forward(self):
+        """Once the intent is journaled, recovery must finish the
+        update (roll forward), not abandon it."""
+        pre, post = self.expected_states()
+        connectors = fresh_connectors(self.workload)
+        buffer = []
+        crash = CrashInjector().arm(1)  # intent written, first apply dies
+        federation = build(connectors, InMemoryJournal(buffer=buffer),
+                           crash=crash)
+        with pytest.raises(CrashPoint):
+            federation.insert_quote("nova", "9/9/99", 7.0)
+        restarted, replayed = restart(connectors, buffer)
+        assert member_states(connectors) == post
+        (members,) = replayed.values()
+        assert sorted(members) == sorted(STYLES)
+        assert restarted.journal.status()["committed"] == 1
+
+    def test_crash_before_intent_stays_at_pre_state(self):
+        pre, _ = self.expected_states()
+        connectors = fresh_connectors(self.workload)
+        buffer = []
+        crash = CrashInjector().arm(0, torn=True)
+        federation = build(connectors, InMemoryJournal(buffer=buffer),
+                           crash=crash)
+        with pytest.raises(CrashPoint):
+            federation.insert_quote("nova", "9/9/99", 7.0)
+        restarted, replayed = restart(connectors, buffer)
+        assert replayed == {}
+        assert member_states(connectors) == pre
+        # The torn intent line was truncated, and counted.
+        assert restarted.journal.truncated_tails == 1
+
+    def test_recovery_observability(self):
+        connectors = fresh_connectors(self.workload)
+        buffer = []
+        crash = CrashInjector().arm(2)  # first member applied, then death
+        federation = build(connectors, InMemoryJournal(buffer=buffer),
+                           crash=crash)
+        with pytest.raises(CrashPoint):
+            federation.insert_quote("nova", "9/9/99", 7.0)
+        restarted = build(connectors, InMemoryJournal(buffer=buffer))
+        restarted.recover()
+        metrics = restarted.obs.metrics
+        assert metrics.counter_value("journal.replays", via="recover") >= 1
+        journal = restarted.health_report()["journal"]
+        assert journal["pending"] == []
+        assert journal["committed"] == 1
+
+
+class TestRecoveryWithUnreachableMembers:
+    def setup_method(self):
+        self.workload = StockWorkload(n_stocks=2, n_days=2, seed=13)
+
+    def build_flaky(self, buffer, crash=None):
+        clock = FakeClock()
+        flaky = FaultyConnector(
+            InMemoryConnector(self.workload.relations_for("chwab")),
+            clock=clock,
+        )
+        connectors = {
+            "euter": InMemoryConnector(self.workload.relations_for("euter")),
+            "chwab": flaky,
+            "ource": InMemoryConnector(self.workload.relations_for("ource")),
+        }
+        policy = ResiliencePolicy(max_attempts=1, failure_threshold=100,
+                                  jitter=0.0)
+        federation = build(connectors, InMemoryJournal(buffer=buffer),
+                           crash=crash, policy=policy, clock=clock)
+        return federation, connectors, flaky
+
+    def crash_mid_flush(self, buffer, crash_after=2):
+        crash = CrashInjector()
+        federation, connectors, flaky = self.build_flaky(buffer, crash)
+        crash.arm(crash_after)
+        with pytest.raises(CrashPoint):
+            federation.insert_quote("nova", "9/9/99", 7.0)
+        return connectors, flaky
+
+    def test_unreachable_member_stays_owed_until_resync(self):
+        buffer = []
+        connectors, flaky = self.crash_mid_flush(buffer)
+        # Restart with the member down: recovery rolls the others
+        # forward and leaves the down member stale (push) and owed.
+        flaky.set_outage(True)
+        clock = FakeClock()
+        policy = ResiliencePolicy(max_attempts=1, failure_threshold=100,
+                                  jitter=0.0)
+        restarted = build(connectors, InMemoryJournal(buffer=buffer),
+                          policy=policy, clock=clock)
+        restarted.recover()
+        assert restarted.availability().status_of("chwab") in (
+            "stale", "quarantined"
+        )
+        (update,) = restarted.journal.pending()
+        assert update.remaining == ["chwab"]
+        # The member comes back; probe resyncs it, which settles its
+        # share of the journaled update and commits it.
+        flaky.restore()
+        assert restarted.probe("chwab") is True
+        assert restarted.journal.pending() == []
+        assert restarted.journal.status()["committed"] == 1
+        rows = flaky.inner.scan()["r"]
+        assert any(row.get("nova") == 7.0 for row in rows)
+
+    def test_member_down_through_install_replays_on_attach(self):
+        """A member quarantined at restart (down during install and
+        recover) is rolled forward by the journal when it re-attaches —
+        the journal outranks the state the attach scan pulls."""
+        buffer = []
+        connectors, flaky = self.crash_mid_flush(buffer)
+        flaky.set_outage(True)
+        clock = FakeClock()
+        policy = ResiliencePolicy(max_attempts=1, failure_threshold=100,
+                                  jitter=0.0)
+        restarted = Federation(journal=InMemoryJournal(buffer=buffer))
+        for style in STYLES:
+            restarted.add_member(style, style, connector=connectors[style],
+                                 policy=policy, clock=clock)
+        restarted.install()
+        assert "chwab" in restarted.quarantined
+        restarted.recover()
+        (update,) = restarted.journal.pending()
+        assert update.remaining == ["chwab"]
+        flaky.restore()
+        assert restarted.probe("chwab") is True
+        # Attach pulled the member's pre-update state, then the pending
+        # journal entry rolled it forward.
+        rows = flaky.inner.scan()["r"]
+        assert any(row.get("nova") == 7.0 for row in rows)
+        assert restarted.journal.pending() == []
+        # The whole federation answers with the update everywhere.
+        assert ("9/9/99", "nova", 7.0) in set(restarted.unified_quotes())
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=3),
+    prior=st.integers(min_value=0, max_value=2),
+    crash_after=st.integers(min_value=0, max_value=40),
+    torn=st.booleans(),
+)
+@settings(max_examples=30, deadline=None, derandomize=True)
+def test_chaos_property_members_never_hold_a_mixed_state(
+    seed, prior, crash_after, torn
+):
+    """Random workload x crash schedule x recovery: every member ends
+    at exactly the pre-update or exactly the post-update state."""
+    workload = StockWorkload(n_stocks=2, n_days=2, seed=seed)
+    connectors = fresh_connectors(workload)
+    buffer = []
+    crash = CrashInjector()
+    federation = build(connectors, InMemoryJournal(buffer=buffer),
+                       crash=crash)
+    for index in range(prior):
+        federation.insert_quote(f"pre{index}", "8/8/88", float(index + 1))
+    pre = member_states(connectors)
+    # The expected post-state, from a crash-free shadow federation over
+    # copies of the current member states.
+    shadow = {
+        style: InMemoryConnector(connectors[style].scan())
+        for style in STYLES
+    }
+    build(shadow, InMemoryJournal()).insert_quote("nova", "9/9/99", 7.0)
+    post = member_states(shadow)
+
+    crash.arm(crash_after, torn=torn)
+    crashed = False
+    try:
+        federation.insert_quote("nova", "9/9/99", 7.0)
+    except CrashPoint:
+        crashed = True
+
+    restarted, _ = restart(connectors, buffer)
+    states = member_states(connectors)
+    assert states in (pre, post)
+    if not crashed:
+        assert states == post
+    # Double recovery is a no-op.
+    assert restarted.recover() == {}
+    assert member_states(connectors) == states
+    assert restarted.journal.pending() == []

@@ -447,6 +447,301 @@ class TestFlushFailureAndResync:
         assert len(repaired) == workload.n_days + 1  # the new 9/9/99 row
 
 
+class TestStorageConnectorAtomicApply:
+    """StorageConnector.apply runs the whole replacement in one storage
+    transaction: a failure mid-apply leaves the member exactly as it
+    was — never half-replaced."""
+
+    def make_storage(self):
+        storage = StorageDatabase("m")
+        storage.create_relation(
+            "r", [("stkCode", "str"), ("clsPrice", "float")],
+            key=("stkCode",),
+        )
+        storage.insert("r", {"stkCode": "hp", "clsPrice": 50.0})
+        return storage
+
+    def test_mid_apply_failure_rolls_everything_back(self):
+        from repro.errors import StorageError
+
+        storage = self.make_storage()
+        connector = StorageConnector(storage)
+        # "s" is created first, then "r"'s duplicate key blows up the
+        # apply — the new relation must not survive the abort.
+        bad = {
+            "s": [{"x": 1}],
+            "r": [
+                {"stkCode": "a", "clsPrice": 1.0},
+                {"stkCode": "a", "clsPrice": 2.0},  # duplicate key
+            ],
+        }
+        with pytest.raises(StorageError):
+            connector.apply(bad)
+        assert storage.relation_names() == ["r"]
+        assert storage.scan("r") == [{"stkCode": "hp", "clsPrice": 50.0}]
+        assert not storage.in_transaction
+
+    def test_replace_contents_composes_with_enclosing_transaction(self):
+        from repro.errors import StorageError
+        from repro.multidb.adapters import infer_schema
+
+        storage = self.make_storage()
+        bad = {
+            "r": [
+                {"stkCode": "a", "clsPrice": 1.0},
+                {"stkCode": "a", "clsPrice": 2.0},
+            ],
+        }
+        with storage.begin():
+            storage.insert("r", {"stkCode": "ibm", "clsPrice": 10.0})
+            with pytest.raises(StorageError):
+                storage.replace_contents(bad, infer_schema)
+            # The failed replacement rolled back to its savepoint; the
+            # enclosing transaction (and its insert) survives.
+            assert storage.in_transaction
+        assert {row["stkCode"] for row in storage.scan("r")} == {"hp", "ibm"}
+
+    def test_scripted_failure_then_flush_repairs_through_journal(self):
+        workload = StockWorkload(n_stocks=2, n_days=2, seed=5)
+        storage = StorageDatabase("chwab")
+        storage.create_relation(
+            "r", [("date", "str")] + [
+                (symbol, "float") for symbol in workload.symbols
+            ],
+        )
+        for row in workload.chwab_relations()["r"]:
+            storage.insert("r", row)
+        clock = FakeClock()
+        flaky = FaultyConnector(StorageConnector(storage))
+        policy = ResiliencePolicy(max_attempts=1, failure_threshold=100,
+                                  jitter=0.0)
+        federation = build_federation(workload, flaky, policy, clock)
+        federation.install()
+        before = storage.scan("r")
+        flaky.fail_next(1)
+        with pytest.raises(MemberUnavailableError):
+            federation.insert_quote("nova", "9/9/99", 3.0)
+        # The scripted failure fired before the storage was touched, and
+        # the journaled intent stayed pending for the member.
+        assert storage.scan("r") == before
+        (update,) = federation.journal.pending()
+        assert "chwab" in update.remaining
+        federation.resync("chwab")
+        assert federation.journal.pending() == []
+        assert storage.lookup("r", date="9/9/99")
+
+
+class TestResyncDirections:
+    @pytest.fixture
+    def workload(self):
+        return StockWorkload(n_stocks=2, n_days=2, seed=5)
+
+    def setup_attached_flaky(self, workload):
+        clock = FakeClock()
+        flaky = FaultyConnector(
+            InMemoryConnector(workload.chwab_relations()), clock=clock
+        )
+        policy = ResiliencePolicy(max_attempts=1, failure_threshold=100,
+                                  jitter=0.0)
+        federation = build_federation(workload, flaky, policy, clock)
+        federation.install()
+        return federation, flaky
+
+    def test_push_resync_after_failed_flush_settles_the_journal(
+        self, workload
+    ):
+        federation, flaky = self.setup_attached_flaky(workload)
+        flaky.fail_next(1)
+        with pytest.raises(MemberUnavailableError):
+            federation.insert_quote("nova", "9/9/99", 3.0)
+        assert federation.availability().status_of("chwab") == "stale"
+        (update,) = federation.journal.pending()
+        assert update.remaining == ["chwab"]
+        federation.resync("chwab")
+        # The push delivered the universe's state, which subsumes the
+        # journaled desired state: the update commits.
+        assert federation.journal.pending() == []
+        assert federation.journal.is_committed(update.update_id)
+        rows = flaky.inner.scan()["r"]
+        assert any(row.get("nova") == 3.0 for row in rows)
+
+    def test_pull_resync_adopts_the_members_own_state(self, workload):
+        federation, flaky = self.setup_attached_flaky(workload)
+        # The member changed behind the federation's back (autonomy:
+        # members accept local writes the federation never saw).
+        flaky.inner._relations["r"].append(
+            {"date": "7/7/77", "local": 9.0}
+        )
+        federation.resync("chwab")  # not stale -> pull direction
+        assert ("7/7/77", "local", 9.0) in set(federation.unified_quotes())
+
+    def test_double_resync_is_idempotent(self, workload):
+        federation, flaky = self.setup_attached_flaky(workload)
+        flaky.fail_next(1)
+        with pytest.raises(MemberUnavailableError):
+            federation.insert_quote("nova", "9/9/99", 3.0)
+        federation.resync("chwab")
+        after_first = flaky.inner.scan()
+        # Second resync: no longer stale, so it pulls — and changes
+        # nothing, because member and universe now agree.
+        federation.resync("chwab")
+        assert flaky.inner.scan() == after_first
+        assert federation.journal.pending() == []
+        assert federation.availability().status_of("chwab") == "ok"
+        assert ("9/9/99", "nova", 3.0) in set(federation.unified_quotes())
+
+    def test_resync_then_subsequent_update_keeps_journal_consistent(
+        self, workload
+    ):
+        federation, flaky = self.setup_attached_flaky(workload)
+        flaky.fail_next(1)
+        with pytest.raises(MemberUnavailableError):
+            federation.insert_quote("nova", "9/9/99", 3.0)
+        first = federation.journal.pending()[0].update_id
+        federation.resync("chwab")
+        result = federation.insert_quote("zeta", "9/9/99", 4.0)
+        assert result.flushed
+        assert result.update_id > first
+        assert federation.journal.pending() == []
+        assert federation.journal.status()["committed"] == 2
+        rows = flaky.inner.scan()["r"]
+        (quote_row,) = [row for row in rows if row.get("date") == "9/9/99"]
+        assert quote_row.get("nova") == 3.0 and quote_row.get("zeta") == 4.0
+
+
+class TestFaultyConnectorDeterminism:
+    def schedule(self, connector, n=24):
+        """The connector's injected-failure pattern over n pings."""
+        pattern = []
+        for _ in range(n):
+            try:
+                connector.ping()
+                pattern.append(False)
+            except MemberUnavailableError:
+                pattern.append(True)
+        return pattern
+
+    def test_siblings_with_one_seed_draw_independent_streams(self):
+        a = FaultyConnector(InMemoryConnector({"r": []}),
+                            failure_rate=0.5, seed=7)
+        b = FaultyConnector(InMemoryConnector({"r": []}),
+                            failure_rate=0.5, seed=7)
+        assert a.stream != b.stream
+        assert self.schedule(a) != self.schedule(b)
+
+    def test_explicit_stream_reproduces_the_schedule(self):
+        def build():
+            return FaultyConnector(InMemoryConnector({"r": []}),
+                                   failure_rate=0.5, seed=7, stream=3)
+
+        assert self.schedule(build()) == self.schedule(build())
+
+    def test_injected_fault_records_a_span_event(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        faulty = FaultyConnector(InMemoryConnector({"r": []}), obs=obs)
+        faulty.fail_next(1)
+        with obs.tracer.span("test.op") as span:
+            with pytest.raises(MemberUnavailableError):
+                faulty.scan()
+        (event,) = [e for e in span.events if e[0] == "fault.injected"]
+        assert event[1] == {"op": "scan", "why": "scripted failure"}
+
+    def test_injected_latency_records_a_span_event(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        clock = FakeClock()
+        faulty = FaultyConnector(InMemoryConnector({"r": []}),
+                                 latency=0.25, clock=clock, obs=obs)
+        with obs.tracer.span("test.op") as span:
+            faulty.scan()
+        assert ("fault.latency", {"op": "scan", "seconds": 0.25}) \
+            in span.events
+        assert clock.sleeps == [0.25]
+
+    def test_without_obs_no_span_is_required(self):
+        faulty = FaultyConnector(InMemoryConnector({"r": []}))
+        faulty.fail_next(1)
+        with pytest.raises(MemberUnavailableError):
+            faulty.scan()  # no tracer, no open span: still fine
+
+    def test_resilient_connector_shares_obs_with_the_faulty_inner(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        clock = FakeClock()
+        faulty = FaultyConnector(InMemoryConnector({"r": []}))
+        assert faulty.obs is None
+        resilient = ResilientConnector(
+            "m", faulty,
+            ResiliencePolicy(max_attempts=1, jitter=0.0),
+            clock, obs=obs,
+        )
+        assert faulty.obs is obs
+        faulty.fail_next(1)
+        with obs.tracer.span("federation.flush") as root:
+            with pytest.raises(MemberUnavailableError):
+                resilient.scan()
+        events = [event for span in root.walk() for event in span.events]
+        assert any(name == "fault.injected" for name, _ in events)
+
+
+class TestReplHealth:
+    def make_console(self, federation=None):
+        import io
+
+        from repro.tools.repl import IdlRepl
+
+        out = io.StringIO()
+        return IdlRepl(out=out, federation=federation), out
+
+    def test_health_without_a_federation(self):
+        console, out = self.make_console()
+        console.handle(":health")
+        assert "no federation attached" in out.getvalue()
+
+    def test_health_lists_members_and_journal(self):
+        workload = StockWorkload(n_stocks=2, n_days=2, seed=5)
+        clock = FakeClock()
+        flaky = FaultyConnector(
+            InMemoryConnector(workload.chwab_relations()), clock=clock
+        )
+        policy = ResiliencePolicy(max_attempts=1, failure_threshold=100,
+                                  jitter=0.0)
+        federation = build_federation(workload, flaky, policy, clock)
+        federation.install()
+        console, out = self.make_console(federation)
+        console.handle(":health")
+        text = out.getvalue()
+        for member in ("euter", "chwab", "ource"):
+            assert member in text
+        assert "ok" in text and "breaker=closed" in text
+        assert "journal" in text and "pending: none" in text
+
+    def test_health_shows_stale_member_and_pending_update(self):
+        workload = StockWorkload(n_stocks=2, n_days=2, seed=5)
+        clock = FakeClock()
+        flaky = FaultyConnector(
+            InMemoryConnector(workload.chwab_relations()), clock=clock
+        )
+        policy = ResiliencePolicy(max_attempts=1, failure_threshold=100,
+                                  jitter=0.0)
+        federation = build_federation(workload, flaky, policy, clock)
+        federation.install()
+        flaky.fail_next(1)
+        with pytest.raises(MemberUnavailableError):
+            federation.insert_quote("nova", "9/9/99", 3.0)
+        (update,) = federation.journal.pending()
+        console, out = self.make_console(federation)
+        console.handle(":health")
+        text = out.getvalue()
+        assert "stale" in text
+        assert f"pending: {update.update_id}" in text
+        assert "injected fault" in text  # last_error surfaces
+
+
 class TestLegacyMembersUnaffected:
     def test_storage_member_keeps_fail_fast_semantics(self):
         workload = StockWorkload(n_stocks=2, n_days=2, seed=3)
