@@ -2,8 +2,12 @@
 
 Ahead-of-time, whole-program analysis of IDL multidatabase programs:
 schema-aware name resolution against member catalogs, safety and
-stratification, update-program coverage, and dead-code detection. See
-``docs/static_analysis.md`` for the diagnostic code reference.
+stratification, update-program coverage, dead-code detection, and a
+type-and-effect system (:mod:`repro.analysis.types` /
+:mod:`repro.analysis.effects`) whose inferred read/write sets also
+drive the engine's member pruning and the federation's narrowed
+journal intents. See ``docs/static_analysis.md`` for the diagnostic
+code reference and the inference rules.
 """
 
 from repro.analysis.catalog import Catalog
@@ -21,6 +25,8 @@ from repro.analysis.diagnostics import (
     Diagnostic,
     DiagnosticReport,
 )
+from repro.analysis.effects import EffectAnalysis, Effects, EffectSet
+from repro.analysis.types import TypeInference
 
 __all__ = [
     "CODES",
@@ -30,7 +36,11 @@ __all__ = [
     "Catalog",
     "Diagnostic",
     "DiagnosticReport",
+    "EffectAnalysis",
+    "EffectSet",
+    "Effects",
     "ProgramChecker",
+    "TypeInference",
     "check_engine",
     "check_source",
     "check_statements",

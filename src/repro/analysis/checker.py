@@ -27,7 +27,16 @@ engine performs lazily at query/call time to *install time*:
   install time;
 * **liveness** (IDL040) — rules that can never derive a fact (their
   positive references have no producer, e.g. recursion without a base
-  case) are flagged.
+  case) are flagged;
+* **types** (IDL050, IDL051) — the type-signature lattice of
+  :mod:`repro.analysis.types` is solved to a fixpoint across rules,
+  clauses and queries; unification clashes (a variable forced to be
+  both a number and a name/string) and unsatisfiable ground selections
+  are flagged;
+* **footprints** (IDL060) — for every required :class:`CallShape` that
+  declares a ``writes`` footprint, the inferred write effect set
+  (:mod:`repro.analysis.effects`) of the covering clauses must stay
+  inside the declared databases.
 """
 
 from __future__ import annotations
@@ -36,6 +45,8 @@ from itertools import combinations
 
 from repro.analysis.catalog import Catalog
 from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.effects import EffectAnalysis, collect_accesses
+from repro.analysis.types import TypeInference
 from repro.core import ast
 from repro.core.binding import body_executable
 from repro.core.parser import parse_program
@@ -60,17 +71,22 @@ class CallShape:
     ``db`` / ``name`` / ``sign`` address the program (``name=None`` with
     a sign is the wildcard higher-order form); ``params`` is the set of
     parameter names a caller will supply; ``origin`` says who requires
-    the shape (used in diagnostics).
+    the shape (used in diagnostics); ``writes``, when not None, is the
+    set of database names the program is *allowed* to write — its
+    declared footprint, enforced by IDL060 against the inferred write
+    effects (:mod:`repro.analysis.effects`).
     """
 
-    __slots__ = ("db", "name", "sign", "params", "origin")
+    __slots__ = ("db", "name", "sign", "params", "origin", "writes")
 
-    def __init__(self, db, name, sign=None, params=(), origin=None):
+    def __init__(self, db, name, sign=None, params=(), origin=None,
+                 writes=None):
         self.db = db
         self.name = name
         self.sign = sign
         self.params = frozenset(params)
         self.origin = origin
+        self.writes = frozenset(writes) if writes is not None else None
 
     def describe(self):
         name = self.name if self.name is not None else "<REL>"
@@ -152,6 +168,8 @@ class ProgramChecker:
         self._check_schema(report)
         self._check_productivity(report)
         self._check_update_coverage(report)
+        self._check_types(report)
+        self._check_footprints(report)
         return report
 
     # -- phase 1: per-statement analysis ------------------------------------
@@ -528,6 +546,103 @@ class ProgramChecker:
                 f"{origin}; accepted signatures: "
                 + self._signatures_hint(clauses),
             )
+
+    # -- types and effects ----------------------------------------------------
+
+    def _check_types(self, report):
+        """IDL050/IDL051: solve the type lattice over the whole program."""
+        inference = TypeInference()
+        for statement in self.rule_stmts:
+            inference.add_rule(statement)
+        for clause, statement in self.clauses:
+            inference.add_clause(clause, origin=statement)
+        for statement in self.queries:
+            inference.add_query(statement)
+        for finding in inference.run():
+            statement = finding.origin
+            loc = finding.loc
+            if loc is None and statement is not None:
+                loc = statement.loc
+            report.add(
+                finding.code,
+                finding.message,
+                loc=loc,
+                context=to_source(statement) if statement is not None else None,
+            )
+
+    def _check_footprints(self, report):
+        """IDL060: inferred writes must stay inside declared footprints."""
+        shapes = [shape for shape in self.required if shape.writes is not None]
+        if not shapes:
+            return
+        analysis = EffectAnalysis(self.program)
+        stmt_of = {id(clause): stmt for clause, stmt in self.clauses}
+        for shape in shapes:
+            clauses, _ = self.program.clauses_for(
+                shape.db, shape.name, shape.sign
+            )
+            for clause in clauses:
+                self._check_clause_footprint(
+                    analysis, shape, clause, stmt_of.get(id(clause)), report
+                )
+
+    def _check_clause_footprint(self, analysis, shape, clause, statement,
+                                report):
+        origin = f" (declared by {shape.origin})" if shape.origin else ""
+        allowed = ", ".join(sorted(shape.writes)) or "none"
+        context = to_source(statement) if statement is not None else None
+
+        def offend(conjunct_loc, what):
+            report.add(
+                "IDL060",
+                f"program {shape.describe()} writes {what}, outside its "
+                f"declared footprint [{allowed}]{origin}",
+                loc=conjunct_loc if conjunct_loc else getattr(
+                    statement, "loc", None),
+                context=context,
+            )
+
+        for conjunct in ast.conjuncts_of(clause.body):
+            key = analysis.call_key(conjunct)
+            if key is not None:
+                _reads, writes = analysis.program_effects(key)
+                for db, rel in sorted(
+                    writes, key=lambda p: (p[0] or "", p[1] or "")
+                ):
+                    if self._exempt_write(db, rel, shape.writes):
+                        continue
+                    target = (f".{db or '<DB>'}.{rel or '<REL>'}"
+                              f" (via .{key[0]}.{key[1] or '<REL>'})")
+                    offend(conjunct.loc, target)
+                continue
+            for pattern, written, loc in collect_accesses(conjunct):
+                if not written:
+                    continue
+                db = (pattern[0].value
+                      if pattern and isinstance(pattern[0], Const) else None)
+                rel = (pattern[1].value
+                       if len(pattern) > 1 and isinstance(pattern[1], Const)
+                       else None)
+                if self._exempt_write(db, rel, shape.writes):
+                    continue
+                offend(loc, f".{db or '<DB>'}.{rel or '<REL>'}")
+
+    def _exempt_write(self, db, rel, allowed):
+        """Is a ``(db, rel)`` write inside the declared footprint?
+
+        Derived view targets are exempt: a signed view reference routes
+        through its view-update programs (checked at their own call
+        sites, and by IDL030 when missing), not to a member database.
+        """
+        if db is None:
+            return False  # symbolic database: unverifiable, report it
+        if db in allowed:
+            return True
+        path = (Const(db),
+                Const(rel) if rel is not None else Var("_"))
+        return any(
+            patterns_overlap(path, analyzed.target) for analyzed in self.rules
+        )
 
     def _covered(self, clauses, given, wildcard):
         """Does some clause accept a call giving exactly ``given`` params?"""

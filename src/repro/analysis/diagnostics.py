@@ -91,6 +91,26 @@ CODES = {
         "a rule or update clause exactly duplicates an earlier one; the "
         "later copy adds nothing (and doubles update effects)",
     ),
+    "IDL050": (
+        "type-clash",
+        ERROR,
+        "unification forces a variable (or constant) to be both a number "
+        "and a name/string across discrepant schemata — the conjunction "
+        "can never be satisfied",
+    ),
+    "IDL051": (
+        "unsatisfiable-selection",
+        WARNING,
+        "a ground selection can never hold (a variable equated to two "
+        "distinct constants, or contradictory constant comparisons on "
+        "one attribute of one tuple)",
+    ),
+    "IDL060": (
+        "write-outside-footprint",
+        ERROR,
+        "an update program's inferred write effects reach a database "
+        "outside its statically declared footprint",
+    ),
 }
 
 

@@ -1,0 +1,522 @@
+"""Type-signature inference for IDL programs.
+
+IDL variables range over *data* and *metadata*: the same variable can
+carry a closing price in one member and a relation name in another
+(the paper's Section 4 examples). That freedom is still typed — every
+use site constrains a variable to a point in a small lattice::
+
+            top
+             |
+            atom
+           /    \\
+         num    str
+                 |
+           name{db,rel,attr}
+                 |
+                bot
+
+``name`` carries the set of *roles* the variable plays (database,
+relation, or attribute position); role evidence accumulates rather than
+clashing, because flowing a value between a data position and a name
+position is exactly the feature the paper adds. What *does* clash is
+arithmetic against names: ``meet(num, name) = bot``, surfaced as
+**IDL050** (type-clash). Ground selections that can never hold — a
+variable equated to two distinct constants, or contradictory constant
+comparisons on one attribute of one tuple — surface as **IDL051**
+(unsatisfiable-selection).
+
+Inference is interprocedural: each rule head exports per-attribute
+types for its target predicate (joined across rules), and every body
+or query reference of that predicate imports them by unification
+(meet), iterated to a fixpoint. :class:`TypeInference` is driven by
+:class:`~repro.analysis.checker.ProgramChecker` but is usable
+standalone — feed it statements, call :meth:`run`, read
+:attr:`findings` and :meth:`signature`.
+"""
+
+from __future__ import annotations
+
+from repro.core import ast
+from repro.core.terms import Arith, Const, Var
+
+_ORDER = {"bot": 0, "name": 1, "str": 2, "num": 2, "atom": 3, "top": 4}
+
+#: Path-depth -> the name role a variable in that attribute position plays.
+ROLES = ("db", "rel", "attr")
+
+
+class AbstractType:
+    """One point of the type lattice. Immutable; compare with ``==``."""
+
+    __slots__ = ("kind", "roles")
+
+    def __init__(self, kind, roles=frozenset()):
+        self.kind = kind
+        self.roles = frozenset(roles)
+
+    def __eq__(self, other):
+        return (isinstance(other, AbstractType)
+                and self.kind == other.kind and self.roles == other.roles)
+
+    def __hash__(self):
+        return hash((self.kind, self.roles))
+
+    def render(self):
+        if self.kind == "name" and self.roles:
+            return "name[%s]" % ",".join(
+                role for role in ROLES if role in self.roles)
+        return self.kind
+
+    def __repr__(self):
+        return f"AbstractType({self.render()})"
+
+
+TOP = AbstractType("top")
+ATOM = AbstractType("atom")
+STR = AbstractType("str")
+NUM = AbstractType("num")
+BOT = AbstractType("bot")
+
+
+def name_type(*roles):
+    return AbstractType("name", frozenset(roles))
+
+
+def meet(left, right):
+    """Greatest lower bound — unification of two evidence sources."""
+    if left.kind == "top" or right.kind == "bot":
+        return right
+    if right.kind == "top" or left.kind == "bot":
+        return left
+    if left.kind == "atom":
+        return right
+    if right.kind == "atom":
+        return left
+    if left.kind == "name" and right.kind == "name":
+        return AbstractType("name", left.roles | right.roles)
+    if {left.kind, right.kind} == {"str", "name"}:
+        return left if left.kind == "name" else right
+    if left.kind == right.kind:
+        return left
+    return BOT  # num vs str, num vs name
+
+
+def join(left, right):
+    """Least upper bound — merging alternatives across rules."""
+    if left.kind == "bot" or right.kind == "top":
+        return right
+    if right.kind == "bot" or left.kind == "top":
+        return left
+    if left.kind == "name" and right.kind == "name":
+        return AbstractType("name", left.roles | right.roles)
+    if left == right:
+        return left
+    if {left.kind, right.kind} == {"str", "name"}:
+        return STR
+    if left.kind == "atom" or right.kind == "atom":
+        return ATOM
+    return ATOM  # num vs str, num vs name
+
+
+def type_of_constant(value):
+    if isinstance(value, bool):
+        return ATOM
+    if isinstance(value, (int, float)):
+        return NUM
+    if isinstance(value, str):
+        return STR
+    return ATOM
+
+
+class _VarState:
+    __slots__ = ("type", "values", "loc", "clashed")
+
+    def __init__(self):
+        self.type = TOP
+        self.values = []  # distinct constants equated via `=`
+        self.loc = None  # position of the latest evidence
+        self.clashed = False
+
+
+class _Scope:
+    """Union-find over one statement's variables."""
+
+    def __init__(self):
+        self._parent = {}
+        self._state = {}
+
+    def find(self, name):
+        if name not in self._parent:
+            self._parent[name] = name
+            self._state[name] = _VarState()
+        root = name
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[name] != root:
+            self._parent[name], name = root, self._parent[name]
+        return root
+
+    def state(self, name):
+        return self._state[self.find(name)]
+
+    def union(self, left, right):
+        lroot, rroot = self.find(left), self.find(right)
+        if lroot == rroot:
+            return self._state[lroot]
+        merged, absorbed = self._state[lroot], self._state[rroot]
+        self._parent[rroot] = lroot
+        merged.type = meet(merged.type, absorbed.type)
+        for value in absorbed.values:
+            if value not in merged.values:
+                merged.values.append(value)
+        merged.loc = merged.loc or absorbed.loc
+        merged.clashed = merged.clashed or absorbed.clashed
+        return merged
+
+    def variables(self):
+        return list(self._parent)
+
+
+class Finding:
+    """One raw type finding — the checker turns these into Diagnostics."""
+
+    __slots__ = ("code", "message", "loc", "origin")
+
+    def __init__(self, code, message, loc, origin=None):
+        self.code = code
+        self.message = message
+        self.loc = loc
+        self.origin = origin
+
+
+class TypeInference:
+    """Infer per-variable and per-predicate types over statements.
+
+    Feed statements with :meth:`add_rule` / :meth:`add_clause` /
+    :meth:`add_query`, then :meth:`run`. Findings accumulate in
+    :attr:`findings`; per-predicate signatures are available through
+    :meth:`signature`.
+    """
+
+    MAX_ROUNDS = 8
+
+    def __init__(self):
+        self._units = []  # (kind, head_expr|None, body_exprs, origin_loc)
+        self._signatures = {}  # (db, rel) -> {attr: AbstractType}
+        self.findings = []
+
+    # -- feeding -------------------------------------------------------------
+
+    def add_rule(self, rule):
+        self._units.append(("rule", rule.head, [rule.body], rule))
+
+    def add_clause(self, clause, origin=None):
+        # Parameters unify with body occurrences through the shared
+        # scope; the head itself carries no path context.
+        self._units.append(("clause", None, [clause.body], origin))
+
+    def add_query(self, query):
+        self._units.append(("query", None, [query.expr], query))
+
+    # -- solving -------------------------------------------------------------
+
+    def run(self):
+        """Iterate local solving and signature export to a fixpoint."""
+        for _round in range(self.MAX_ROUNDS):
+            exports = {}
+            for _kind, head, bodies, _origin in self._units:
+                scope = _Scope()
+                if head is not None:
+                    self._walk(head, (), scope, None, report=None)
+                for body in bodies:
+                    self._walk(body, (), scope, None, report=None)
+                if head is not None:
+                    self._export(head, scope, exports)
+            signatures = {
+                key: attrs for key, attrs in exports.items()
+            }
+            if signatures == self._signatures:
+                break
+            self._signatures = signatures
+        # Final reporting pass against the stable signatures.
+        self.findings = []
+        for _kind, head, bodies, origin in self._units:
+            unit_findings = []
+            scope = _Scope()
+            selections = {}
+            if head is not None:
+                self._walk(head, (), scope, selections, report=unit_findings)
+            for body in bodies:
+                self._walk(body, (), scope, selections, report=unit_findings)
+            self._report_values(scope, unit_findings)
+            self._report_selections(selections, unit_findings)
+            for finding in unit_findings:
+                finding.origin = origin
+            self.findings.extend(unit_findings)
+        return self.findings
+
+    def signature(self, db, rel):
+        """``{attr: AbstractType}`` inferred for a derived predicate."""
+        return dict(self._signatures.get((db, rel), {}))
+
+    def variable_types(self, expr):
+        """``{var: AbstractType}`` for one standalone expression, using
+        the already-computed signatures (REPL ``:footprint`` helper)."""
+        scope = _Scope()
+        self._walk(expr, (), scope, None, report=None)
+        return {
+            name: scope.state(name).type
+            for name in scope.variables()
+        }
+
+    # -- the walker ----------------------------------------------------------
+
+    def _meet_var(self, scope, name, newtype, loc, report):
+        state = scope.state(name)
+        state.loc = loc or state.loc
+        old = state.type
+        state.type = meet(old, newtype)
+        if state.type == BOT and old != BOT and not state.clashed:
+            state.clashed = True
+            if report is not None:
+                report.append(Finding(
+                    "IDL050",
+                    f"variable {name} cannot be both {old.render()} and "
+                    f"{newtype.render()} (metadata/data type clash)",
+                    loc or state.loc,
+                ))
+
+    def _term(self, scope, term, expected, loc, report):
+        """Constrain one term occurrence to ``expected``."""
+        if isinstance(term, Var):
+            self._meet_var(scope, term.name, expected, loc, report)
+        elif isinstance(term, Arith):
+            self._term(scope, term.left, NUM, loc, report)
+            self._term(scope, term.right, NUM, loc, report)
+        elif isinstance(term, Const) and report is not None:
+            if meet(type_of_constant(term.value), expected) == BOT:
+                report.append(Finding(
+                    "IDL050",
+                    f"constant {term.value!r} used where "
+                    f"{expected.render()} is required",
+                    loc,
+                ))
+
+    def _walk(self, expr, path, scope, selections, report, scope_id=None):
+        if isinstance(expr, ast.AttrStep):
+            attr = expr.attr
+            depth = len(path)
+            role = ROLES[min(depth, 2)]
+            if isinstance(attr, Var):
+                self._meet_var(scope, attr.name, name_type(role),
+                               attr.loc if hasattr(attr, "loc") else expr.loc,
+                               report)
+            elif report is not None and not isinstance(attr.value, str):
+                report.append(Finding(
+                    "IDL050",
+                    f"constant {attr.value!r} used as a {role} name "
+                    "(names are strings)",
+                    expr.loc,
+                ))
+            self._walk(expr.expr, path + (attr,), scope, selections,
+                       report, scope_id)
+            return
+        if isinstance(expr, ast.NegExpr):
+            self._walk(expr.inner, path, scope, selections, report, scope_id)
+            return
+        if isinstance(expr, ast.TupleExpr):
+            for conjunct in expr.conjuncts:
+                self._walk(conjunct, path, scope, selections, report,
+                           scope_id)
+            return
+        if isinstance(expr, ast.SetExpr):
+            # One set expression builds one tuple at a time: constant
+            # selections inside it must be jointly satisfiable.
+            self._walk(expr.inner, path, scope, selections, report, id(expr))
+            return
+        if isinstance(expr, ast.AtomicExpr):
+            self._atomic(expr, path, scope, selections, report, scope_id)
+            return
+        if isinstance(expr, ast.Constraint):
+            self._constraint(expr, scope, report)
+            return
+        # Epsilon and future leaves: nothing to constrain.
+
+    def _atomic(self, expr, path, scope, selections, report,
+                scope_id=None):
+        term = expr.term
+        if isinstance(term, Arith):
+            self._term(scope, term, NUM, expr.loc, report)
+            return
+        if isinstance(term, Var):
+            state = scope.state(term.name)
+            state.loc = state.loc or expr.loc
+            self._meet_var(scope, term.name, ATOM, expr.loc, report)
+            # Imported signature types flow into the bound variable.
+            imported = self._lookup_signature(path)
+            if imported is not None:
+                self._meet_var(scope, term.name, imported, expr.loc, report)
+            return
+        if isinstance(term, Const):
+            imported = self._lookup_signature(path)
+            if imported is not None:
+                self._term(scope, term, imported, expr.loc, report)
+            if (selections is not None and expr.op in ("=", "<", "<=",
+                                                       ">", ">=")
+                    and len(path) >= 3 and isinstance(path[-1], Const)):
+                key = (scope_id, tuple(
+                    part.value if isinstance(part, Const) else None
+                    for part in path))
+                selections.setdefault(key, []).append(
+                    (expr.op, term.value, expr.loc))
+
+    def _constraint(self, expr, scope, report):
+        left, op, right = expr.left, expr.op, expr.right
+        if op == "=":
+            if isinstance(left, Var) and isinstance(right, Var):
+                scope.union(left.name, right.name)
+                return
+            for var_side, other in ((left, right), (right, left)):
+                if not isinstance(var_side, Var):
+                    continue
+                if isinstance(other, Const):
+                    self._meet_var(scope, var_side.name,
+                                   type_of_constant(other.value),
+                                   expr.loc, report)
+                    state = scope.state(var_side.name)
+                    if other.value not in state.values:
+                        state.values.append(other.value)
+                    state.loc = expr.loc or state.loc
+                elif isinstance(other, Arith):
+                    self._meet_var(scope, var_side.name, NUM, expr.loc,
+                                   report)
+        for side in (left, right):
+            if isinstance(side, Arith):
+                self._term(scope, side, NUM, expr.loc, report)
+
+    # -- signatures ----------------------------------------------------------
+
+    def _lookup_signature(self, path):
+        if len(path) < 3:
+            return None
+        db, rel, attr = path[0], path[1], path[-1]
+        if not all(isinstance(part, Const) for part in (db, rel, attr)):
+            return None
+        attrs = self._signatures.get((db.value, rel.value))
+        if attrs is None:
+            return None
+        return attrs.get(attr.value)
+
+    def _export(self, head, scope, exports):
+        """Join this rule's head attribute types into ``exports``."""
+        for key, attr, term in _head_bindings(head):
+            if isinstance(term, Var):
+                inferred = scope.state(term.name).type
+            elif isinstance(term, Const):
+                inferred = type_of_constant(term.value)
+            else:
+                inferred = NUM  # Arith heads compute numbers
+            if inferred == BOT:
+                continue  # clashes are reported, not propagated
+            attrs = exports.setdefault(key, {})
+            attrs[attr] = join(attrs.get(attr, BOT), inferred)
+
+    # -- reporting -----------------------------------------------------------
+
+    def _report_values(self, scope, findings):
+        seen = set()
+        for name in scope.variables():
+            root = scope.find(name)
+            if root in seen:
+                continue
+            seen.add(root)
+            state = scope.state(root)
+            if len(state.values) > 1:
+                first, second = state.values[0], state.values[1]
+                findings.append(Finding(
+                    "IDL051",
+                    f"variable {name} is equated to distinct constants "
+                    f"{first!r} and {second!r}; the selection can never "
+                    "hold",
+                    state.loc,
+                ))
+
+    def _report_selections(self, selections, findings):
+        for (_scope_id, pattern), constraints in selections.items():
+            conflict = _ground_conflict(constraints)
+            if conflict is not None:
+                (op1, val1, _loc1), (op2, val2, loc2) = conflict
+                attr = pattern[-1]
+                findings.append(Finding(
+                    "IDL051",
+                    f"attribute {attr} constrained by `{op1} {val1!r}` and "
+                    f"`{op2} {val2!r}` in one tuple; the selection can "
+                    "never hold",
+                    loc2,
+                ))
+
+
+def _head_bindings(head):
+    """``((db, rel), attr, term)`` triples exported by a rule head."""
+    bindings = []
+
+    def descend(expr, path):
+        if isinstance(expr, ast.AttrStep):
+            descend(expr.expr, path + (expr.attr,))
+        elif isinstance(expr, (ast.SetExpr,)):
+            descend(expr.inner, path)
+        elif isinstance(expr, ast.TupleExpr):
+            for conjunct in expr.conjuncts:
+                descend(conjunct, path)
+        elif isinstance(expr, ast.NegExpr):
+            descend(expr.inner, path)
+        elif isinstance(expr, ast.AtomicExpr):
+            if (len(path) >= 3
+                    and all(isinstance(p, Const) for p in path[:2])
+                    and isinstance(path[-1], Const)):
+                key = (path[0].value, path[1].value)
+                bindings.append((key, path[-1].value, expr.term))
+
+    descend(head, ())
+    return bindings
+
+
+def _comparable(left, right):
+    try:
+        left < right  # noqa: B015 — probing comparability only
+    except TypeError:
+        return False
+    return True
+
+
+def _ground_conflict(constraints):
+    """The first contradictory pair of ``(op, value, loc)`` constraints
+    over one attribute of one tuple, or None."""
+    for i, (op1, val1, loc1) in enumerate(constraints):
+        for op2, val2, loc2 in constraints[i + 1:]:
+            if not _comparable(val1, val2):
+                continue
+            pair = ((op1, val1, loc1), (op2, val2, loc2))
+            if op1 == "=" and op2 == "=" and val1 != val2:
+                return pair
+            for (eq_op, eq_val, _), (cmp_op, cmp_val, _) in (
+                    (pair[0], pair[1]), (pair[1], pair[0])):
+                if eq_op != "=" or cmp_op == "=":
+                    continue
+                holds = {
+                    "<": eq_val < cmp_val,
+                    "<=": eq_val <= cmp_val,
+                    ">": eq_val > cmp_val,
+                    ">=": eq_val >= cmp_val,
+                }[cmp_op]
+                if not holds:
+                    return pair
+            if op1 in (">", ">=") and op2 in ("<", "<="):
+                if val1 > val2 or (val1 == val2
+                                   and (op1 == ">" or op2 == "<")):
+                    return pair
+            if op2 in (">", ">=") and op1 in ("<", "<="):
+                if val2 > val1 or (val2 == val1
+                                   and (op2 == ">" or op1 == "<")):
+                    return pair
+    return None

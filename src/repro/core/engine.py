@@ -67,6 +67,31 @@ class QueryAnswer:
         return f"QueryAnswer({self.bindings!r})"
 
 
+class PruneDecision:
+    """Why the last query did (or did not) run against a pruned view.
+
+    ``applied`` — a subset materialization was used; ``reads`` — the
+    query's closed read :class:`~repro.analysis.effects.EffectSet`
+    (None when the analysis did not run); ``rules_used`` /
+    ``rules_total`` — how many view rules were materialized out of the
+    program; ``reason`` — ``"off"``, ``"no-rules"``, ``"full"`` (the
+    read set needs every rule) or ``"pruned"``.
+    """
+
+    __slots__ = ("applied", "reads", "rules_used", "rules_total", "reason")
+
+    def __init__(self, applied, reads, rules_used, rules_total, reason):
+        self.applied = applied
+        self.reads = reads
+        self.rules_used = rules_used
+        self.rules_total = rules_total
+        self.reason = reason
+
+    def __repr__(self):
+        return (f"PruneDecision({self.reason}, "
+                f"rules={self.rules_used}/{self.rules_total})")
+
+
 class IdlEngine:
     """A multidatabase engine speaking IDL.
 
@@ -77,10 +102,21 @@ class IdlEngine:
     registry. With ``obs=None`` (the default) the engine takes the
     exact pre-observability code path — benchmark B3 asserts a
     disabled :class:`~repro.obs.Observability` costs within 5% of it.
+
+    With ``prune`` True (the federation turns it on by default),
+    queries are first run through the static effect analysis
+    (:mod:`repro.analysis.effects`): only the view rules the query's
+    read set can reach are materialized, so a query that provably
+    touches one member never pays for the others. Pruned overlays are
+    cached per needed-rule set and dropped on any invalidation;
+    :attr:`last_prune` records the most recent decision.
     """
 
+    #: Max distinct pruned rule subsets whose overlays are kept alive.
+    PRUNED_CACHE_SIZE = 8
+
     def __init__(self, universe=None, program=None, fixpoint_method="seminaive",
-                 reorder=True, obs=None, use_indexes=True):
+                 reorder=True, obs=None, use_indexes=True, prune=False):
         from repro.core.integrity import ConstraintSet
 
         self.universe = universe if universe is not None else Universe()
@@ -91,10 +127,16 @@ class IdlEngine:
         self.obs = None
         if obs is not None:
             self.use_observability(obs)
+        self.prune = prune
+        self.last_prune = None
         self._overlay = None
         self._overlay_stats = None
         self._strata = None  # [(key, stratum, overlay)] in evaluation order
         self._reusable = {}  # stratum key -> overlay (selective rebuild)
+        self._pruned_cache = {}  # needed-rule id tuple -> (overlay, stats)
+        self._last_stats = None  # stats of the last query's materialization
+        self._effects = None
+        self._effects_version = None
 
     def use_observability(self, obs):
         """Attach an :class:`~repro.obs.Observability` (the federation
@@ -145,6 +187,7 @@ class IdlEngine:
         self._overlay_stats = None
         self._strata = None
         self._reusable = {}
+        self._pruned_cache = {}
 
     def _selective_invalidate(self, touched):
         """Invalidate only the view strata an update could have affected.
@@ -190,6 +233,7 @@ class IdlEngine:
         self._overlay_stats = None
         self._strata = None
         self._reusable = reusable
+        self._pruned_cache = {}
 
     def materialized_view(self):
         """The merged (base + derived) universe for querying."""
@@ -222,6 +266,83 @@ class IdlEngine:
         self.materialized_view()
         return self._overlay_stats
 
+    @property
+    def last_fixpoint_stats(self):
+        """Stats of the materialization the last query actually used —
+        unlike :attr:`fixpoint_stats` this never forces a full
+        materialization (which would defeat pruning)."""
+        return self._last_stats
+
+    # -- effect analysis -----------------------------------------------------
+
+    def effect_analysis(self):
+        """The (cached) static effect analysis of the current program."""
+        from repro.analysis.effects import EffectAnalysis
+
+        version = (
+            len(self.program.rules),
+            sum(len(clauses) for clauses in self.program.clauses.values()),
+        )
+        if self._effects is None or self._effects_version != version:
+            self._effects = EffectAnalysis(self.program)
+            self._effects_version = version
+        return self._effects
+
+    def _view_for(self, statement):
+        """The view a query statement should evaluate against.
+
+        Without pruning this is :meth:`materialized_view`. With pruning,
+        the statement's read set (closed through view rules) selects the
+        subset of rules that must be materialized; the subset's combined
+        overlay is cached per rule set until the next invalidation. The
+        needed set is dependency-downward-closed, so the pruned overlay
+        agrees with the full one on every relation the query can read.
+        """
+        from repro.core.fixpoint import combine_overlays, materialize_strata
+
+        rules = self.program.rules
+        total = len(rules)
+        if not self.prune or not rules:
+            view = self.materialized_view()
+            self._last_stats = self._overlay_stats
+            self.last_prune = PruneDecision(
+                False, None, total, total,
+                "no-rules" if not rules else "off",
+            )
+            return view
+        analysis = self.effect_analysis()
+        reads, needed = analysis.query_footprint(statement)
+        if len(needed) == total:
+            view = self.materialized_view()
+            self._last_stats = self._overlay_stats
+            self.last_prune = PruneDecision(False, reads, total, total, "full")
+            return view
+        self.last_prune = PruneDecision(
+            True, reads, len(needed), total, "pruned"
+        )
+        if not needed:
+            self._last_stats = None
+            return self.universe
+        key = tuple(sorted(id(rule) for rule in needed))
+        cached = self._pruned_cache.get(key)
+        if cached is None:
+            strata, stats = materialize_strata(
+                needed,
+                self.universe,
+                method=self.fixpoint_method,
+                context=self.eval_ctx,
+                reuse={},
+            )
+            overlay = combine_overlays(
+                [overlay for _, _, overlay in strata]
+            )
+            if len(self._pruned_cache) >= self.PRUNED_CACHE_SIZE:
+                self._pruned_cache.pop(next(iter(self._pruned_cache)))
+            self._pruned_cache[key] = cached = (overlay, stats)
+        overlay, stats = cached
+        self._last_stats = stats
+        return MergedTuple(self.universe, overlay)
+
     # -- queries ------------------------------------------------------------
 
     def query(self, source, **params):
@@ -239,11 +360,11 @@ class IdlEngine:
             )
         obs = self.obs
         if obs is None or not obs.enabled:
-            view = self.materialized_view()
+            view = self._view_for(statement)
             results = answers(statement, view, params or None, self.eval_ctx)
             return self._render_answers(results)
         with obs.span("engine.query") as span:
-            view = self.materialized_view()
+            view = self._view_for(statement)
             context = self._profiled_context()
             with obs.span("engine.evaluate") as evaluate_span:
                 results = answers(statement, view, params or None, context)
@@ -260,10 +381,10 @@ class IdlEngine:
             raise SemanticError("this is an update request; use IdlEngine.update()")
         obs = self.obs
         if obs is None or not obs.enabled:
-            return holds(statement, self.materialized_view(), params or None,
+            return holds(statement, self._view_for(statement), params or None,
                          self.eval_ctx)
         with obs.span("engine.ask") as span:
-            view = self.materialized_view()
+            view = self._view_for(statement)
             result = holds(statement, view, params or None,
                            self._profiled_context())
             span.set("satisfiable", result)

@@ -175,7 +175,12 @@ class Federation:
     """
 
     def __init__(self, engine=None, unified_db="dbI", unified_relation="p",
-                 control_db="dbU", obs=None, journal=None, crash=None):
+                 control_db="dbU", obs=None, journal=None, crash=None,
+                 prune="on"):
+        if prune not in ("on", "off"):
+            raise FederationError(
+                f"prune must be 'on' or 'off', got {prune!r}"
+            )
         if obs is None:
             obs = (engine.obs if engine is not None and engine.obs is not None
                    else Observability())
@@ -198,6 +203,14 @@ class Federation:
         self.engine = engine if engine is not None else IdlEngine(obs=obs)
         if self.engine.obs is not obs:
             self.engine.use_observability(obs)
+        # Static effect analysis drives two optimizations (see
+        # repro.analysis.effects): member pruning — queries materialize
+        # only the view rules their read set reaches — and narrowed
+        # journal intents — flushes stage only members in the update's
+        # write set. prune="off" restores the scan-everything /
+        # stage-everything behavior.
+        self.prune = prune
+        self.engine.prune = prune == "on"
         self.unified_db = unified_db
         self.unified_relation = unified_relation
         self.control_db = control_db
@@ -413,12 +426,19 @@ class Federation:
     def required_shapes(self):
         """The :class:`~repro.analysis.CallShape` entry points this
         federation's API and users rely on: the control-database
-        maintenance programs, plus each user view's update programs."""
+        maintenance programs, plus each user view's update programs.
+
+        Every shape declares the member set as its write footprint, so
+        validation raises IDL060 when a translator clause's inferred
+        write effects escape the federation (see
+        :mod:`repro.analysis.effects`)."""
         from repro.analysis import CallShape
 
+        footprint = frozenset(self.members)
         shapes = [
             CallShape(self.control_db, name, None, params,
-                      origin="the federation maintenance API")
+                      origin="the federation maintenance API",
+                      writes=footprint)
             for name, params in _CONTROL_SHAPES
         ]
         for user_db, style in sorted(self.users.items()):
@@ -426,6 +446,7 @@ class Federation:
                 shapes.append(CallShape(
                     user_db, name, sign, params,
                     origin=f"customized view {user_db!r} ({style}-style)",
+                    writes=footprint,
                 ))
         return shapes
 
@@ -830,6 +851,7 @@ class Federation:
             if on_unavailable == "fail":
                 self._check_available()
             answers = self.engine.query(source, **params)
+            self._record_prune(self.engine.last_prune, root)
             availability = self.availability()
             root.set("answers", len(answers))
             skipped = sorted(availability.unavailable | availability.stale)
@@ -837,12 +859,38 @@ class Federation:
                 root.set("unavailable", skipped)
         return self._query_result(answers, availability, root)
 
+    def _record_prune(self, decision, root):
+        """Count members the query provably skipped vs scanned, and
+        leave a span event explaining the pruning decision."""
+        if decision is None:
+            return
+        attached = sorted(self._attached)
+        reads = decision.reads
+        if decision.applied and reads is not None:
+            skipped = [name for name in attached
+                       if not reads.touches_db(name)]
+        else:
+            skipped = []
+        scanned = [name for name in attached if name not in set(skipped)]
+        metrics = self.obs.metrics
+        if skipped:
+            metrics.counter("analysis.prune.skipped").inc(len(skipped))
+        if scanned:
+            metrics.counter("analysis.prune.scanned").inc(len(scanned))
+        root.event(
+            "member-pruning",
+            reason=decision.reason,
+            rules=f"{decision.rules_used}/{decision.rules_total}",
+            skipped=skipped,
+            scanned=scanned,
+        )
+
     def _query_result(self, answers, availability, root):
         enabled = self.obs.enabled
         return QueryResult(
             answers,
             availability=availability,
-            stats=self.engine.fixpoint_stats,
+            stats=self.engine.last_fixpoint_stats,
             profile=QueryProfile(root) if enabled else None,
             trace=root if enabled else None,
             metrics=self.obs.metrics.snapshot(),
@@ -868,9 +916,11 @@ class Federation:
         """
         with self.obs.span("federation.update") as root:
             self._check_available()
+            static_writes = self._static_writes(source=source)
             engine_result = self.engine.update(source, **params)
             outcomes, flushed, update_id = self._flush_if_changed(
-                engine_result, root, origin="update"
+                engine_result, root, origin="update",
+                static_writes=static_writes,
             )
         return self._update_result(engine_result, outcomes, flushed, root,
                                    update_id)
@@ -880,39 +930,102 @@ class Federation:
         flush rules as :meth:`update`)."""
         with self.obs.span("federation.call", program=program) as root:
             self._check_available()
+            static_writes = self._static_writes(program=program)
             engine_result = self.engine.call(self.control_db, program, **args)
             outcomes, flushed, update_id = self._flush_if_changed(
-                engine_result, root, origin=f"call:{program}"
+                engine_result, root, origin=f"call:{program}",
+                static_writes=static_writes,
             )
         return self._update_result(engine_result, outcomes, flushed, root,
                                    update_id)
 
-    def _flush_if_changed(self, engine_result, root, origin="update"):
+    def _static_writes(self, *, source=None, program=None):
+        """The statically inferred write databases of an update request
+        (``source``) or a control-program call (``program``), or None
+        when the write set is unbounded (symbolic database) or the
+        analysis cannot run — callers then stage every member.
+        """
+        try:
+            analysis = self.engine.effect_analysis()
+            if program is not None:
+                effects = analysis.program_footprint(
+                    (self.control_db, program, None)
+                )
+            else:
+                statement = self.engine._one_query(source, allow_update=True)
+                effects = analysis.request_footprint(statement)
+        except Exception:
+            return None
+        if not effects.writes.bounded:
+            return None
+        return effects.writes.dbs
+
+    def write_footprint(self, source):
+        """The :class:`~repro.analysis.effects.Effects` of an update
+        request — what :meth:`update` would read and write, without
+        executing anything (REPL ``:footprint`` uses this)."""
+        statement = self.engine._one_query(source, allow_update=True)
+        return self.engine.effect_analysis().request_footprint(statement)
+
+    def _narrow_targets(self, targets, static_writes, touched):
+        """The flush targets an update's write set actually reaches.
+
+        With pruning on, a backed member is staged only when the static
+        write set *or* the runtime touched set names it — the runtime
+        union backstops any static under-approximation, while static
+        conservatism merely re-stages an unchanged member (idempotent).
+        With pruning off, unbounded static writes, or a universe-level
+        mutation, every target is staged (the pre-narrowing behavior).
+        """
+        if self.prune != "on" or static_writes is None:
+            return set(targets)
+        if any(len(prefix) == 0 for prefix in touched):
+            return set(targets)
+        runtime = {prefix[0] for prefix in touched if prefix}
+        return {name for name in targets
+                if name in static_writes or name in runtime}
+
+    def _flush_if_changed(self, engine_result, root, origin="update",
+                          static_writes=None):
         """Two-phase flush when the engine mutated anything; returns
         ``(member_outcomes, flushed, update_id)``.
 
         Phase one *stages*: the desired post-state of every backed
-        member is computed from the universe and journaled as one
-        intent record (the write-ahead step — nothing has touched a
-        member yet). Phase two *applies*: each member's connector takes
-        its staged state under the usual retry/circuit machinery, and
-        its outcome is journaled as it lands; a fully-applied update is
-        closed with a commit record. A crash anywhere in between leaves
-        a pending intent that :meth:`recover` replays idempotently.
+        member in the update's write set (statically inferred, unioned
+        with the runtime touched set — see :meth:`_narrow_targets`) is
+        computed from the universe and journaled as one intent record
+        (the write-ahead step — nothing has touched a member yet).
+        Members outside the write set are not journaled and report
+        ``UNCHANGED``. Phase two *applies*: each staged member's
+        connector takes its staged state under the usual retry/circuit
+        machinery, and its outcome is journaled as it lands; a
+        fully-applied update is closed with a commit record. A crash
+        anywhere in between leaves a pending intent that
+        :meth:`recover` replays idempotently.
         """
         if not engine_result.changed:
             root.set("flushed", False)
             outcomes = {name: UNCHANGED for name in sorted(self._attached)}
             return outcomes, False, None
         with self.obs.span("federation.flush") as span:
+            targets = self._flushed & self._attached
+            narrowed = self._narrow_targets(
+                targets, static_writes, engine_result.touched
+            )
             staged = {
                 name: universe_rows(self.engine.universe, name)
-                for name in sorted(self._flushed & self._attached)
+                for name in sorted(narrowed)
             }
             outcomes = {
                 name: SNAPSHOT_ONLY
                 for name in sorted(self._attached - self._flushed)
             }
+            for name in sorted(targets - narrowed):
+                outcomes[name] = UNCHANGED
+            if targets - narrowed:
+                span.event("intent-narrowed",
+                           staged=sorted(narrowed),
+                           outside_write_set=sorted(targets - narrowed))
             update_id = None
             if staged:
                 update_id = self.journal.begin(staged, origin=origin)

@@ -9,7 +9,12 @@ This package makes that pipeline inspectable end to end:
   counts and structured attributes; a no-op fast path when disabled;
 * :mod:`repro.obs.metrics` — counters and histograms
   (``fixpoint.iterations``, ``connector.scan.retries``,
-  ``circuit.state_changes``, ``evaluator.reorder.applied``, ...);
+  ``circuit.state_changes``, ``evaluator.reorder.applied``, ...).
+  The static effect analysis adds ``analysis.prune.skipped`` /
+  ``analysis.prune.scanned`` — per-query counts of members whose scans
+  the inferred read set avoided vs. required — and query/update spans
+  carry ``member-pruning`` and ``intent-narrowed`` events describing
+  each decision (see ``docs/static_analysis.md``);
 * :mod:`repro.obs.profile` — the per-query EXPLAIN-style profile tree;
 * :mod:`repro.obs.export` — JSON-lines exporter and an in-memory
   collector.

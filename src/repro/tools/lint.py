@@ -17,7 +17,11 @@ Options:
 * ``--engine saved.json`` — validate schema references against the
   universe of a persisted engine (see ``repro.io``); without it the
   catalog-based checks (IDL020/IDL021/IDL040) are skipped;
-* ``--strict`` — exit nonzero on warnings too.
+* ``--strict`` — exit nonzero on warnings too;
+* ``--format {human,json}`` — ``human`` (default) renders grouped
+  reports; ``json`` emits one JSON object per diagnostic per line
+  (keys: ``code``, ``severity``, ``path``, ``line``, ``col``,
+  ``message``) for editor and CI integration.
 
 Exit status: 0 when clean, 1 when diagnostics failed the run, 2 on
 usage errors (unreadable file).
@@ -27,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import ast as python_ast
+import json
 import sys
 
 from repro.analysis import Catalog, DiagnosticReport, check_source, check_statements
@@ -108,6 +113,30 @@ def lint_path(path, catalog=None, required=()):
     return lint_text(text, catalog=catalog, required=required)
 
 
+def render_json(report, path):
+    """Yield one JSON line per diagnostic, sorted like the human report.
+
+    Diagnostics without a source position report ``line``/``col`` of
+    ``None`` (JSON ``null``) rather than a sentinel a consumer could
+    mistake for a real location.
+    """
+    from repro.analysis.diagnostics import Diagnostic
+
+    for diagnostic in sorted(report, key=Diagnostic._sort_key):
+        line, col = diagnostic.loc if diagnostic.loc else (None, None)
+        yield json.dumps(
+            {
+                "code": diagnostic.code,
+                "severity": diagnostic.severity,
+                "path": path,
+                "line": line,
+                "col": col,
+                "message": diagnostic.message,
+            },
+            sort_keys=True,
+        )
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.lint",
@@ -121,6 +150,11 @@ def main(argv=None):
     parser.add_argument(
         "--strict", action="store_true",
         help="exit nonzero on warnings as well as errors",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format: grouped human reports (default) or one "
+        "JSON object per diagnostic per line",
     )
     options = parser.parse_args(argv)
 
@@ -137,7 +171,10 @@ def main(argv=None):
         except OSError as exc:
             print(f"{path}: {exc}", file=sys.stderr)
             return 2
-        if len(report):
+        if options.format == "json":
+            for line in render_json(report, path):
+                print(line)
+        elif len(report):
             print(f"== {path} ==")
             print(report.render())
         else:

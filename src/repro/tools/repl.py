@@ -43,7 +43,11 @@ IDL console commands:
                        totals, evaluator.index.* probe counters, ...)
   :health              per-member availability/health and the write-
                        ahead journal's status (federation consoles)
-  :check [<path>]      run idlcheck over the loaded program (or a file)
+  :check [<path>]      run idlcheck over the loaded program (or a file);
+                       federation consoles validate the full install
+                       program, including update footprints (IDL060)
+  :footprint ?<expr>   show the statically inferred read/write effect
+                       sets of a request without executing it
   :load <path>         load a program file (rules + clauses)
   :save <path>         persist the engine (data + program) to JSON
   :open <path>         replace the engine from a persisted JSON file
@@ -168,9 +172,20 @@ class IdlRepl:
                         handle.read(),
                         catalog=Catalog.from_universe(self.engine.universe),
                     )
+            elif self.federation is not None:
+                # The federation knows the required call shapes and
+                # declared write footprints; checking through it wires
+                # up coverage (IDL030) and footprint (IDL060) findings
+                # a bare engine check cannot see.
+                report = self.federation.validation_report()
             else:
                 report = check_engine(self.engine)
             self.write(report.render())
+        elif command == ":footprint":
+            if not argument:
+                self.write("usage: :footprint ?<expr>")
+                return
+            self._footprint(argument)
         elif command == ":load":
             with open(argument) as handle:
                 self.engine.load(handle.read())
@@ -230,6 +245,31 @@ class IdlRepl:
                 f"             truncated_tails={journal['truncated_tails']} "
                 f"dropped_records={journal['dropped_records']}"
             )
+
+    def _footprint(self, argument):
+        """Render the static read/write effect sets of one request.
+
+        Nothing is evaluated: the effect analysis closes the request
+        over the loaded views and update programs, so the output is
+        exactly what drives member pruning and narrowed journal
+        intents (see docs/static_analysis.md)."""
+        if self.federation is not None:
+            effects = self.federation.write_footprint(argument)
+        else:
+            statement = self.engine._one_query(argument, allow_update=True)
+            effects = self.engine.effect_analysis().request_footprint(
+                statement
+            )
+        self.write(f"  reads:  {effects.reads.describe()}")
+        self.write(f"  writes: {effects.writes.describe()}")
+        for label, effect_set in (("read", effects.reads),
+                                  ("write", effects.writes)):
+            if not effect_set.bounded:
+                self.write(
+                    f"  note: the {label} set is symbolic (a database "
+                    f"name is run-time data); pruning treats it as "
+                    f"unbounded"
+                )
 
     def _profile(self, argument):
         """Evaluate once with profiling; with tracing on, one observed

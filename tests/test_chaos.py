@@ -75,6 +75,30 @@ def restart(connectors, buffer):
     return federation, federation.recover()
 
 
+INSERT_QUOTE = "?.dbU.insStk(.stk=nova, .date=x, .price=1)"
+
+
+def declared_write_set(federation, source=INSERT_QUOTE):
+    """The members the update's statically inferred write set reaches.
+
+    With narrowed intents (the default), this — not "all members" — is
+    what a flush stages and what the journal intent must cover; the
+    assertions below validate against it so they stay honest if a
+    member style ever drops out of a control program's footprint.
+    """
+    return sorted(federation.write_footprint(source).writes.dbs)
+
+
+def intent_members(journal, update_id=None):
+    """The member set of one journaled intent (the only one when
+    ``update_id`` is None)."""
+    intents = [record for record in journal.records()
+               if record["type"] == "intent"
+               and (update_id is None or record["update"] == update_id)]
+    (intent,) = intents
+    return sorted(intent["members"])
+
+
 class TestCrashSchedules:
     """Exhaustive: one update, a crash at every crash-point index."""
 
@@ -101,11 +125,14 @@ class TestCrashSchedules:
 
     def test_flush_visits_both_site_kinds(self):
         sites = self.count_crash_points()
-        # intent + (apply + member record) per member + commit
+        written = declared_write_set(
+            build(fresh_connectors(self.workload), InMemoryJournal())
+        )
+        # intent + (apply + member record) per written member + commit
         assert sites[0] == "journal.append"
         assert sites[-1] == "journal.append"
-        assert sites.count("connector.apply") == len(STYLES)
-        assert len(sites) == 2 + 2 * len(STYLES)
+        assert sites.count("connector.apply") == len(written)
+        assert len(sites) == 2 + 2 * len(written)
 
     @pytest.mark.parametrize("torn", [False, True])
     def test_every_crash_point_recovers_atomically(self, torn):
@@ -144,7 +171,9 @@ class TestCrashSchedules:
         restarted, replayed = restart(connectors, buffer)
         assert member_states(connectors) == post
         (members,) = replayed.values()
-        assert sorted(members) == sorted(STYLES)
+        assert sorted(members) == declared_write_set(restarted)
+        assert intent_members(restarted.journal) == \
+            declared_write_set(restarted)
         assert restarted.journal.status()["committed"] == 1
 
     def test_crash_before_intent_stays_at_pre_state(self):
@@ -177,6 +206,69 @@ class TestCrashSchedules:
         journal = restarted.health_report()["journal"]
         assert journal["pending"] == []
         assert journal["committed"] == 1
+
+
+class TestNarrowedUpdateCrashSchedules:
+    """Crash sweep for a *narrowed* flush: a direct single-member update
+    journals (and applies to) only that member's write set, and crash
+    recovery never drags the members outside it into the update."""
+
+    REQUEST = "?.euter.r+(.stkCode=nova, .date=9/9/99, .clsPrice=7.0)"
+
+    def setup_method(self):
+        self.workload = StockWorkload(n_stocks=2, n_days=2, seed=13)
+
+    def expected_states(self):
+        connectors = fresh_connectors(self.workload)
+        pre = member_states(connectors)
+        federation = build(connectors, InMemoryJournal())
+        federation.update(self.REQUEST)
+        return pre, member_states(connectors)
+
+    def test_intent_covers_exactly_the_write_set(self):
+        connectors = fresh_connectors(self.workload)
+        federation = build(connectors, InMemoryJournal())
+        assert declared_write_set(federation, self.REQUEST) == ["euter"]
+        result = federation.update(self.REQUEST)
+        assert intent_members(federation.journal, result.update_id) == \
+            ["euter"]
+
+    def test_narrowed_flush_has_fewer_crash_points(self):
+        crash = CrashInjector()
+        federation = build(fresh_connectors(self.workload),
+                           InMemoryJournal(), crash=crash)
+        crash.sites.clear()
+        federation.update(self.REQUEST)
+        sites = list(crash.sites)
+        # intent + (apply + member record) for one member + commit
+        assert sites.count("connector.apply") == 1
+        assert len(sites) == 4
+
+    @pytest.mark.parametrize("torn", [False, True])
+    def test_every_crash_point_recovers_atomically(self, torn):
+        pre, post = self.expected_states()
+        assert pre != post
+        for after in range(4):
+            connectors = fresh_connectors(self.workload)
+            buffer = []
+            crash = CrashInjector().arm(after, torn=torn)
+            federation = build(connectors, InMemoryJournal(buffer=buffer),
+                               crash=crash)
+            with pytest.raises(CrashPoint):
+                federation.update(self.REQUEST)
+            # Members outside the write set were never touched, crash
+            # or no crash.
+            states = member_states(connectors)
+            for style in ("chwab", "ource"):
+                assert states[style] == pre[style]
+            restarted, _ = restart(connectors, buffer)
+            states = member_states(connectors)
+            assert states in (pre, post), (
+                f"mixed state after narrowed crash at op {after} "
+                f"(torn={torn})"
+            )
+            assert restarted.recover() == {}
+            assert restarted.journal.pending() == []
 
 
 class TestRecoveryWithUnreachableMembers:

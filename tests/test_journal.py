@@ -134,6 +134,20 @@ class TestProtocol:
         kinds = [r["type"] for r in journal.records()]
         assert kinds == ["intent", "member", "member", "commit"]
 
+    def test_intent_covers_exactly_the_staged_members(self):
+        """Narrowed intents: the federation stages only an update's
+        declared write set, and the journal must neither add members to
+        the intent nor expect outcomes from anyone outside it."""
+        journal = InMemoryJournal()
+        uid = journal.begin({"alpha": {"r": [{"x": 1}]}})
+        (intent,) = [r for r in journal.records() if r["type"] == "intent"]
+        assert sorted(intent["members"]) == ["alpha"]
+        (update,) = journal.pending()
+        assert update.remaining == ["alpha"]
+        journal.record_member(uid, "alpha", "applied")
+        (update,) = journal.pending()
+        assert update.complete
+
     def test_pending_reports_remaining_members(self):
         journal = InMemoryJournal()
         uid = journal.begin(DESIRED)
