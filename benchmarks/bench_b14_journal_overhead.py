@@ -21,6 +21,7 @@ import pytest
 
 from repro.multidb import (
     Federation,
+    FederationConfig,
     FileJournal,
     InMemoryConnector,
     InMemoryJournal,
@@ -38,7 +39,7 @@ JITTER = 0.010
 
 def build_federation(journal, seed=1985):
     workload = StockWorkload(n_stocks=N_STOCKS, n_days=N_DAYS, seed=seed)
-    federation = Federation(journal=journal)
+    federation = Federation.from_config(FederationConfig(journal=journal))
     for style in ("euter", "chwab", "ource"):
         federation.add_member(
             style, style,

@@ -21,7 +21,7 @@ from __future__ import annotations
 import time
 
 from repro.bench import Experiment
-from repro.multidb import Federation, InMemoryConnector
+from repro.multidb import Federation, FederationConfig, InMemoryConnector
 from repro.workloads.stocks import StockWorkload
 
 N_MEMBERS = 16
@@ -38,7 +38,7 @@ JITTER = 0.025
 def build_federation(prune, seed=1991):
     """16 members cycling the three schematic styles."""
     workload = StockWorkload(n_stocks=N_STOCKS, n_days=N_DAYS, seed=seed)
-    federation = Federation(prune=prune)
+    federation = Federation.from_config(FederationConfig(prune=prune))
     for index in range(N_MEMBERS):
         style = STYLES[index % len(STYLES)]
         federation.add_member(

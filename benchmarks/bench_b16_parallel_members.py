@@ -1,0 +1,155 @@
+"""B16 — concurrent scatter-gather member I/O on a 16-member federation.
+
+Question: member databases are autonomous systems reached over
+independent transports, so the federation's per-member operations —
+install prefetch scans, probe sweeps, the applies of a journaled flush
+— are independently schedulable. With ~15ms of injected transport
+latency per operation (a LAN round trip), what does fanning them out
+over the bounded worker pool (``FederationConfig(parallel="on")``,
+default ``min(8, members)`` workers) buy an install + probe + flush
+cycle, and what does the executor's serial fallback cost the
+single-threaded path that tests and debugging rely on?
+
+Guard tests (run by the CI bench-smoke job):
+
+* the full 16-member install + probe_all + flush cycle is >= 4x
+  faster with ``parallel="on"`` than with the serial fallback;
+* routing member I/O through ``MemberExecutor(parallel="off")``
+  costs < 5% over a bare ``for`` loop running the same operations
+  (plus a small absolute epsilon for timer jitter).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import Experiment
+from repro.multidb import (
+    FaultyConnector,
+    Federation,
+    FederationConfig,
+    InMemoryConnector,
+)
+from repro.multidb.executor import MemberExecutor, MemberTask
+from repro.multidb.resilience import MonotonicClock
+from repro.workloads.stocks import StockWorkload
+
+N_MEMBERS = 16
+N_STOCKS, N_DAYS = 2, 2
+STYLES = ("euter", "chwab", "ource")
+
+#: Injected per-operation transport latency (wall seconds). Big enough
+#: that member I/O dominates the engine work between fan-outs, small
+#: enough to keep the serial rounds fast.
+LATENCY = 0.015
+
+#: Serial-overhead microbench: tasks x sleep per task.
+N_TASKS, TASK_SLEEP = 64, 0.002
+
+#: Absolute slack (seconds) absorbing timer jitter on the overhead
+#: check; the bare-loop total is ~130ms, so a few ms of scheduler
+#: noise needs an absolute floor on top of the 5% ratio.
+JITTER = 0.010
+
+
+def build_federation(parallel, seed=1991):
+    """16 members cycling the three styles, each behind ~15ms of
+    injected latency on a real clock."""
+    workload = StockWorkload(n_stocks=N_STOCKS, n_days=N_DAYS, seed=seed)
+    clock = MonotonicClock()
+    federation = Federation.from_config(FederationConfig(parallel=parallel))
+    for index in range(N_MEMBERS):
+        style = STYLES[index % len(STYLES)]
+        federation.add_member(
+            f"m{index:02d}", style,
+            connector=FaultyConnector(
+                InMemoryConnector(workload.relations_for(style)),
+                latency=LATENCY, clock=clock,
+            ),
+        )
+    return federation
+
+
+def scenario(parallel):
+    """One full cycle: install (prefetch scans), probe sweep, journaled
+    flush of an insert that reaches every member. Returns wall seconds."""
+    federation = build_federation(parallel)
+    start = time.perf_counter()
+    federation.install()
+    federation.probe_all()
+    federation.insert_quote("nova", "9/9/99", 7.0)
+    elapsed = time.perf_counter() - start
+    federation.executor.shutdown()
+    return elapsed
+
+
+def overhead_pair(rounds=3):
+    """The serial fallback vs a bare loop over identical sleepy tasks,
+    interleaved so OS sleep-granularity drift hits both sides alike."""
+    def op():
+        time.sleep(TASK_SLEEP)
+
+    fns = [op] * N_TASKS
+    executor = MemberExecutor(parallel="off")
+    tasks = [MemberTask(f"m{i:02d}", fn) for i, fn in enumerate(fns)]
+    bare = serial = 0.0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for fn in fns:
+            fn()
+        bare += time.perf_counter() - start
+
+        start = time.perf_counter()
+        executor.map(tasks)
+        serial += time.perf_counter() - start
+    return bare, serial
+
+
+def measure():
+    """Interleave the modes so machine drift is shared, not attributed
+    to whichever mode runs last."""
+    totals = {"on": 0.0, "off": 0.0}
+    rounds = 2
+    for _ in range(rounds):
+        for parallel in ("on", "off"):
+            totals[parallel] += scenario(parallel)
+    bare, serial = overhead_pair()
+    return totals, rounds, bare, serial
+
+
+def test_b16_parallel_members(benchmark):
+    totals, rounds, bare, serial = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    experiment = Experiment(
+        "B16",
+        "scatter-gather member I/O on a 16-member federation",
+        "per-member operations against autonomous members are "
+        "independently schedulable; fanning them out hides the "
+        "transport latency without changing any observable outcome",
+    )
+    experiment.add_row(
+        phase="install+probe+flush",
+        parallel_ms=totals["on"] * 1000 / rounds,
+        serial_ms=totals["off"] * 1000 / rounds,
+        speedup=f"{totals['off'] / totals['on']:.2f}x",
+    )
+    experiment.add_row(
+        phase="serial fallback (64 tasks)",
+        parallel_ms=serial * 1000,
+        serial_ms=bare * 1000,
+        speedup=f"{serial / bare:.3f}x of bare loop",
+    )
+    fast = experiment.check(
+        totals["off"] >= 4.0 * totals["on"],
+        "16-member install+probe+flush is >= 4x faster in parallel",
+    )
+    cheap = experiment.check(
+        serial <= bare * 1.05 + JITTER,
+        "the serial fallback costs < 5% over a bare loop",
+    )
+    experiment.report()
+    assert fast and cheap
+
+
+def test_b16_parallel_cycle_latency(benchmark):
+    benchmark.pedantic(lambda: scenario("on"), rounds=3, iterations=1)

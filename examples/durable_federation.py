@@ -30,6 +30,7 @@ from repro.multidb import (
     CrashInjector,
     CrashPoint,
     Federation,
+    FederationConfig,
     FileJournal,
     InMemoryConnector,
 )
@@ -37,7 +38,12 @@ from repro.workloads.stocks import StockWorkload
 
 
 def build(connectors, journal, crash=None):
-    federation = Federation(journal=journal, crash=crash)
+    # parallel="off": the serial flush keeps this demo's crash schedule
+    # pinned to "the intent, then the first member's apply" — with the
+    # default scatter-gather flush, *which* member died mid-apply would
+    # vary run to run (recovery handles either; see docs/concurrency.md).
+    config = FederationConfig(journal=journal, crash=crash, parallel="off")
+    federation = Federation.from_config(config)
     for style in ("euter", "chwab", "ource"):
         federation.add_member(style, style, connector=connectors[style])
     federation.install()

@@ -44,6 +44,8 @@ from repro.errors import (
     StaleMemberError,
     ValidationError,
 )
+from repro.multidb.config import FederationConfig
+from repro.multidb.executor import MemberExecutor
 from repro.multidb.federation import AvailabilityReport, Federation
 from repro.multidb.journal import (
     CrashInjector,
@@ -76,7 +78,9 @@ __all__ = [
     # the federation and its result types
     "AvailabilityReport",
     "Federation",
+    "FederationConfig",
     "FakeClock",
+    "MemberExecutor",
     "PartialResult",
     "QueryResult",
     "ResiliencePolicy",

@@ -12,6 +12,10 @@
   per-member health;
 * :mod:`repro.multidb.journal` — write-ahead update journal, crash
   injection, and crash recovery for atomic multi-member flushes;
+* :mod:`repro.multidb.executor` — bounded scatter-gather execution of
+  per-member I/O (deadlines, hedged reads, pool metrics);
+* :class:`FederationConfig` — the consolidated, validated construction
+  surface (``Federation.from_config``);
 * :class:`FirstOrderFederation` — the SQL-per-member counterfactual.
 """
 
@@ -29,11 +33,17 @@ from repro.multidb.adapters import (
     storage_to_relations,
     universe_rows,
 )
+from repro.multidb.config import FederationConfig
 from repro.multidb.connectors import (
     FaultyConnector,
     InMemoryConnector,
     MemberConnector,
     StorageConnector,
+)
+from repro.multidb.executor import (
+    MemberExecutor,
+    MemberOutcome,
+    MemberTask,
 )
 from repro.multidb.discrepancy import (
     Discrepancy,
@@ -91,13 +101,17 @@ __all__ = [
     "CrashPoint",
     "FakeClock",
     "FaultyConnector",
+    "FederationConfig",
     "FileJournal",
     "Grant",
     "InMemoryConnector",
     "InMemoryJournal",
     "MemberAvailability",
     "MemberConnector",
+    "MemberExecutor",
     "MemberHealth",
+    "MemberOutcome",
+    "MemberTask",
     "MonotonicClock",
     "NullJournal",
     "PartialResult",

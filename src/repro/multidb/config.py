@@ -1,0 +1,150 @@
+"""FederationConfig: one validated object for federation construction.
+
+The :class:`~repro.multidb.federation.Federation` constructor grew one
+keyword at a time — ``obs=``, ``journal=``, ``crash=``, ``prune=`` —
+and the scatter-gather executor would have added three more
+(``parallel=``, ``max_workers=``, ``hedge_after=``). This module
+consolidates the whole construction surface into a single dataclass
+with validated fields::
+
+    config = FederationConfig(parallel="on", max_workers=4,
+                              journal=FileJournal("updates.jsonl"))
+    federation = Federation.from_config(config)
+
+Every field has the historical default, so ``FederationConfig()`` is
+exactly the old ``Federation()``. The legacy keyword form still works —
+``Federation(journal=..., prune="off")`` — but emits one
+:class:`DeprecationWarning` per process (see
+:func:`warn_legacy_kwargs`); new code and all the repo's examples use
+the config form. ``docs/architecture.md`` carries the migration note.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+
+from repro.errors import FederationError
+
+#: Fields accepted as legacy ``Federation(...)`` keywords by the shim.
+LEGACY_KWARGS = (
+    "unified_db", "unified_relation", "control_db", "obs", "journal",
+    "crash", "prune",
+)
+
+_SWITCHES = ("on", "off")
+_VALIDATE_MODES = ("off", "warn", "strict")
+
+
+@dataclass(frozen=True)
+class FederationConfig:
+    """Everything a :class:`~repro.multidb.federation.Federation` is
+    built from.
+
+    Naming / engine surface:
+
+    * ``unified_db`` / ``unified_relation`` — where the unified view U
+      lives (the paper's ``dbI.p``);
+    * ``control_db`` — the control database holding name mappings and
+      update programs.
+
+    Infrastructure:
+
+    * ``obs`` — a configured :class:`~repro.obs.Observability`
+      (``None`` builds one with tracing enabled);
+    * ``journal`` — the write-ahead
+      :class:`~repro.multidb.journal.UpdateJournal` (``None`` means an
+      in-memory journal);
+    * ``crash`` — a :class:`~repro.multidb.journal.CrashInjector` for
+      deterministic crash testing (``None`` in production).
+
+    Policy:
+
+    * ``prune`` — ``"on"``/``"off"``: static effect analysis drives
+      member pruning and narrowed journal intents;
+    * ``validate`` — the default ``install()`` validation mode
+      (``"off"``/``"warn"``/``"strict"``);
+    * ``policy`` — the default
+      :class:`~repro.multidb.resilience.ResiliencePolicy` (retries,
+      backoff, per-operation deadline, breaker thresholds) for
+      connector-backed members that don't pass their own.
+
+    Concurrency (see ``docs/concurrency.md``):
+
+    * ``parallel`` — ``"on"``/``"off"``: scatter-gather member I/O vs
+      the deterministic serial fallback;
+    * ``max_workers`` — worker-pool bound (``None`` =
+      ``min(8, members)``);
+    * ``hedge_after`` — wall seconds after which a straggling
+      idempotent scan is retried on a second worker (``None`` disables
+      hedging).
+    """
+
+    unified_db: str = "dbI"
+    unified_relation: str = "p"
+    control_db: str = "dbU"
+    obs: object = None
+    journal: object = None
+    crash: object = None
+    prune: str = "on"
+    validate: str = "off"
+    policy: object = None
+    parallel: str = "on"
+    max_workers: object = None
+    hedge_after: object = None
+
+    def __post_init__(self):
+        if self.prune not in _SWITCHES:
+            raise FederationError(
+                f"prune must be 'on' or 'off', got {self.prune!r}"
+            )
+        if self.parallel not in _SWITCHES:
+            raise FederationError(
+                f"parallel must be 'on' or 'off', got {self.parallel!r}"
+            )
+        if self.validate not in _VALIDATE_MODES:
+            raise FederationError(
+                f"validate must be 'off', 'warn' or 'strict', "
+                f"not {self.validate!r}"
+            )
+        if self.max_workers is not None and (
+                not isinstance(self.max_workers, int)
+                or isinstance(self.max_workers, bool)
+                or self.max_workers < 1):
+            raise FederationError(
+                f"max_workers must be a positive integer or None, "
+                f"got {self.max_workers!r}"
+            )
+        if self.hedge_after is not None:
+            try:
+                positive = self.hedge_after > 0
+            except TypeError:
+                positive = False
+            if not positive:
+                raise FederationError(
+                    f"hedge_after must be positive seconds or None, "
+                    f"got {self.hedge_after!r}"
+                )
+
+    def replace(self, **changes):
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+
+_legacy_warned = False
+
+
+def warn_legacy_kwargs(names):
+    """One :class:`DeprecationWarning` per process for the legacy
+    ``Federation(...)`` keyword surface (the shim stays functional)."""
+    global _legacy_warned
+    if _legacy_warned:
+        return
+    _legacy_warned = True
+    rendered = ", ".join(f"{name}=" for name in sorted(names))
+    warnings.warn(
+        f"passing {rendered} directly to Federation() is deprecated; "
+        f"build a FederationConfig and call Federation.from_config(config)",
+        DeprecationWarning,
+        stacklevel=3,
+    )

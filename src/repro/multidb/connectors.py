@@ -22,6 +22,7 @@ from __future__ import annotations
 import copy
 import itertools
 import random
+import threading
 
 from repro.errors import MemberUnavailableError
 
@@ -43,19 +44,29 @@ class MemberConnector:
 
 
 class InMemoryConnector(MemberConnector):
-    """A member that is just rows in this process's memory."""
+    """A member that is just rows in this process's memory.
+
+    Thread-safe: hedged scans may read while an apply replaces the
+    state, so reads and the state swap happen under a lock (the deep
+    copy of the incoming state is built outside it).
+    """
 
     def __init__(self, relations=None):
         self._relations = copy.deepcopy(dict(relations or {}))
+        self._lock = threading.Lock()
 
     def scan(self):
-        return copy.deepcopy(self._relations)
+        with self._lock:
+            return copy.deepcopy(self._relations)
 
     def apply(self, desired):
-        self._relations = copy.deepcopy(dict(desired))
+        snapshot = copy.deepcopy(dict(desired))
+        with self._lock:
+            self._relations = snapshot
 
     def rows(self, relation):
-        return list(self._relations.get(relation, []))
+        with self._lock:
+            return list(self._relations.get(relation, []))
 
 
 class StorageConnector(MemberConnector):
@@ -138,12 +149,17 @@ class FaultyConnector(MemberConnector):
         self._fail_next = 0
         self.stream = next(_fault_streams) if stream is None else stream
         self._rng = random.Random(f"{seed}/{self.stream}")
+        # Counters, the scripted-failure budget, and the RNG are shared
+        # by whichever worker threads hit this connector; the injected
+        # sleep itself happens outside the lock.
+        self._lock = threading.Lock()
 
     # -- fault scripting ------------------------------------------------
 
     def fail_next(self, n=1):
         """Script the next ``n`` operations to fail."""
-        self._fail_next += n
+        with self._lock:
+            self._fail_next += n
         return self
 
     def set_outage(self, down=True):
@@ -153,27 +169,35 @@ class FaultyConnector(MemberConnector):
     def restore(self):
         """Clear the outage and any scripted failures (the member is
         healthy again; ``failure_rate`` stays as configured)."""
-        self.outage = False
-        self._fail_next = 0
+        with self._lock:
+            self.outage = False
+            self._fail_next = 0
         return self
 
     # -- fault injection ------------------------------------------------
 
     def _enter(self, op):
-        self.calls += 1
+        with self._lock:
+            self.calls += 1
         if self.latency and self.clock is not None:
             self.clock.sleep(self.latency)
             self._span_event("fault.latency", op=op, seconds=self.latency)
         if self.outage:
             self._injected(op, "member is down")
-        if self._fail_next > 0:
-            self._fail_next -= 1
-            self._injected(op, "scripted failure")
-        if self.failure_rate and self._rng.random() < self.failure_rate:
-            self._injected(op, "transient failure")
+        with self._lock:
+            if self._fail_next > 0:
+                self._fail_next -= 1
+                why = "scripted failure"
+            elif self.failure_rate and self._rng.random() < self.failure_rate:
+                why = "transient failure"
+            else:
+                why = None
+        if why is not None:
+            self._injected(op, why)
 
     def _injected(self, op, why):
-        self.injected += 1
+        with self._lock:
+            self.injected += 1
         self._span_event("fault.injected", op=op, why=why)
         raise MemberUnavailableError(f"injected fault during {op}: {why}")
 

@@ -50,10 +50,13 @@ from repro.errors import (
     ValidationError,
 )
 from repro.multidb.adapters import storage_to_relations, universe_rows
+from repro.multidb.config import FederationConfig, warn_legacy_kwargs
 from repro.multidb.connectors import _as_connector
+from repro.multidb.executor import MemberExecutor, MemberTask
 from repro.multidb.journal import InMemoryJournal
 from repro.multidb.resilience import (
     CLOSED,
+    MonotonicClock,
     ResiliencePolicy,
     ResilientConnector,
 )
@@ -168,19 +171,43 @@ class AvailabilityReport:
 class Federation:
     """A multidatabase federation with schematic discrepancies.
 
-    ``obs`` injects a configured :class:`~repro.obs.Observability`
-    (e.g. with exporters, or ``enabled=False`` to turn tracing off);
-    by default the federation builds its own with tracing enabled and
-    shares it with the engine and every member connector.
+    Construction is configured by a
+    :class:`~repro.multidb.config.FederationConfig` — pass one via
+    ``config=`` or :meth:`from_config`. The historical keyword surface
+    (``obs=``, ``journal=``, ``crash=``, ``prune=``, ...) still works
+    but is deprecated: it warns once per process and folds the keywords
+    into the config. ``obs`` injects a configured
+    :class:`~repro.obs.Observability` (e.g. with exporters, or
+    ``enabled=False`` to turn tracing off); by default the federation
+    builds its own with tracing enabled and shares it with the engine
+    and every member connector.
     """
 
-    def __init__(self, engine=None, unified_db="dbI", unified_relation="p",
-                 control_db="dbU", obs=None, journal=None, crash=None,
-                 prune="on"):
-        if prune not in ("on", "off"):
-            raise FederationError(
-                f"prune must be 'on' or 'off', got {prune!r}"
+    def __init__(self, engine=None, unified_db=None, unified_relation=None,
+                 control_db=None, obs=None, journal=None, crash=None,
+                 prune=None, config=None):
+        legacy = {
+            name: value
+            for name, value in (
+                ("unified_db", unified_db),
+                ("unified_relation", unified_relation),
+                ("control_db", control_db),
+                ("obs", obs),
+                ("journal", journal),
+                ("crash", crash),
+                ("prune", prune),
             )
+            if value is not None
+        }
+        if config is None:
+            config = FederationConfig()
+        if legacy:
+            warn_legacy_kwargs(legacy)
+            config = config.replace(**legacy)
+        self.config = config
+        obs = config.obs
+        journal = config.journal
+        crash = config.crash
         if obs is None:
             obs = (engine.obs if engine is not None and engine.obs is not None
                    else Observability())
@@ -209,11 +236,22 @@ class Federation:
         # journal intents — flushes stage only members in the update's
         # write set. prune="off" restores the scan-everything /
         # stage-everything behavior.
-        self.prune = prune
-        self.engine.prune = prune == "on"
-        self.unified_db = unified_db
-        self.unified_relation = unified_relation
-        self.control_db = control_db
+        self.prune = config.prune
+        self.engine.prune = config.prune == "on"
+        self.unified_db = config.unified_db
+        self.unified_relation = config.unified_relation
+        self.control_db = config.control_db
+        # Scatter-gather member I/O (see repro.multidb.executor and
+        # docs/concurrency.md): every multi-member path — install
+        # prefetch, probe sweeps, recovery replay, the two-phase flush
+        # fan-out — runs through this executor; parallel="off" (or a
+        # single member) degrades to the deterministic serial loops.
+        self.executor = MemberExecutor(
+            parallel=config.parallel,
+            max_workers=config.max_workers,
+            hedge_after=config.hedge_after,
+            obs=obs,
+        )
         self.members = {}  # name -> style (None until a deferred attach)
         self.users = {}  # user db name -> style
         self.mappings = {}  # member name -> (db, rel, from_attr, to_attr)
@@ -225,8 +263,27 @@ class Federation:
         self._flushed = set()  # members with a real backend to flush to
         self._stale = {}  # name -> "push" | "pull" resync direction
         self._prefetched = {}  # name -> scanned relations (or None), from validation
+        self._prefetch_errors = {}  # name -> install-prefetch failure
+        self._member_order = None  # cached sorted member names
         self._installed = False
         self.last_validation = None  # DiagnosticReport of the last validate run
+
+    @classmethod
+    def from_config(cls, config, engine=None):
+        """Build a federation from a
+        :class:`~repro.multidb.config.FederationConfig` — the canonical
+        construction path (see ``docs/architecture.md`` for the
+        migration note)."""
+        return cls(engine=engine, config=config)
+
+    @property
+    def member_order(self):
+        """Member names in sorted order, computed once per membership
+        change (probe sweeps and health reports used to re-sort on
+        every call)."""
+        if self._member_order is None:
+            self._member_order = tuple(sorted(self.members))
+        return self._member_order
 
     # -- membership -----------------------------------------------------------
 
@@ -253,8 +310,12 @@ class Federation:
         if name in self.members:
             raise FederationError(f"member {name!r} already registered")
         if policy is None:
-            policy = (ResiliencePolicy() if connector is not None
-                      else ResiliencePolicy.passthrough())
+            if connector is not None:
+                policy = (self.config.policy
+                          if self.config.policy is not None
+                          else ResiliencePolicy())
+            else:
+                policy = ResiliencePolicy.passthrough()
         deferred = connector is not None
         if not deferred:
             # Eager attach, exactly as before connectors existed: snapshot
@@ -274,6 +335,7 @@ class Federation:
         if storage is not None or connector is not None:
             self._flushed.add(name)
         self.members[name] = style
+        self._member_order = None
         if mapping is not None:
             self.mappings[name] = mapping
         return self
@@ -314,7 +376,7 @@ class Federation:
 
     # -- installation -----------------------------------------------------------
 
-    def install(self, reconcile=False, validate="off"):
+    def install(self, reconcile=False, validate=None):
         """Generate and load the full two-level mapping.
 
         Idempotent: calling it again is a no-op (see :meth:`reinstall`
@@ -335,7 +397,11 @@ class Federation:
           (carrying the report) when any error-severity diagnostic
           fires, leaving the federation un-installed and members
           un-attached.
+
+        ``validate=None`` uses the federation config's default mode.
         """
+        if validate is None:
+            validate = self.config.validate
         if validate not in ("off", "warn", "strict"):
             raise FederationError(
                 f"validate must be 'off', 'warn' or 'strict', not {validate!r}"
@@ -352,9 +418,24 @@ class Federation:
             if validate == "strict" and report.has_errors:
                 raise ValidationError(report)
 
+        # Scatter the initial scans of every deferred member before the
+        # serial attach loop: each attach then reuses a warm snapshot,
+        # so install's wall clock is bounded by the slowest member, not
+        # the sum of all of them.
+        self._prefetch_scans(
+            [name for name in self.member_order
+             if name not in self._attached
+             and name not in self._prefetched
+             and name not in self._prefetch_errors],
+            record_errors=True,
+        )
         with self.obs.span("federation.install", validate=validate) as span:
             for name in list(self.members):
                 if name not in self._attached:
+                    error = self._prefetch_errors.pop(name, None)
+                    if error is not None:
+                        self._quarantine(name, error)
+                        continue
                     try:
                         self._attach(name)
                     except MemberUnavailableError as exc:
@@ -465,8 +546,16 @@ class Federation:
 
         self._ensure_control_db()
         catalog = Catalog.from_universe(self.engine.universe)
+        # Scatter the deferred members' scans up front (hedged, like
+        # install's prefetch); unreachable members keep the historical
+        # None marker so install's attach still rescans them once.
+        self._prefetch_scans(
+            [name for name in self.member_order
+             if name not in self._attached and name not in self._prefetched],
+            record_errors=False,
+        )
         styles = {}
-        for name in sorted(self.members):
+        for name in self.member_order:
             style = self.members[name]
             relations = None
             if name not in self._attached:
@@ -524,6 +613,46 @@ class Federation:
         return [source for source in sources if source]
 
     # -- member lifecycle -------------------------------------------------------
+
+    def _wall_deadline(self, name):
+        """The member's policy deadline as a wall-clock bound for the
+        scatter-gather executor — only when the member runs on a real
+        clock (a fake clock makes logical deadlines meaningless against
+        wall time, and enforcing them would make parallel and serial
+        runs diverge)."""
+        resilient = self.connectors[name]
+        deadline = resilient.policy.deadline
+        if deadline is None or not isinstance(resilient.clock,
+                                              MonotonicClock):
+            return None
+        return deadline
+
+    def _prefetch_scans(self, names, record_errors):
+        """Scatter the initial scans of deferred members (hedged —
+        scans are idempotent reads). Successes land in
+        ``_prefetched`` for :meth:`_attach` to reuse; failures either
+        quarantine at install (``record_errors=True``) or keep the
+        validation-time ``None`` marker (``record_errors=False``)."""
+        names = list(names)
+        if not names:
+            return
+        tasks = [
+            MemberTask(name, self.connectors[name].scan,
+                       deadline=self._wall_deadline(name), hedge=True)
+            for name in names
+        ]
+        for outcome in self.executor.map(tasks, label="prefetch"):
+            if outcome.skipped:
+                continue
+            if outcome.error is None:
+                self._prefetched[outcome.name] = outcome.value
+            elif isinstance(outcome.error, MemberUnavailableError):
+                if record_errors:
+                    self._prefetch_errors[outcome.name] = outcome.error
+                else:
+                    self._prefetched[outcome.name] = None
+            else:
+                raise outcome.error
 
     def _attach(self, name):
         """Snapshot ``name`` through its connector into the universe and
@@ -622,8 +751,49 @@ class Federation:
         return True
 
     def probe_all(self):
-        """Probe every member; returns ``{name: healthy}``."""
-        return {name: self.probe(name) for name in sorted(self.members)}
+        """Probe every member concurrently; returns ``{name: healthy}``.
+
+        The sweep differs from per-member :meth:`probe` in one
+        deliberate way: it honors each member's circuit-breaker
+        cooldown. A member whose circuit is open and still inside its
+        recovery timeout is reported unhealthy *without being pinged*,
+        so background sweeps cannot defeat the breaker (an
+        operator-initiated :meth:`probe` still half-opens the circuit
+        immediately). Members that probe healthy are then recovered —
+        re-attached if quarantined, resynced if stale — serially on the
+        gathering thread, exactly as :meth:`probe` would.
+        """
+        order = self.member_order
+        tasks = [
+            MemberTask(
+                name,
+                (lambda resilient=self.connectors[name]:
+                 resilient.probe(force=False)),
+                deadline=self._wall_deadline(name),
+            )
+            for name in order
+        ]
+        with self.obs.span("federation.probe_all", members=len(order)):
+            outcomes = self.executor.map(tasks, label="probe_all")
+            healthy = {
+                outcome.name: (bool(outcome.value)
+                               if outcome.error is None else False)
+                for outcome in outcomes
+            }
+            for name in order:
+                if not healthy[name]:
+                    continue
+                if name in self.quarantined:
+                    try:
+                        self._attach(name)
+                    except MemberUnavailableError:
+                        healthy[name] = False
+                elif name in self._stale:
+                    try:
+                        self.resync(name)
+                    except MemberUnavailableError:
+                        healthy[name] = False
+        return healthy
 
     def resync(self, name):
         """Repair a stale member.
@@ -706,25 +876,41 @@ class Federation:
     def _replay_update(self, update, span):
         """Roll every owed member of one pending update forward; commits
         the update when nothing remains owed. Returns the members
-        replayed here."""
+        replayed here.
+
+        Member applies fan out through the executor (each worker
+        journals its ``applied`` record under the journal lock); the
+        engine-universe updates and span events happen here on the
+        gathering thread, in member order, because the engine is not
+        thread-safe.
+        """
         done = []
+        owed = []
         for member in update.remaining:
             if member not in self.members:
                 span.event("skip-unknown-member",
                            update_id=update.update_id, member=member)
                 continue
-            desired = update.desired[member]
-            self._crash_point("connector.apply")
-            try:
-                self.connectors[member].apply(desired)
-            except MemberUnavailableError as exc:
+            owed.append(member)
+        tasks = [
+            MemberTask(member,
+                       self._make_replay_task(update, member),
+                       deadline=self._wall_deadline(member))
+            for member in owed
+        ]
+        for outcome in self.executor.map(tasks, label="recover"):
+            member = outcome.name
+            if outcome.skipped:
+                continue
+            if outcome.error is not None:
+                if not isinstance(outcome.error, MemberUnavailableError):
+                    raise outcome.error
                 if member not in self.quarantined:
                     self._stale[member] = "push"
                 span.event("replay-failed", update_id=update.update_id,
-                           member=member, error=str(exc))
+                           member=member, error=str(outcome.error))
                 continue
-            self.journal.record_member(update.update_id, member, "applied",
-                                       via="recover")
+            desired = update.desired[member]
             if member in self._attached:
                 # The universe snapshot (scanned at install, possibly
                 # pre-update) must match the member we just rolled
@@ -742,12 +928,25 @@ class Federation:
                 span.event("commit", update_id=update.update_id)
         return done
 
+    def _make_replay_task(self, update, member):
+        """One member's replay body: apply the journaled desired state
+        and journal the outcome (runs on a worker in parallel mode)."""
+        desired = update.desired[member]
+
+        def replay():
+            self._crash_point("connector.apply")
+            self.connectors[member].apply(desired)
+            self.journal.record_member(update.update_id, member, "applied",
+                                       via="recover")
+
+        return replay
+
     # -- availability -----------------------------------------------------------
 
     def availability(self):
         """Per-member availability right now (an AvailabilityReport)."""
         entries = []
-        for name in sorted(self.members):
+        for name in self.member_order:
             if name in self.quarantined:
                 entries.append(MemberAvailability(
                     name, QUARANTINED, self.quarantined[name]))
@@ -768,11 +967,16 @@ class Federation:
         (backend, pending update ids, committed/aborted counts,
         truncated tails — see :mod:`repro.multidb.journal`)."""
         report = {}
-        for name in sorted(self.members):
+        # One availability pass for the whole report (this used to call
+        # availability() — itself a full sweep — once per member).
+        statuses = {
+            entry.member: entry.status for entry in self.availability()
+        }
+        for name in self.member_order:
             resilient = self.connectors[name]
             entry = resilient.health.as_dict()
             entry["breaker"] = resilient.breaker.state
-            entry["status"] = self.availability().status_of(name)
+            entry["status"] = statuses[name]
             report[name] = entry
         report["journal"] = self.journal.status()
         return report
@@ -1032,20 +1236,42 @@ class Federation:
                 span.set("update_id", update_id)
                 span.event("journal-intent", update_id=update_id,
                            members=sorted(staged))
-            for name, desired in staged.items():
-                try:
-                    outcomes[name] = self._apply_staged(
-                        update_id, name, desired, span
-                    )
-                except Exception:
-                    outcomes[name] = FAILED
-                    # Members not yet reached are owed the staged state
-                    # too: mark every non-applied member stale (push) so
-                    # nothing serves a divergent snapshot as fresh.
-                    for other in staged:
-                        if outcomes.get(other) != APPLIED:
-                            self._stale.setdefault(other, "push")
-                    raise
+            # The applies fan out through the executor (workers journal
+            # their outcome under the journal lock as each lands); the
+            # intent above and the commit below stay serial, so the
+            # protocol's write-ahead ordering is unchanged. Serially
+            # (parallel="off") this is exactly the historical loop: the
+            # first failure stops it and later members are never
+            # touched.
+            tasks = [
+                MemberTask(
+                    name,
+                    (lambda name=name, desired=desired:
+                     self._apply_staged(update_id, name, desired, span)),
+                    deadline=self._wall_deadline(name),
+                )
+                for name, desired in staged.items()
+            ]
+            failure = None
+            for outcome in self.executor.map(tasks, label="flush",
+                                             fail_fast=True):
+                if outcome.skipped:
+                    continue
+                if outcome.error is None:
+                    outcomes[outcome.name] = outcome.value
+                else:
+                    outcomes[outcome.name] = FAILED
+                    if failure is None:
+                        failure = outcome.error
+            if failure is not None:
+                # Members not yet reached (serial) or not applied
+                # (parallel) are owed the staged state too: mark every
+                # non-applied member stale (push) so nothing serves a
+                # divergent snapshot as fresh.
+                for other in staged:
+                    if outcomes.get(other) != APPLIED:
+                        self._stale.setdefault(other, "push")
+                raise failure
             if staged:
                 self.journal.commit(update_id)
                 span.event("journal-commit", update_id=update_id)

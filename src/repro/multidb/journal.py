@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import zlib
 
 from repro.errors import JournalError
@@ -106,38 +107,45 @@ class CrashInjector:
         self.visited = 0
         self.fired = False
         self.sites = []  # every site visited, in order
+        # Concurrent member applies visit the injector from worker
+        # threads; the budget must be spent exactly once per visit.
+        self._lock = threading.Lock()
 
     def arm(self, after, torn=None):
         """Crash at the ``after + 1``-th crash-point visit from now on."""
-        self.after = after
-        self.visited = 0
-        self.fired = False
-        if torn is not None:
-            self.torn = torn
+        with self._lock:
+            self.after = after
+            self.visited = 0
+            self.fired = False
+            if torn is not None:
+                self.torn = torn
         return self
 
     def disarm(self):
-        self.after = None
+        with self._lock:
+            self.after = None
         return self
 
     def will_fire(self):
         """Would the next :meth:`visit` raise? (Non-consuming peek.)"""
-        if self.after is None:
-            return False
-        return self.fired or self.visited >= self.after
+        with self._lock:
+            if self.after is None:
+                return False
+            return self.fired or self.visited >= self.after
 
     def visit(self, site):
         """One crash-point passed; raises :class:`CrashPoint` when the
         armed budget is spent. A fired injector keeps firing — a dead
         process does not come back."""
-        self.sites.append(site)
-        if self.after is None:
+        with self._lock:
+            self.sites.append(site)
+            if self.after is None:
+                self.visited += 1
+                return
+            if self.fired or self.visited >= self.after:
+                self.fired = True
+                raise CrashPoint(site, self.visited)
             self.visited += 1
-            return
-        if self.fired or self.visited >= self.after:
-            self.fired = True
-            raise CrashPoint(site, self.visited)
-        self.visited += 1
 
     def __repr__(self):
         return (f"CrashInjector(after={self.after}, torn={self.torn}, "
@@ -243,6 +251,11 @@ class UpdateJournal:
         self._next_seq = 1
         self._next_update = 1
         self._last_committed_seq = 0
+        # The journal lock: concurrent member applies record their
+        # outcomes from worker threads, and each append must be one
+        # atomic check + encode + write + ingest. Re-entrant because
+        # resolve_member drives record_member/commit internally.
+        self._lock = threading.RLock()
 
     # -- storage interface (subclass responsibility) --------------------
 
@@ -324,20 +337,21 @@ class UpdateJournal:
     # -- appending -------------------------------------------------------
 
     def _append(self, record):
-        record = dict(record)
-        record["seq"] = self._next_seq
-        line = encode_record(record)
-        crash = self.crash
-        if crash is not None and crash.will_fire():
-            if crash.torn:
-                # A crash mid-write: half the line reaches storage.
-                self._write_line(line[: max(1, len(line) // 2)])
-            crash.visit("journal.append")  # raises CrashPoint
-        elif crash is not None:
-            crash.visit("journal.append")
-        self._write_line(line)
-        self._next_seq += 1
-        self._ingest(record)
+        with self._lock:
+            record = dict(record)
+            record["seq"] = self._next_seq
+            line = encode_record(record)
+            crash = self.crash
+            if crash is not None and crash.will_fire():
+                if crash.torn:
+                    # A crash mid-write: half the line reaches storage.
+                    self._write_line(line[: max(1, len(line) // 2)])
+                crash.visit("journal.append")  # raises CrashPoint
+            elif crash is not None:
+                crash.visit("journal.append")
+            self._write_line(line)
+            self._next_seq += 1
+            self._ingest(record)
         self._count("journal.appends")
         return record["seq"]
 
@@ -351,36 +365,41 @@ class UpdateJournal:
         """Journal the intent to bring every member of ``desired``
         (``{member: {rel: rows}}``) to its recorded state; returns the
         new monotonic update id."""
-        update_id = self._next_update
-        self._append({
-            "type": INTENT,
-            "update": update_id,
-            "origin": origin,
-            "members": desired,
-        })
+        with self._lock:
+            update_id = self._next_update
+            self._append({
+                "type": INTENT,
+                "update": update_id,
+                "origin": origin,
+                "members": desired,
+            })
         return update_id
 
     def record_member(self, update_id, member, outcome, via="flush"):
         """Journal one member's apply outcome (``"applied"``/``"failed"``)."""
-        self._require_pending(update_id)
-        self._append({
-            "type": MEMBER,
-            "update": update_id,
-            "member": member,
-            "outcome": outcome,
-            "via": via,
-        })
+        with self._lock:
+            self._require_pending(update_id)
+            self._append({
+                "type": MEMBER,
+                "update": update_id,
+                "member": member,
+                "outcome": outcome,
+                "via": via,
+            })
         if via in ("recover", "resync") and outcome == "applied":
             self._count("journal.replays", via=via)
 
     def commit(self, update_id):
-        self._require_pending(update_id)
-        self._append({"type": COMMIT, "update": update_id})
+        with self._lock:
+            self._require_pending(update_id)
+            self._append({"type": COMMIT, "update": update_id})
         self._count("journal.commits")
 
     def abort(self, update_id, reason=""):
-        self._require_pending(update_id)
-        self._append({"type": ABORT, "update": update_id, "reason": reason})
+        with self._lock:
+            self._require_pending(update_id)
+            self._append({"type": ABORT, "update": update_id,
+                          "reason": reason})
         self._count("journal.aborts")
 
     def _require_pending(self, update_id):
@@ -398,13 +417,14 @@ class UpdateJournal:
     def pending(self):
         """Incomplete updates (intent without commit/abort), oldest
         first — exactly what ``Federation.recover`` must replay."""
-        return [
-            PendingUpdate(s.update_id, s.seq, s.desired, s.applied, s.failed,
-                          s.origin)
-            for update_id in self._order
-            for s in (self._states[update_id],)
-            if s.status == PENDING
-        ]
+        with self._lock:
+            return [
+                PendingUpdate(s.update_id, s.seq, s.desired, s.applied,
+                              s.failed, s.origin)
+                for update_id in self._order
+                for s in (self._states[update_id],)
+                if s.status == PENDING
+            ]
 
     @property
     def last_committed_seq(self):
@@ -424,15 +444,16 @@ class UpdateJournal:
         current state, which subsumes every journaled desired state),
         committing updates this completes. Returns the touched ids."""
         touched = []
-        for update_id in list(self._order):
-            state = self._states[update_id]
-            if state.status != PENDING or member not in state.desired:
-                continue
-            if member not in state.applied:
-                self.record_member(update_id, member, "applied", via=via)
-                touched.append(update_id)
-            if not [m for m in state.desired if m not in state.applied]:
-                self.commit(update_id)
+        with self._lock:
+            for update_id in list(self._order):
+                state = self._states[update_id]
+                if state.status != PENDING or member not in state.desired:
+                    continue
+                if member not in state.applied:
+                    self.record_member(update_id, member, "applied", via=via)
+                    touched.append(update_id)
+                if not [m for m in state.desired if m not in state.applied]:
+                    self.commit(update_id)
         return touched
 
     def status(self):
@@ -587,15 +608,17 @@ class FileJournal(UpdateJournal):
 class NullJournal(UpdateJournal):
     """Journaling disabled: every protocol call is a cheap no-op.
 
-    ``Federation(journal=NullJournal())`` restores the pre-journal
-    flush exactly (benchmark B14 measures the difference)."""
+    ``FederationConfig(journal=NullJournal())`` restores the
+    pre-journal flush exactly (benchmark B14 measures the
+    difference)."""
 
     def __init__(self, obs=None):
         super().__init__(obs=obs)
 
     def begin(self, desired, origin="update"):
-        update_id = self._next_update
-        self._next_update += 1
+        with self._lock:
+            update_id = self._next_update
+            self._next_update += 1
         return update_id
 
     def record_member(self, update_id, member, outcome, via="flush"):

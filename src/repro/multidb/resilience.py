@@ -20,11 +20,18 @@ taking the whole federation down:
 Everything time-related goes through a clock object (``now()`` /
 ``sleep()``), never through :mod:`time` directly, and all jitter comes
 from a seeded generator — tests and benchmarks are fully deterministic.
+
+All of the stateful pieces here — breakers, health counters, the fake
+clock, the connector's jitter RNG — are thread-safe: the scatter-gather
+executor (:mod:`repro.multidb.executor`) drives one
+:class:`ResilientConnector` per worker thread, and hedged scans can hit
+the *same* connector from two workers at once.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 import time
 
 from repro.errors import (
@@ -49,21 +56,26 @@ class MonotonicClock:
 
 class FakeClock:
     """A manual clock: ``sleep`` advances it instantly, ``advance``
-    moves it by hand. Records every sleep for assertions."""
+    moves it by hand. Records every sleep for assertions. Thread-safe —
+    concurrent member operations may share one fake clock."""
 
     def __init__(self, start=0.0):
         self._now = float(start)
         self.sleeps = []
+        self._lock = threading.Lock()
 
     def now(self):
-        return self._now
+        with self._lock:
+            return self._now
 
     def sleep(self, seconds):
-        self.sleeps.append(seconds)
-        self._now += max(0.0, seconds)
+        with self._lock:
+            self.sleeps.append(seconds)
+            self._now += max(0.0, seconds)
 
     def advance(self, seconds):
-        self._now += seconds
+        with self._lock:
+            self._now += seconds
 
 
 # -- retry / backoff ---------------------------------------------------------
@@ -149,6 +161,7 @@ class CircuitBreaker:
         self.opened_at = None
         self.transitions = []  # (time, from_state, to_state)
         self.on_transition = on_transition  # callback(from_state, to_state)
+        self._lock = threading.RLock()
 
     def _transition(self, to_state):
         from_state = self.state
@@ -159,30 +172,42 @@ class CircuitBreaker:
 
     def allow(self):
         """May a call be issued right now? (May move open → half-open.)"""
-        if self.state == OPEN:
-            elapsed = self.clock.now() - self.opened_at
-            if elapsed < self.recovery_timeout:
-                return False
-            self._transition(HALF_OPEN)
-        return True
+        with self._lock:
+            if self.state == OPEN:
+                elapsed = self.clock.now() - self.opened_at
+                if elapsed < self.recovery_timeout:
+                    return False
+                self._transition(HALF_OPEN)
+            return True
+
+    def in_cooldown(self):
+        """Is the circuit open with the recovery timeout still running?
+        (A pure read: unlike :meth:`allow`, never moves to half-open.)"""
+        with self._lock:
+            return (self.state == OPEN
+                    and self.clock.now() - self.opened_at
+                    < self.recovery_timeout)
 
     def force_half_open(self):
         """An explicit health probe may trial the member immediately."""
-        if self.state == OPEN:
-            self._transition(HALF_OPEN)
+        with self._lock:
+            if self.state == OPEN:
+                self._transition(HALF_OPEN)
 
     def record_success(self):
-        self.consecutive_failures = 0
-        if self.state != CLOSED:
-            self._transition(CLOSED)
+        with self._lock:
+            self.consecutive_failures = 0
+            if self.state != CLOSED:
+                self._transition(CLOSED)
 
     def record_failure(self):
-        self.consecutive_failures += 1
-        if self.state == HALF_OPEN:
-            self._open()
-        elif (self.state == CLOSED
-              and self.consecutive_failures >= self.failure_threshold):
-            self._open()
+        with self._lock:
+            self.consecutive_failures += 1
+            if self.state == HALF_OPEN:
+                self._open()
+            elif (self.state == CLOSED
+                  and self.consecutive_failures >= self.failure_threshold):
+                self._open()
 
     def _open(self):
         self.opened_at = self.clock.now()
@@ -197,10 +222,14 @@ class CircuitBreaker:
 
 
 class MemberHealth:
-    """Structured per-member counters the federation exposes."""
+    """Structured per-member counters the federation exposes.
+
+    Mutations go through :meth:`count` so concurrent member operations
+    (hedged scans, parallel applies) never lose an increment.
+    """
 
     __slots__ = ("member", "attempts", "successes", "failures", "retries",
-                 "probes", "last_error")
+                 "probes", "last_error", "_lock")
 
     def __init__(self, member):
         self.member = member
@@ -210,6 +239,14 @@ class MemberHealth:
         self.retries = 0
         self.probes = 0
         self.last_error = None
+        self._lock = threading.Lock()
+
+    def count(self, field, amount=1, error=None):
+        """Atomically bump one counter (optionally noting an error)."""
+        with self._lock:
+            setattr(self, field, getattr(self, field) + amount)
+            if error is not None:
+                self.last_error = error
 
     def as_dict(self):
         return {
@@ -261,6 +298,7 @@ class ResilientConnector:
         )
         self.health = MemberHealth(name)
         self._rng = random.Random(self.policy.seed)
+        self._rng_lock = threading.Lock()
 
     def _record_transition(self, from_state, to_state):
         if self.obs is not None:
@@ -282,11 +320,18 @@ class ResilientConnector:
     def ping(self):
         return self._run("ping", self.connector.ping)
 
-    def probe(self):
-        """Health probe: one ping, no retries, allowed to half-open an
-        open circuit immediately. Returns True on success."""
-        self.health.probes += 1
-        self.breaker.force_half_open()
+    def probe(self, force=True):
+        """Health probe: one ping, no retries. Returns True on success.
+
+        ``force=True`` (the operator-initiated default) half-opens an
+        open circuit immediately; ``force=False`` honors the breaker's
+        recovery timeout — a member still in cooldown is reported
+        unhealthy without touching it (the sweep path ``probe_all``
+        uses this so background probing cannot defeat the breaker).
+        """
+        self.health.count("probes")
+        if force:
+            self.breaker.force_half_open()
         try:
             self._run("ping", self.connector.ping, max_attempts=1)
         except MemberUnavailableError:
@@ -325,15 +370,14 @@ class ResilientConnector:
                     member=self.name,
                 )
             attempt += 1
-            self.health.attempts += 1
+            self.health.count("attempts")
             if metrics is not None:
                 metrics.counter(f"connector.{op}.attempts",
                                 member=self.name).inc()
             try:
                 result = fn()
             except policy.retry_on as exc:
-                self.health.failures += 1
-                self.health.last_error = exc
+                self.health.count("failures", error=exc)
                 self.breaker.record_failure()
                 if metrics is not None:
                     metrics.counter(f"connector.{op}.failures",
@@ -342,7 +386,8 @@ class ResilientConnector:
                     span.set("attempts", attempt)
                     span.event("exhausted", attempts=attempt)
                     raise
-                wait = policy.delay(attempt, self._rng)
+                with self._rng_lock:
+                    wait = policy.delay(attempt, self._rng)
                 if deadline is not None and self.clock.now() + wait > deadline:
                     span.set("attempts", attempt)
                     span.event("deadline-exceeded", deadline=policy.deadline)
@@ -352,7 +397,7 @@ class ResilientConnector:
                         f"attempt(s)",
                         member=self.name, cause=exc,
                     ) from exc
-                self.health.retries += 1
+                self.health.count("retries")
                 if metrics is not None:
                     metrics.counter(f"connector.{op}.retries",
                                     member=self.name).inc()
@@ -360,7 +405,7 @@ class ResilientConnector:
                 self.clock.sleep(wait)
                 continue
             if deadline is not None and self.clock.now() > deadline:
-                self.health.failures += 1
+                self.health.count("failures")
                 self.breaker.record_failure()
                 span.set("attempts", attempt)
                 span.event("deadline-exceeded", deadline=policy.deadline)
@@ -369,7 +414,7 @@ class ResilientConnector:
                     f"{policy.deadline}s deadline",
                     member=self.name,
                 )
-            self.health.successes += 1
+            self.health.count("successes")
             self.breaker.record_success()
             span.set("attempts", attempt)
             return result

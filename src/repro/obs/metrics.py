@@ -11,23 +11,32 @@ Increments are a dict lookup plus an integer add, cheap enough to stay
 on even when tracing is disabled; the hot evaluator loop still guards
 behind ``metrics is not None`` so an engine without observability pays
 nothing.
+
+Instruments are thread-safe: the scatter-gather executor (see
+:mod:`repro.multidb.executor`) increments connector and pool counters
+from worker threads, so every mutation happens under a per-instrument
+lock and instrument creation is serialized by the registry.
 """
 
 from __future__ import annotations
+
+import threading
 
 
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "tags", "value")
+    __slots__ = ("name", "tags", "value", "_lock")
 
     def __init__(self, name, tags):
         self.name = name
         self.tags = tags
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount=1):
-        self.value += amount
+        with self._lock:
+            self.value += amount
         return self
 
     def __repr__(self):
@@ -39,7 +48,8 @@ class Histogram:
     min, max, mean) — enough for latency reporting without keeping
     every sample."""
 
-    __slots__ = ("name", "tags", "count", "total", "minimum", "maximum")
+    __slots__ = ("name", "tags", "count", "total", "minimum", "maximum",
+                 "_lock")
 
     def __init__(self, name, tags):
         self.name = name
@@ -48,14 +58,16 @@ class Histogram:
         self.total = 0.0
         self.minimum = None
         self.maximum = None
+        self._lock = threading.Lock()
 
     def observe(self, value):
-        self.count += 1
-        self.total += value
-        if self.minimum is None or value < self.minimum:
-            self.minimum = value
-        if self.maximum is None or value > self.maximum:
-            self.maximum = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
         return self
 
     @property
@@ -90,11 +102,12 @@ def _render_key(name, tags):
 class MetricsRegistry:
     """Named counters and histograms, created on first use."""
 
-    __slots__ = ("_counters", "_histograms")
+    __slots__ = ("_counters", "_histograms", "_lock")
 
     def __init__(self):
         self._counters = {}
         self._histograms = {}
+        self._lock = threading.Lock()
 
     # -- instruments ---------------------------------------------------
 
@@ -102,14 +115,20 @@ class MetricsRegistry:
         key = (name, _tag_key(tags))
         instrument = self._counters.get(key)
         if instrument is None:
-            instrument = self._counters[key] = Counter(name, dict(tags))
+            with self._lock:
+                instrument = self._counters.setdefault(
+                    key, Counter(name, dict(tags))
+                )
         return instrument
 
     def histogram(self, name, **tags):
         key = (name, _tag_key(tags))
         instrument = self._histograms.get(key)
         if instrument is None:
-            instrument = self._histograms[key] = Histogram(name, dict(tags))
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    key, Histogram(name, dict(tags))
+                )
         return instrument
 
     # -- reading -------------------------------------------------------

@@ -14,13 +14,22 @@ instrumentation behind an ``is not None`` check on the tracer so the
 disabled path costs a pointer comparison (benchmark B3 asserts the
 overhead stays under 5%).
 
-The tracer is deliberately not thread-safe: the engine evaluates one
-statement at a time, which is the unit a trace describes.
+The active-span stack is *thread-local*: the engine still evaluates one
+statement at a time, but the federation's scatter-gather executor (see
+:mod:`repro.multidb.executor`) runs member I/O on worker threads, each
+of which needs its own nesting context. A worker inherits the parent
+span explicitly with :meth:`Tracer.adopt`, so connector spans opened on
+a worker thread still land under the ``scatter-gather`` span that
+dispatched them. Appending a child to a span shared across threads is
+safe (list appends are atomic under the GIL); everything else about a
+span is only touched by the thread that opened it.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from contextlib import contextmanager
 
 
 class Span:
@@ -243,16 +252,46 @@ class Tracer:
     def __init__(self, clock=None, on_finish=None):
         self.clock = clock if clock is not None else time.perf_counter
         self.on_finish = on_finish
-        self._stack = []
+        self._local = threading.local()
+
+    @property
+    def _stack(self):
+        """This thread's active-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name, **attributes):
         """A new span, parented under the current one when entered."""
         return Span(name, attributes, self)
 
+    @contextmanager
+    def adopt(self, span):
+        """Make ``span`` (opened on another thread) this thread's
+        current span for the duration of the block.
+
+        The scatter-gather executor uses this so spans a worker thread
+        opens nest under the dispatching span instead of becoming
+        roots. The adopted span is not re-timed and ``on_finish`` never
+        fires for it here — only the owning thread closes it.
+        """
+        if span is None:
+            yield None
+            return
+        stack = self._stack
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            if stack and stack[-1] is span:
+                stack.pop()
+
     @property
     def current(self):
         """The innermost open span, or None outside any span."""
-        return self._stack[-1] if self._stack else None
+        stack = self._stack
+        return stack[-1] if stack else None
 
     # -- span lifecycle (called by Span) --------------------------------
 
@@ -283,6 +322,10 @@ class NoopTracer:
 
     def span(self, name, **attributes):
         return NOOP_SPAN
+
+    @contextmanager
+    def adopt(self, span):
+        yield span
 
 
 NOOP_TRACER = NoopTracer()

@@ -17,6 +17,7 @@ the way a real member database survives a federation crash.
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 from hypothesis import given, settings
@@ -27,6 +28,7 @@ from repro.multidb import (
     CrashPoint,
     FaultyConnector,
     Federation,
+    FederationConfig,
     InMemoryConnector,
     InMemoryJournal,
     ResiliencePolicy,
@@ -38,10 +40,20 @@ pytestmark = pytest.mark.chaos
 
 STYLES = ("euter", "chwab", "ource")
 
+#: CI runs the chaos job with scatter-gather on (the default) so every
+#: crash schedule also exercises concurrent member applies; set
+#: ``CHAOS_PARALLEL=off`` to sweep the deterministic serial path.
+CHAOS_PARALLEL = os.environ.get("CHAOS_PARALLEL", "on")
 
-def build(connectors, journal, crash=None, policy=None, clock=None):
+
+def build(connectors, journal, crash=None, policy=None, clock=None,
+          parallel=None):
     """A three-member federation over pre-built connectors."""
-    federation = Federation(journal=journal, crash=crash)
+    config = FederationConfig(
+        journal=journal, crash=crash,
+        parallel=CHAOS_PARALLEL if parallel is None else parallel,
+    )
+    federation = Federation.from_config(config)
     for style in STYLES:
         federation.add_member(style, style, connector=connectors[style],
                               policy=policy, clock=clock)
@@ -271,6 +283,83 @@ class TestNarrowedUpdateCrashSchedules:
             assert restarted.journal.pending() == []
 
 
+@pytest.mark.concurrency
+class TestConcurrentFlushChaos:
+    """Crash schedules against the scatter-gather flush, explicitly
+    ``parallel="on"``: the applies are in flight on worker threads when
+    the crash fires, yet every member must still land at exactly the
+    pre-update or exactly the post-update state after recovery.
+
+    The injector's fired-keeps-firing rule is what a real process death
+    looks like to the stragglers: once one worker hits the armed crash
+    point, every later crash-point visit — another member's apply, a
+    journal record — dies too, so nothing is journaled after the crash.
+    """
+
+    def setup_method(self):
+        self.workload = StockWorkload(n_stocks=2, n_days=2, seed=13)
+
+    def build_parallel(self, connectors, buffer, crash=None):
+        return build(connectors, InMemoryJournal(buffer=buffer),
+                     crash=crash, parallel="on")
+
+    def expected_states(self):
+        connectors = fresh_connectors(self.workload)
+        pre = member_states(connectors)
+        federation = self.build_parallel(connectors, [])
+        federation.insert_quote("nova", "9/9/99", 7.0)
+        return pre, member_states(connectors)
+
+    def test_parallel_and_serial_flush_agree(self):
+        """Crash-free: scatter-gather and the serial fallback leave the
+        members in identical states."""
+        serial = fresh_connectors(self.workload)
+        build(serial, InMemoryJournal(), parallel="off").insert_quote(
+            "nova", "9/9/99", 7.0)
+        _, parallel_post = self.expected_states()
+        assert member_states(serial) == parallel_post
+
+    def test_every_crash_point_recovers_atomically_in_flight(self):
+        """The full crash sweep with concurrent applies: all-pre or
+        all-post after recovery, and a double ``recover()`` is a no-op."""
+        pre, post = self.expected_states()
+        crash = CrashInjector()
+        probe = self.build_parallel(fresh_connectors(self.workload), [],
+                                    crash=crash)
+        crash.sites.clear()
+        probe.insert_quote("nova", "9/9/99", 7.0)
+        n_ops = len(crash.sites)
+        for after in range(n_ops):
+            connectors = fresh_connectors(self.workload)
+            buffer = []
+            injector = CrashInjector().arm(after)
+            federation = self.build_parallel(connectors, buffer,
+                                             crash=injector)
+            with pytest.raises(CrashPoint):
+                federation.insert_quote("nova", "9/9/99", 7.0)
+            restarted, _ = restart(connectors, buffer)
+            states = member_states(connectors)
+            assert states in (pre, post), (
+                f"mixed member state after concurrent crash at op {after}"
+            )
+            assert restarted.recover() == {}
+            assert member_states(connectors) == states
+            assert restarted.journal.pending() == []
+
+    def test_crash_mid_scatter_journals_nothing_after_the_fire(self):
+        """Once the injector fires, no straggling worker gets a member
+        record into the journal — the surviving log ends at the intent."""
+        connectors = fresh_connectors(self.workload)
+        buffer = []
+        injector = CrashInjector().arm(1)  # intent durable, applies die
+        federation = self.build_parallel(connectors, buffer, crash=injector)
+        with pytest.raises(CrashPoint):
+            federation.insert_quote("nova", "9/9/99", 7.0)
+        reopened = InMemoryJournal(buffer=buffer)
+        kinds = [record["type"] for record in reopened.records()]
+        assert kinds == ["intent"]
+
+
 class TestRecoveryWithUnreachableMembers:
     def setup_method(self):
         self.workload = StockWorkload(n_stocks=2, n_days=2, seed=13)
@@ -336,7 +425,9 @@ class TestRecoveryWithUnreachableMembers:
         clock = FakeClock()
         policy = ResiliencePolicy(max_attempts=1, failure_threshold=100,
                                   jitter=0.0)
-        restarted = Federation(journal=InMemoryJournal(buffer=buffer))
+        restarted = Federation.from_config(
+            FederationConfig(journal=InMemoryJournal(buffer=buffer))
+        )
         for style in STYLES:
             restarted.add_member(style, style, connector=connectors[style],
                                  policy=policy, clock=clock)

@@ -324,15 +324,52 @@ class TestDegradedFederation:
         assert federation.unified_quotes() == expected
 
     def test_probe_all_reports_every_member(self, workload):
-        federation, flaky, _ = self.setup_down_member(workload)
+        federation, flaky, clock = self.setup_down_member(workload)
         federation.install()
         assert federation.probe_all() == {
             "euter": True, "chwab": False, "ource": True
         }
         flaky.restore()
+        # The sweep honors the breaker cooldown: until recovery_timeout
+        # elapses the open breaker refuses the probe without a network
+        # call, so the member still reads as down.
+        assert federation.probe_all()["chwab"] is False
+        clock.advance(31.0)
         assert federation.probe_all() == {
             "euter": True, "chwab": True, "ource": True
         }
+
+    def test_probe_all_respects_breaker_cooldown(self, workload):
+        """The sweep must not hammer a quarantined member whose breaker
+        is still open — that used to force a half-open probe (and a
+        network call) on every ``probe_all``."""
+        federation, flaky, clock = self.setup_down_member(workload)
+        federation.install()
+        flaky.restore()
+        calls_before = flaky.calls
+        assert federation.probe_all()["chwab"] is False
+        assert flaky.calls == calls_before  # cooldown: member untouched
+        clock.advance(31.0)
+        assert federation.probe_all()["chwab"] is True
+        assert flaky.calls > calls_before
+
+    def test_single_member_probe_still_forces_half_open(self, workload):
+        """The operator-driven ``probe(name)`` keeps its force-half-open
+        contract: it bypasses the cooldown the sweep honors."""
+        federation, flaky, clock = self.setup_down_member(workload)
+        federation.install()
+        flaky.restore()
+        assert federation.probe_all()["chwab"] is False  # cooldown holds
+        assert federation.probe("chwab") is True  # explicit probe forces
+
+    def test_member_order_is_computed_once(self, workload):
+        federation, _, _ = self.setup_down_member(workload)
+        federation.install()
+        first = federation.member_order
+        assert first == tuple(sorted(federation.members))
+        assert federation.member_order is first  # cached, not re-sorted
+        federation.add_member("tock", "euter", workload.euter_relations())
+        assert "tock" in federation.member_order  # invalidated on growth
 
     def test_reinstall_reattaches_recovered_member(self, workload):
         federation, flaky, _ = self.setup_down_member(workload)

@@ -15,7 +15,7 @@ import warnings
 import pytest
 
 from repro.errors import FederationError
-from repro.multidb import Federation, InMemoryConnector
+from repro.multidb import Federation, FederationConfig, InMemoryConnector
 from repro.multidb.results import (
     APPLIED,
     SNAPSHOT_ONLY,
@@ -41,7 +41,7 @@ def build_stock_federation(obs=None):
     """The paper's three-member federation; chwab sits behind a real
     connector so updates have a member to flush to."""
     workload = StockWorkload(n_stocks=2, n_days=2, seed=42)
-    federation = Federation(obs=obs)
+    federation = Federation.from_config(FederationConfig(obs=obs))
     federation.add_member("euter", "euter", workload.euter_relations())
     federation.add_member(
         "chwab", "chwab",

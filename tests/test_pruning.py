@@ -26,6 +26,7 @@ from repro.multidb import (
     FakeClock,
     FaultyConnector,
     Federation,
+    FederationConfig,
     InMemoryConnector,
     ResiliencePolicy,
 )
@@ -45,7 +46,7 @@ fault_schedules = st.fixed_dictionaries({
 def build_federation(workload, prune, schedule=None, seed=0):
     """A three-style federation; ``schedule`` scripts connector faults."""
     clock = FakeClock()
-    federation = Federation(prune=prune)
+    federation = Federation.from_config(FederationConfig(prune=prune))
     for style in STYLES:
         relations = workload.relations_for(style)
         connector = InMemoryConnector(relations)
