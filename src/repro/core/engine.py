@@ -108,15 +108,28 @@ class IdlEngine:
     (:mod:`repro.analysis.effects`): only the view rules the query's
     read set can reach are materialized, so a query that provably
     touches one member never pays for the others. Pruned overlays are
-    cached per needed-rule set and dropped on any invalidation;
-    :attr:`last_prune` records the most recent decision.
+    cached per needed-rule set (LRU, dropped when their rules'
+    inputs change); :attr:`last_prune` records the most recent
+    decision.
+
+    With ``maintain`` True (the default), an update against a fully
+    materialized view repairs the dirty strata in place from the
+    update's concrete insert/delete deltas (incremental view
+    maintenance: DRed for deletions, delta-seeded semi-naive for
+    insertions) instead of rebuilding them — see
+    :func:`repro.core.fixpoint.maintain_stratum`. Any shape whose
+    repair could be unsound falls back to the full rebuild; set
+    ``maintain=False`` to force the rebuild path everywhere.
     """
 
-    #: Max distinct pruned rule subsets whose overlays are kept alive.
+    #: Max distinct pruned rule subsets whose overlays are kept alive
+    #: (an LRU: lookups refresh recency, overflow evicts the least
+    #: recently used entry).
     PRUNED_CACHE_SIZE = 8
 
     def __init__(self, universe=None, program=None, fixpoint_method="seminaive",
-                 reorder=True, obs=None, use_indexes=True, prune=False):
+                 reorder=True, obs=None, use_indexes=True, prune=False,
+                 maintain=True):
         from repro.core.integrity import ConstraintSet
 
         self.universe = universe if universe is not None else Universe()
@@ -128,6 +141,7 @@ class IdlEngine:
         if obs is not None:
             self.use_observability(obs)
         self.prune = prune
+        self.maintain = maintain
         self.last_prune = None
         self._overlay = None
         self._overlay_stats = None
@@ -189,51 +203,255 @@ class IdlEngine:
         self._reusable = {}
         self._pruned_cache = {}
 
-    def _selective_invalidate(self, touched):
-        """Invalidate only the view strata an update could have affected.
+    def _selective_invalidate(self, touched, delta=None):
+        """Invalidate — or repair — the view strata an update affected.
 
         ``touched`` is the set of ``(db, rel)`` prefixes reported by the
-        update evaluator. A stratum is dirty when any of its rules reads
-        (or defines) a target overlapping a touched path or the target of
-        an earlier dirty stratum; clean strata keep their overlays and
-        are reused by the next materialization.
+        update evaluator; ``delta`` (optional) its concrete
+        :class:`~repro.core.updates.UpdateDelta`. A rule is dirty when
+        it reads (or defines) a target overlapping a touched path or a
+        dirty rule's target, transitively. Pruned-query overlays whose
+        rule sets are entirely clean survive. With a full
+        materialization live and a concrete delta, dirty strata are
+        repaired in place (:meth:`_repair_strata`); otherwise clean
+        strata keep their overlays for reuse by the next
+        materialization and dirty ones are dropped.
         """
-        from repro.core.rules import patterns_overlap
         from repro.core.terms import Const
 
-        if self._strata is None:
-            self.invalidate()
-            return
         if any(len(prefix) == 0 for prefix in touched):
             self.invalidate()
             return
 
-        dirty_targets = [
+        touched_patterns = [
             tuple(Const(name) for name in prefix) for prefix in touched
         ]
-        reusable = {}
-        for key, stratum, overlay in self._strata:
-            dirty = False
-            for rule in stratum:
-                if any(
-                    patterns_overlap(pattern, target)
-                    for pattern, _ in rule.references
-                    for target in dirty_targets
-                ) or any(
-                    patterns_overlap(rule.target, target)
-                    for target in dirty_targets
-                ):
-                    dirty = True
-                    break
-            if dirty:
-                dirty_targets.extend(rule.target for rule in stratum)
-            else:
-                reusable[key] = overlay
+        dirty_ids = {id(rule) for rule in self._dirty_rules(touched_patterns)}
+        self._retain_pruned_overlays(dirty_ids)
+
+        if self._strata is None:
+            # Nothing fully materialized; keep previously salvaged
+            # overlays of strata whose rules all stayed clean.
+            if self._reusable and dirty_ids:
+                self._reusable = {
+                    key: overlay for key, overlay in self._reusable.items()
+                    if not dirty_ids.intersection(key)
+                }
+            self._overlay = None
+            self._overlay_stats = None
+            return
+
+        if not dirty_ids:
+            # The update touched nothing any view reads: the whole
+            # materialization stays valid (queries merge the live base
+            # underneath the overlay).
+            return
+
+        if (self.maintain and delta is not None
+                and self._overlay_stats is not None):
+            self._repair_strata(dirty_ids, touched_patterns, delta)
+            return
+
+        reusable = {
+            key: overlay
+            for key, _, overlay in self._strata
+            if not dirty_ids.intersection(key)
+        }
         self._overlay = None
         self._overlay_stats = None
         self._strata = None
         self._reusable = reusable
-        self._pruned_cache = {}
+
+    def _dirty_rules(self, touched_patterns):
+        """Rules whose output the update may have changed: those reading
+        or defining a touched path, closed transitively through the
+        targets of dirty rules."""
+        from repro.core.rules import patterns_overlap
+
+        dirty = []
+        dirty_ids = set()
+        frontier = list(touched_patterns)
+        progress = True
+        while progress:
+            progress = False
+            for rule in self.program.rules:
+                if id(rule) in dirty_ids:
+                    continue
+                if any(
+                    patterns_overlap(pattern, changed)
+                    for pattern, _ in rule.references
+                    for changed in frontier
+                ) or any(
+                    patterns_overlap(rule.target, changed)
+                    for changed in frontier
+                ):
+                    dirty.append(rule)
+                    dirty_ids.add(id(rule))
+                    frontier.append(rule.target)
+                    progress = True
+        return dirty
+
+    def _retain_pruned_overlays(self, dirty_ids):
+        """Keep pruned-query overlays whose needed-rule sets are
+        entirely clean — their inputs did not change, so the cached
+        subset materialization is still exact."""
+        if self._pruned_cache and dirty_ids:
+            self._pruned_cache = {
+                key: value for key, value in self._pruned_cache.items()
+                if not dirty_ids.intersection(key)
+            }
+
+    def _repair_strata(self, dirty_ids, touched_patterns, delta):
+        """Incremental view maintenance over the cached materialization.
+
+        Walks the strata in evaluation order, repairing each dirty
+        overlay in place from the accumulated concrete deltas (the
+        update's own changes plus the derived changes of already
+        repaired strata). When every dirty stratum repairs, the cached
+        materialization stays live and the combined overlay is patched
+        with the net derived changes; when any stratum must fall back
+        (see :func:`repro.core.fixpoint.maintenance_plan`), the clean
+        and repaired overlays are salvaged into ``_reusable`` and the
+        next query rebuilds the rest.
+        """
+        from repro.core import fixpoint
+        from repro.core.rules import patterns_overlap
+        from repro.core.terms import Const
+        from repro.obs.trace import NOOP_SPAN
+
+        stats = self._overlay_stats
+        metrics = self.eval_ctx.metrics
+        obs = self.obs
+        span = (obs.span("fixpoint.maintain")
+                if obs is not None and obs.enabled else NOOP_SPAN)
+
+        acc_inserts, acc_deletes, symbolic = delta.fold()
+        acc_inserts = {path: dict(elems) for path, elems in acc_inserts.items()}
+        acc_deletes = {path: dict(elems) for path, elems in acc_deletes.items()}
+        # Paths whose delta is unknown: symbolic records, plus the
+        # targets of any stratum that fell back — strata reading them
+        # cannot be repaired.
+        unknown = [tuple(Const(name) for name in path)
+                   for path in sorted(symbolic)]
+        changed_patterns = list(touched_patterns)
+        seeded = (sum(len(v) for v in acc_inserts.values())
+                  + sum(len(v) for v in acc_deletes.values()))
+        overdeleted_before = stats.maintain_overdeleted
+        rederived_before = stats.maintain_rederived
+        derived_added = {}
+        derived_removed = {}
+        repaired = 0
+        fallbacks = 0
+        salvage = {}
+        with span:
+            view_base = self.universe
+            for key, stratum, overlay in self._strata:
+                if not dirty_ids.intersection(key):
+                    salvage[key] = overlay
+                    view_base = MergedTuple(view_base, overlay)
+                    continue
+                variants = None
+                if any(
+                    patterns_overlap(pattern, unk)
+                    for rule in stratum
+                    for pattern, _ in rule.references
+                    for unk in unknown
+                ) or any(
+                    patterns_overlap(rule.target, unk)
+                    for rule in stratum
+                    for unk in unknown
+                ):
+                    reason = "unknown-delta"
+                else:
+                    variants, reason = fixpoint.maintenance_plan(
+                        stratum, changed_patterns
+                    )
+                if reason is None:
+                    try:
+                        added, removed = fixpoint.maintain_stratum(
+                            stratum, variants, view_base, overlay,
+                            fixpoint.paths_overlay(acc_inserts),
+                            fixpoint.paths_overlay(acc_deletes),
+                            stats, self.eval_ctx,
+                        )
+                    except fixpoint.MaintenanceAborted as aborted:
+                        # The overlay is partially mutated: unusable.
+                        reason = aborted.reason
+                        added = removed = None
+                if reason is None:
+                    for names, elements in added.items():
+                        acc_inserts.setdefault(names, {}).update(elements)
+                        derived_added.setdefault(names, {}).update(elements)
+                    for names, elements in removed.items():
+                        acc_deletes.setdefault(names, {}).update(elements)
+                        derived_removed.setdefault(names, {}).update(elements)
+                    salvage[key] = overlay
+                    repaired += 1
+                    stats.maintained_strata += 1
+                    span.event(
+                        "stratum-repaired",
+                        added=sum(len(v) for v in added.values()),
+                        removed=sum(len(v) for v in removed.values()),
+                    )
+                else:
+                    fallbacks += 1
+                    unknown = unknown + [rule.target for rule in stratum]
+                    span.event("stratum-fallback", reason=reason)
+                changed_patterns.extend(rule.target for rule in stratum)
+                view_base = MergedTuple(view_base, overlay)
+            stats.maintain_seeded += seeded
+            stats.maintain_fallbacks += fallbacks
+            span.set("strata", len(self._strata))
+            span.set("repaired", repaired)
+            span.set("fallbacks", fallbacks)
+            span.set("seeded", seeded)
+            span.set("overdeleted",
+                     stats.maintain_overdeleted - overdeleted_before)
+            span.set("rederived",
+                     stats.maintain_rederived - rederived_before)
+        if metrics is not None:
+            metrics.counter("fixpoint.maintain.runs").inc()
+            metrics.counter("fixpoint.maintain.seeded").inc(seeded)
+            metrics.counter("fixpoint.maintain.overdeleted").inc(
+                stats.maintain_overdeleted - overdeleted_before)
+            metrics.counter("fixpoint.maintain.rederived").inc(
+                stats.maintain_rederived - rederived_before)
+            metrics.counter("fixpoint.maintain.fallbacks").inc(fallbacks)
+        if fallbacks == 0:
+            # A fact removed from one stratum's overlay may still be
+            # derived by another stratum into the same path (two strata
+            # can share a target, e.g. the base and recursive rules of
+            # a closure): only facts absent from every repaired overlay
+            # leave the combined view.
+            surviving = {}
+            for names, elements in derived_removed.items():
+                keep = {
+                    key: element
+                    for key, element in elements.items()
+                    if not self._any_stratum_holds(names, element)
+                }
+                if keep:
+                    surviving[names] = keep
+            fixpoint.apply_path_deltas(
+                self._overlay, derived_added, surviving
+            )
+            return True
+        self._strata = None
+        self._overlay = None
+        self._overlay_stats = None
+        self._reusable = salvage
+        return False
+
+    def _any_stratum_holds(self, names, element):
+        """Does any stratum overlay still contain ``element`` at path
+        ``names``?"""
+        from repro.core.fixpoint import overlay_relation
+
+        for _, _, overlay in self._strata:
+            relation = overlay_relation(overlay, names)
+            if relation is not None and relation.contains_value(element):
+                return True
+        return False
 
     def materialized_view(self):
         """The merged (base + derived) universe for querying."""
@@ -324,8 +542,16 @@ class IdlEngine:
             self._last_stats = None
             return self.universe
         key = tuple(sorted(id(rule) for rule in needed))
-        cached = self._pruned_cache.get(key)
-        if cached is None:
+        metrics = self.eval_ctx.metrics
+        cached = self._pruned_cache.pop(key, None)
+        if cached is not None:
+            # Re-insert to mark the entry most recently used.
+            self._pruned_cache[key] = cached
+            if metrics is not None:
+                metrics.counter("evaluator.pruned_cache.hits").inc()
+        else:
+            if metrics is not None:
+                metrics.counter("evaluator.pruned_cache.misses").inc()
             strata, stats = materialize_strata(
                 needed,
                 self.universe,
@@ -338,6 +564,8 @@ class IdlEngine:
             )
             if len(self._pruned_cache) >= self.PRUNED_CACHE_SIZE:
                 self._pruned_cache.pop(next(iter(self._pruned_cache)))
+                if metrics is not None:
+                    metrics.counter("evaluator.pruned_cache.evictions").inc()
             self._pruned_cache[key] = cached = (overlay, stats)
         overlay, stats = cached
         self._last_stats = stats
@@ -422,6 +650,7 @@ class IdlEngine:
         included). ``atomic=True`` snapshots the universe and rolls back
         on any error; the request still *succeeds-or-not* per the paper's
         success/failure semantics — inspect the returned UpdateResult."""
+        from repro.core.updates import UpdateContext, UpdateDelta
         from repro.obs.trace import NOOP_SPAN
 
         statement = self._one_query(source, allow_update=True)
@@ -429,11 +658,23 @@ class IdlEngine:
         span = (obs.span("engine.update")
                 if obs is not None and obs.enabled else NOOP_SPAN)
         executor = UpdateExecutor(self.program, self.universe, self.eval_ctx)
+        # Capture concrete element-level deltas only when there is a
+        # live materialization to maintain with them; otherwise the
+        # capture hooks stay no-ops and the update pays nothing.
+        capture = (self.maintain and self._strata is not None
+                   and bool(self.program.rules))
+        uctx = UpdateContext(self.eval_ctx,
+                             delta=UpdateDelta() if capture else None)
         snapshot = self.universe.snapshot() if atomic else None
         with span:
             try:
-                result = executor.execute_request(statement, params or None)
-                self._reindex_universe()
+                result = executor.execute_request(statement, params or None,
+                                                  uctx=uctx)
+                # Value-keyed set indexes only go stale when an element
+                # was mutated in place; pure insert/delete requests keep
+                # every surviving key intact.
+                if uctx.modified:
+                    self._reindex_universe()
                 if len(self.constraints):
                     self.constraints.enforce(self.universe)
             except IdlError:
@@ -453,7 +694,7 @@ class IdlEngine:
         if obs is not None:
             obs.metrics.counter("engine.updates").inc()
         if result.changed:
-            self._selective_invalidate(result.touched)
+            self._selective_invalidate(result.touched, result.delta)
         return result
 
     def declare_key(self, db, rel, columns):

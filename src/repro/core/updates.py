@@ -56,23 +56,106 @@ from repro.objects.set import SetObject
 from repro.objects.tuple import TupleObject
 
 
+class UpdateDelta:
+    """Concrete per-path record of what one update request changed.
+
+    ``touched`` names the ``(db, rel)`` prefixes an update *may* have
+    affected; this records exactly *which elements* were inserted into
+    and deleted from each mutated set, so the engine can repair a
+    materialized view stratum in place instead of rebuilding it
+    (:func:`repro.core.fixpoint.maintain_stratum`). Elements are copied
+    at record time — a later in-place mutation of the live object cannot
+    retroactively change the log.
+
+    Mutations that are not expressible as set-level insert/delete pairs
+    — creating or dropping an attribute, nulling an atom that is not
+    inside a set element — are recorded as *symbolic* paths: the delta
+    for them is unknown and any stratum reading those paths must fall
+    back to a full rebuild.
+
+    The log is chronological so a caller can roll a suffix back:
+    the update evaluator rewrites the deep records produced while
+    mutating a set element in place into one whole-element
+    delete+insert pair at the owning set's path (see
+    ``_update_set_expr``).
+    """
+
+    __slots__ = ("_log",)
+
+    def __init__(self):
+        self._log = []
+
+    def record_insert(self, path, element):
+        self._log.append(("+", tuple(path), element.copy()))
+
+    def record_delete(self, path, element):
+        self._log.append(("-", tuple(path), element.copy()))
+
+    def mark_symbolic(self, path):
+        self._log.append(("?", tuple(path), None))
+
+    def mark(self):
+        """A rollback token for the current end of the log."""
+        return len(self._log)
+
+    def rollback(self, mark):
+        del self._log[mark:]
+
+    @property
+    def changed(self):
+        return bool(self._log)
+
+    def fold(self):
+        """Net changes: ``(inserts, deletes, symbolic)``.
+
+        ``inserts``/``deletes`` map a path to ``{value_key: element}``;
+        an insert and a delete of the same value at the same path cancel
+        (in either order — the base set ends where it started).
+        ``symbolic`` is the set of paths whose delta is unknown.
+        """
+        inserts, deletes, symbolic = {}, {}, set()
+        for op, path, element in self._log:
+            if op == "?":
+                symbolic.add(path)
+                continue
+            gained, lost = (inserts, deletes) if op == "+" else (deletes, inserts)
+            key = element.value_key()
+            opposite = lost.get(path)
+            if opposite is not None and opposite.pop(key, None) is not None:
+                continue
+            gained.setdefault(path, {})[key] = element
+        inserts = {path: elems for path, elems in inserts.items() if elems}
+        deletes = {path: elems for path, elems in deletes.items() if elems}
+        return inserts, deletes, symbolic
+
+    def __repr__(self):
+        plus = sum(1 for op, _, _ in self._log if op == "+")
+        minus = sum(1 for op, _, _ in self._log if op == "-")
+        unknown = sum(1 for op, _, _ in self._log if op == "?")
+        return f"UpdateDelta(+{plus}, -{minus}, ?{unknown})"
+
+
 class UpdateResult:
     """Outcome of an update request.
 
     ``touched`` is the set of ``(db, rel)`` path prefixes whose contents
     were mutated — the engine's selective re-materialization uses it to
-    rebuild only the affected view strata.
+    rebuild only the affected view strata. ``delta`` (optional) is the
+    :class:`UpdateDelta` of concrete element-level changes when the
+    engine asked for capture; it drives incremental view maintenance.
     """
 
-    __slots__ = ("substitutions", "inserted", "deleted", "modified", "touched")
+    __slots__ = ("substitutions", "inserted", "deleted", "modified", "touched",
+                 "delta")
 
     def __init__(self, substitutions, inserted, deleted, modified,
-                 touched=frozenset()):
+                 touched=frozenset(), delta=None):
         self.substitutions = substitutions
         self.inserted = inserted
         self.deleted = deleted
         self.modified = modified
         self.touched = frozenset(touched)
+        self.delta = delta
 
     @property
     def succeeded(self):
@@ -92,19 +175,63 @@ class UpdateResult:
 
 
 class _UpdateContext:
-    """Mutable evaluation state shared across one update request."""
+    """Mutable evaluation state shared across one update request.
 
-    __slots__ = ("eval_ctx", "inserted", "deleted", "modified", "touched")
+    ``delta`` (optional :class:`UpdateDelta`) turns on element-level
+    change capture; with ``delta=None`` every capture hook is a cheap
+    no-op, so updates that feed no materialized view pay nothing.
+    """
 
-    def __init__(self, eval_ctx=None):
+    __slots__ = ("eval_ctx", "inserted", "deleted", "modified", "touched",
+                 "delta", "_preimages")
+
+    def __init__(self, eval_ctx=None, delta=None):
         self.eval_ctx = eval_ctx or EvalContext()
         self.inserted = 0
         self.deleted = 0
         self.modified = 0
         self.touched = set()  # (db, rel) prefixes of mutated paths
+        self.delta = delta
+        # Stack of [element, copy-or-None] cells for set elements being
+        # mutated in place; ``fire_preimages`` copies each element the
+        # moment the first real mutation beneath it is about to happen.
+        self._preimages = []
 
     def touch(self, path):
         self.touched.add(tuple(path[:2]))
+
+    # -- delta capture hooks (all no-ops when ``delta`` is None) -------------
+
+    def record_insert(self, path, element):
+        if self.delta is not None:
+            self.delta.record_insert(path, element)
+
+    def record_delete(self, path, element):
+        if self.delta is not None:
+            self.delta.record_delete(path, element)
+
+    def mark_symbolic(self, path):
+        if self.delta is not None:
+            self.delta.mark_symbolic(path)
+
+    def push_preimage(self, element):
+        """Register a set element about to be (possibly) mutated in
+        place; returns a token for :meth:`pop_preimage`."""
+        self._preimages.append([element, None])
+        return len(self._preimages) - 1
+
+    def pop_preimage(self, token):
+        """The pre-mutation copy of the element (None when nothing
+        beneath it actually mutated)."""
+        cell = self._preimages[token]
+        del self._preimages[token:]
+        return cell[1]
+
+    def fire_preimages(self):
+        """Snapshot every pending element before a mutation lands."""
+        for cell in self._preimages:
+            if cell[1] is None:
+                cell[1] = cell[0].copy()
 
 
 # Public alias: the executor threads one context across a whole request.
@@ -136,7 +263,7 @@ def apply_request(request, universe, bindings=None, eval_ctx=None):
         if not substitutions:
             break
     return UpdateResult(substitutions, uctx.inserted, uctx.deleted,
-                        uctx.modified, uctx.touched)
+                        uctx.modified, uctx.touched, delta=uctx.delta)
 
 
 def apply_conjunct(conjunct, universe, substitutions, uctx=None):
@@ -241,9 +368,11 @@ def _update_attr_step(expr, obj, subst, uctx, excluded, path=()):
         name = term_name(expr.attr, subst)
         if name is None or name is NOT_A_NAME:
             raise UpdateError(f"tuple plus needs a known attribute name: {expr!r}")
+        uctx.fire_preimages()
         obj.set(name, _empty_for(expr.expr))
         uctx.modified += 1
         uctx.touch(path + (name,))
+        uctx.mark_symbolic(path + (name,))
         for extended in _apply_plus(expr.expr, obj, name, subst, uctx,
                                     path + (name,)):
             yield extended
@@ -303,10 +432,12 @@ def _tuple_minus(expr, obj, subst, uctx, excluded, path=()):
     removed = set()
     for attr_name, _ in matches:
         if attr_name not in removed and obj.has(attr_name):
+            uctx.fire_preimages()
             obj.remove(attr_name)
             removed.add(attr_name)
             uctx.deleted += 1
             uctx.touch(path + (attr_name,))
+            uctx.mark_symbolic(path + (attr_name,))
 
     if ground:
         yield subst
@@ -328,9 +459,11 @@ def _update_set_expr(expr, obj, subst, uctx, path=()):
     if expr.sign == ast.PLUS:
         if not isinstance(expr.inner, ast.Epsilon):
             element = build_object(expr.inner, subst)
+            uctx.fire_preimages()
             if obj.add(element):
                 uctx.inserted += 1
                 uctx.touch(path)
+                uctx.record_insert(path, element)
         yield subst
         return
 
@@ -345,9 +478,11 @@ def _update_set_expr(expr, obj, subst, uctx, path=()):
             key = element.value_key()
             if key not in removed:
                 removed.add(key)
+                uctx.fire_preimages()
                 obj.discard_value(element)
                 uctx.deleted += 1
                 uctx.touch(path)
+                uctx.record_delete(path, element)
         if ground:
             yield subst
         else:
@@ -362,14 +497,29 @@ def _update_set_expr(expr, obj, subst, uctx, path=()):
     # Unsigned set expression with inner updates: select elements, mutate
     # them in place, then re-index the set (elements are value-keyed).
     results = []
+    delta = uctx.delta
     for element in obj.elements():
         before = (uctx.inserted, uctx.deleted, uctx.modified)
+        if delta is not None:
+            mark = delta.mark()
+            token = uctx.push_preimage(element)
         for extended in _update_satisfy(expr.inner, element, subst, uctx,
                                         frozenset(), path):
             results.append(extended)
+        preimage = uctx.pop_preimage(token) if delta is not None else None
         if (uctx.inserted, uctx.deleted, uctx.modified) != before:
             obj.refresh(element)
             uctx.touch(path)
+            if delta is not None:
+                # The records made while mutating the element describe
+                # positions inside it; rewrite them as one whole-element
+                # delete+insert at the owning set's path.
+                delta.rollback(mark)
+                if preimage is None:
+                    delta.mark_symbolic(path)
+                else:
+                    delta.record_delete(path, preimage)
+                    delta.record_insert(path, element)
     for extended in results:
         yield extended
 
@@ -384,9 +534,11 @@ def _apply_atomic_update(expr, obj, subst, uctx, path=()):
         value_obj = evaluate_term(expr.term, subst)
         if not value_obj.is_atom:
             raise UpdateError("atomic plus requires an atomic value")
+        uctx.fire_preimages()
         obj.value = value_obj.value
         uctx.modified += 1
         uctx.touch(path)
+        uctx.mark_symbolic(path)
         yield subst
         return
 
@@ -396,17 +548,21 @@ def _apply_atomic_update(expr, obj, subst, uctx, path=()):
         if obj.is_null:
             return  # nothing to bind: the null atom satisfies no expression
         bound = subst.bind(term.name, Atom(obj.value))
+        uctx.fire_preimages()
         obj.value = None
         uctx.modified += 1
         uctx.touch(path)
+        uctx.mark_symbolic(path)
         yield bound
         return
     value_obj = evaluate_term(term, subst)
     if obj.is_atom and value_obj.is_atom and not obj.is_null:
         if obj.compare("=", value_obj.value):
+            uctx.fire_preimages()
             obj.value = None
             uctx.modified += 1
             uctx.touch(path)
+            uctx.mark_symbolic(path)
     yield subst
 
 

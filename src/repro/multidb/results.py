@@ -121,6 +121,7 @@ class UpdateResult(EngineUpdateResult):
             engine_result.deleted,
             engine_result.modified,
             engine_result.touched,
+            delta=engine_result.delta,
         )
         self.member_outcomes = dict(member_outcomes or {})
         self.flushed = flushed

@@ -65,6 +65,19 @@ class QueryProfile:
         ]
 
     @property
+    def maintenance(self):
+        """Attribute dicts of every ``fixpoint.maintain`` span — one per
+        in-place view repair in this trace (empty when no update was
+        maintained). Each carries ``strata``/``repaired``/``fallbacks``
+        /``seeded``/``overdeleted``/``rederived``."""
+        if self.trace is None:
+            return []
+        return [
+            dict(span.attributes)
+            for span in self.trace.find_all("fixpoint.maintain")
+        ]
+
+    @property
     def duration_ms(self):
         return self.trace.duration_ms if self.trace is not None else None
 

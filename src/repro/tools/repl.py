@@ -38,9 +38,12 @@ IDL console commands:
   :explain ?<expr>     show the evaluation plan of a query
   :profile ?<expr>     evaluate with node-visit counters (including the
                        evaluator's index probe stats) and, when tracing
-                       is on, the span tree of the run
+                       is on, the span tree of the run; an update
+                       request reports the incremental-maintenance
+                       summary (repaired/fallback strata) instead
   :metrics             show the engine's metrics registry (fixpoint
-                       totals, evaluator.index.* probe counters, ...)
+                       totals, fixpoint.maintain.* repair counters,
+                       evaluator.index.* probe counters, ...)
   :health              per-member availability/health and the write-
                        ahead journal's status (federation consoles)
   :check [<path>]      run idlcheck over the loaded program (or a file);
@@ -273,7 +276,16 @@ class IdlRepl:
 
     def _profile(self, argument):
         """Evaluate once with profiling; with tracing on, one observed
-        run yields the answers, the counters and the span tree."""
+        run yields the answers, the counters and the span tree. An
+        update request is executed instead, reporting its counts and —
+        when the materialization was repaired in place — the
+        incremental-maintenance summary."""
+        statements = parse_program(argument)
+        statement = statements[0] if statements else None
+        if (isinstance(statement, ast.Query)
+                and self._is_update(statement)):
+            self._profile_update(statement)
+            return
         obs = self.engine.obs
         if obs is not None and obs.enabled:
             collector = InMemoryCollector()
@@ -305,6 +317,55 @@ class IdlRepl:
             for kind, count in counters.items() if kind.startswith("index.")
         }
         self.write(self._index_summary(stats))
+
+    def _profile_update(self, statement):
+        """Run an update once, reporting what it changed and how the
+        cached materialization coped (repaired in place vs rebuild)."""
+        obs = self.engine.obs
+        collector = None
+        if obs is not None and obs.enabled:
+            collector = InMemoryCollector()
+            obs.add_exporter(collector)
+        try:
+            result = self.engine.update(statement)
+        finally:
+            if collector is not None:
+                obs.exporters.remove(collector)
+        status = "ok" if result.succeeded else "no match"
+        self.write(
+            f"{status}: +{result.inserted} -{result.deleted} "
+            f"~{result.modified}"
+        )
+        if collector is None:
+            self.write("(enable tracing for the maintenance summary)")
+            return
+        maintain = collector.find("fixpoint.maintain")
+        if maintain is None:
+            self.write("maintenance: (not attempted — no live "
+                       "materialization or nothing dirtied)")
+        else:
+            attributes = maintain.attributes
+            self.write(self._maintenance_summary(attributes))
+            for name, event in maintain.events:
+                if name == "stratum-fallback":
+                    self.write(f"  fallback: {event.get('reason')}")
+        update_root = collector.find("engine.update")
+        if update_root is not None:
+            self.write(update_root.render())
+
+    @staticmethod
+    def _maintenance_summary(attributes):
+        """One line summarizing an in-place view repair (see
+        docs/performance.md, "Incremental maintenance")."""
+        return (
+            "maintenance: repaired={repaired}/{strata} "
+            "fallbacks={fallbacks} seeded={seeded} "
+            "overdeleted={overdeleted} rederived={rederived}".format(
+                **{key: attributes.get(key, 0) for key in (
+                    "repaired", "strata", "fallbacks", "seeded",
+                    "overdeleted", "rederived")}
+            )
+        )
 
     @staticmethod
     def _index_summary(stats):

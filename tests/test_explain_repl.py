@@ -166,6 +166,29 @@ class TestRepl:
         text = feed(console, ":profile ?.ource.S(.clsPrice>100)")
         assert "answers: 1" in text and "visits" in text
 
+    def test_profile_update_reports_maintenance(self):
+        out = io.StringIO()
+        from repro.obs import Observability
+
+        engine = IdlEngine(obs=Observability())
+        engine.add_database("a", {"r": [{"x": 1}]})
+        engine.define(".v.p(.x=X) <- .a.r(.x=X)")
+        engine.materialized_view()
+        console = IdlRepl(engine=engine, out=out)
+        text = feed(console, ":profile ?.a.r+(.x=2)")
+        assert "ok: +1" in text
+        assert "maintenance: repaired=1/1 fallbacks=0" in text
+        assert "engine.update" in text
+
+    def test_profile_update_without_tracing(self):
+        out = io.StringIO()
+        engine = IdlEngine()  # no observability attached
+        engine.add_database("a", {"r": [{"x": 1}]})
+        console = IdlRepl(engine=engine, out=out)
+        text = feed(console, ":profile ?.a.r+(.x=2)")
+        assert "ok: +1" in text
+        assert "enable tracing" in text
+
     def test_comments_and_blanks_ignored(self, repl):
         console, out = repl
         feed(console, "", "% comment", "# comment")

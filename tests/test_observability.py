@@ -274,6 +274,14 @@ class TestUpdateResult:
         assert result.metrics["counters"]["engine.updates"] >= 1
         assert result.trace.name == "federation.call"
 
+    def test_update_profile_reports_maintenance(self):
+        federation = build_stock_federation()
+        federation.query(QUERY)  # materialize the integration views
+        result = federation.insert_quote("nova", "9/9/99", 9.0)
+        maintenance = result.profile.maintenance
+        assert maintenance  # the repair (or its fallback) was attempted
+        assert {"strata", "repaired", "fallbacks", "seeded"} <= set(maintenance[0])
+
     def test_no_op_update_reports_unchanged_members(self):
         federation = build_stock_federation()
         result = federation.delete_quote("ghost", "1/1/01")

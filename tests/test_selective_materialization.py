@@ -10,8 +10,8 @@ from repro import IdlEngine
 from tests.conftest import answers_set
 
 
-def build_engine():
-    engine = IdlEngine()
+def build_engine(maintain=True):
+    engine = IdlEngine(maintain=maintain)
     engine.add_database("a", {"r": [{"x": 1}, {"x": 2}]})
     engine.add_database("b", {"s": [{"y": 10}]})
     engine.define(".va.p(.x=X) <- .a.r(.x=X)")
@@ -49,7 +49,7 @@ class TestTouchedPaths:
 
 class TestSelectiveRebuild:
     def test_untouched_stratum_is_reused(self):
-        engine = build_engine()
+        engine = build_engine(maintain=False)
         engine.materialized_view()
         engine.update("?.b.s+(.y=20)")
         engine.materialized_view()
@@ -57,8 +57,22 @@ class TestSelectiveRebuild:
         assert engine.fixpoint_stats.reused_strata >= 1
         assert answers_set(engine.query("?.vb.q(.y=Y)"), "Y") == {10, 20}
 
-    def test_dependent_strata_are_rebuilt(self):
+    def test_maintained_stratum_is_repaired_in_place(self):
         engine = build_engine()
+        engine.materialized_view()
+        overlay = engine.overlay
+        engine.update("?.b.s+(.y=20)")
+        engine.materialized_view()
+        # With maintenance on, the update repairs the live materialization:
+        # no stratum is rebuilt at all, and the overlay stays live.
+        stats = engine.fixpoint_stats
+        assert stats.maintained_strata >= 1
+        assert stats.maintain_fallbacks == 0
+        assert engine.overlay is overlay
+        assert answers_set(engine.query("?.vb.q(.y=Y)"), "Y") == {10, 20}
+
+    def test_dependent_strata_are_rebuilt(self):
+        engine = build_engine(maintain=False)
         engine.materialized_view()
         engine.update("?.a.r+(.x=3)")
         # vc depends on va depends on a.r: both rebuilt, vb reused.
@@ -91,7 +105,7 @@ class TestSelectiveRebuild:
         assert engine.fixpoint_stats.reused_strata == 0
 
     def test_higher_order_views_track_touched_families(self):
-        engine = IdlEngine()
+        engine = IdlEngine(maintain=False)
         engine.add_database("euter", {"r": [
             {"date": "d1", "stkCode": "hp", "clsPrice": 50},
         ]})
@@ -102,6 +116,78 @@ class TestSelectiveRebuild:
         engine.update("?.euter.r+(.date=d2, .stkCode=sun, .clsPrice=9)")
         assert sorted(engine.overlay.get("dbO").attr_names()) == ["hp", "sun"]
         assert engine.fixpoint_stats.reused_strata == 1
+
+
+class TestInvalidateEdgeCases:
+    def test_empty_touched_prefix_forces_full_invalidate(self):
+        engine = build_engine()
+        engine.materialized_view()
+        # An empty prefix means "somewhere unknown": everything goes.
+        engine._selective_invalidate({()})
+        assert engine._strata is None
+        assert engine._overlay is None
+        assert engine._reusable == {}
+        assert engine._pruned_cache == {}
+
+    def test_derived_target_only_touch_dirties_view(self):
+        # A touch landing on a path that is only a view's *target* (not
+        # read by any rule body) still dirties that view — and
+        # transitively its readers — while unrelated strata survive.
+        engine = build_engine(maintain=False)
+        engine.materialized_view()
+        engine._selective_invalidate({("va", "p")})
+        assert engine._strata is None
+        # va is dirty (target touched), vc is dirty (reads va.p);
+        # only vb's stratum remains reusable.
+        assert len(engine._reusable) == 1
+        engine.materialized_view()
+        assert engine.fixpoint_stats.reused_strata == 1
+
+    def test_transitive_stratum_dirtying(self):
+        # v2 never reads a.r, but depends on v1 which does: an update to
+        # a.r must dirty both, while the unrelated v3 stays reusable.
+        engine = IdlEngine(maintain=False)
+        engine.add_database("a", {"r": [{"x": 1}]})
+        engine.add_database("b", {"s": [{"z": 7}]})
+        engine.define(".v1.p(.x=X) <- .a.r(.x=X)")
+        engine.define(".v2.q(.x=X) <- .v1.p(.x=X)")
+        engine.define(".v3.w(.z=Z) <- .b.s(.z=Z)")
+        engine.materialized_view()
+        engine.update("?.a.r+(.x=2)")
+        assert engine._strata is None
+        assert len(engine._reusable) == 1  # only v3's stratum survives
+        engine.materialized_view()
+        assert engine.fixpoint_stats.reused_strata == 1
+        assert answers_set(engine.query("?.v2.q(.x=X)"), "X") == {1, 2}
+
+
+class TestPrunedCacheRetention:
+    def test_pruned_overlay_survives_unrelated_update(self):
+        engine = IdlEngine(prune=True)
+        engine.add_database("a", {"r": [{"x": 1}, {"x": 2}]})
+        engine.add_database("b", {"s": [{"y": 10}]})
+        engine.define(".va.p(.x=X) <- .a.r(.x=X)")
+        engine.define(".vb.q(.y=Y) <- .b.s(.y=Y)")
+        assert answers_set(engine.query("?.va.p(.x=X)"), "X") == {1, 2}
+        assert len(engine._pruned_cache) == 1
+        (key,) = engine._pruned_cache
+        # b.s feeds only vb: the cached va-only overlay spans clean
+        # strata exclusively and must survive the selective invalidate.
+        engine.update("?.b.s+(.y=20)")
+        assert list(engine._pruned_cache) == [key]
+        assert answers_set(engine.query("?.va.p(.x=X)"), "X") == {1, 2}
+
+    def test_pruned_overlay_dropped_when_input_changes(self):
+        engine = IdlEngine(prune=True)
+        engine.add_database("a", {"r": [{"x": 1}]})
+        engine.add_database("b", {"s": [{"y": 10}]})
+        engine.define(".va.p(.x=X) <- .a.r(.x=X)")
+        engine.define(".vb.q(.y=Y) <- .b.s(.y=Y)")
+        engine.query("?.va.p(.x=X)")
+        assert len(engine._pruned_cache) == 1
+        engine.update("?.a.r+(.x=2)")
+        assert engine._pruned_cache == {}
+        assert answers_set(engine.query("?.va.p(.x=X)"), "X") == {1, 2}
 
 
 # -- property: selective == full rebuild --------------------------------------
