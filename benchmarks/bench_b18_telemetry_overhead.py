@@ -1,0 +1,170 @@
+"""B18 — overhead of the full telemetry pipeline.
+
+Question: the observability layer now does real production work on the
+hot path — windowed counters and histogram reservoirs behind every
+``inc``/``observe``, per-request delta accumulators, head-sampled
+tracing with tail escapes, the slow-query log and per-member SLO
+tracking. What does all of that cost the two workloads it instruments
+most densely: the B3 recursive-closure evaluation (engine + fixpoint
+metrics and spans) and the B16 journaled flush fan-out (connector,
+pool and journal metrics plus a member span per apply)?
+
+Guard tests (run by the CI bench-smoke job):
+
+* full telemetry — sampling at 0.1, windows on, SLOs and the slow
+  log on, the HTTP server *off* — costs < 5% over observability
+  disabled on the closure workload (plus a small absolute epsilon
+  for timer jitter);
+* the same bound holds on the flush workload.
+
+The run also writes ``BENCH_b18.json`` (rows + check outcomes) for the
+CI artifact.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.bench import TC_PROGRAM, Experiment, chain_universe
+from repro.core.engine import IdlEngine
+from repro.multidb import Federation, FederationConfig, InMemoryConnector
+from repro.obs import Observability
+from repro.workloads.stocks import StockWorkload
+
+ROUNDS = 9
+CLOSURE_NODES = 30
+N_MEMBERS = 6
+FLUSH_OPS = 4
+STYLES = ("euter", "chwab", "ource")
+
+#: Absolute slack (seconds) absorbing timer jitter on the overhead
+#: checks — run-to-run noise of a few percent needs an absolute floor
+#: on top of the 5% ratio.
+JITTER = 0.025
+
+ARTIFACT = Path("BENCH_b18.json")
+
+
+def obs_off():
+    """Observability fully disabled: noop tracer, no windows, no SLO
+    tracker, no slow-query log."""
+    return Observability(enabled=False, window=False, slo=False,
+                         slow_log=False)
+
+
+def obs_telemetry():
+    """The production profile under test: head sampling at 0.1 with
+    tail escapes, sliding windows on every instrument, SLO tracking
+    and the slow-query log on. The HTTP server stays off — exposition
+    is pull-based and scrape cost is not hot-path cost."""
+    return Observability(sample_rate=0.1, slow_threshold_ms=250.0)
+
+
+def closure_round(obs):
+    """One B3-style evaluation: build the chain universe, define the
+    transitive closure, materialize it, query it back."""
+    engine = IdlEngine(universe=chain_universe(CLOSURE_NODES), obs=obs)
+    engine.define(TC_PROGRAM)
+    count = len(engine.overlay.get("g").get("tc"))
+    engine.query("?.g.tc(.a=0, .b=B)")
+    return count
+
+
+def build_flush_federation(obs):
+    """A B16-style federation — six in-memory connector-backed members
+    cycling the three schema styles, no injected latency — so a flush
+    exercises journal appends, per-member applies and pool metrics."""
+    workload = StockWorkload(n_stocks=2, n_days=2, seed=1991)
+    federation = Federation.from_config(FederationConfig(obs=obs))
+    for index in range(N_MEMBERS):
+        style = STYLES[index % len(STYLES)]
+        federation.add_member(
+            f"m{index:02d}", style,
+            connector=InMemoryConnector(workload.relations_for(style)),
+        )
+    federation.install()
+    return federation
+
+
+def flush_round(federation, tick):
+    for index in range(FLUSH_OPS):
+        federation.insert_quote(f"s{tick}_{index}", f"1/{tick + 1}/18",
+                                50 + index)
+
+
+def measure():
+    """Interleaved medians: each round times both modes back to back so
+    allocator and scheduler drift hits both sides alike."""
+    modes = {"off": obs_off(), "telemetry": obs_telemetry()}
+    federations = {name: build_flush_federation(obs)
+                   for name, obs in modes.items()}
+    for name, obs in modes.items():  # warm both pipelines once
+        closure_round(obs)
+        flush_round(federations[name], 999)
+    gc.collect()
+    closure = {name: [] for name in modes}
+    flush = {name: [] for name in modes}
+    expected = None
+    for tick in range(ROUNDS):
+        for name, obs in modes.items():
+            start = time.perf_counter()
+            count = closure_round(obs)
+            closure[name].append(time.perf_counter() - start)
+            start = time.perf_counter()
+            flush_round(federations[name], tick)
+            flush[name].append(time.perf_counter() - start)
+            if expected is None:
+                expected = count
+            assert count == expected  # telemetry must not change answers
+    timings = {}
+    for name in modes:
+        timings[("closure", name)] = statistics.median(closure[name]) * ROUNDS
+        timings[("flush", name)] = statistics.median(flush[name]) * ROUNDS
+    # The instrumented run must actually have produced telemetry —
+    # otherwise the overhead check would be vacuous.
+    metrics = modes["telemetry"].metrics
+    produced = (
+        metrics.counter_value("fixpoint.runs") > 0
+        and metrics.counter_value("journal.appends") > 0
+        and len(modes["telemetry"].slo.top()) > 0
+    )
+    return timings, produced
+
+
+def test_b18_telemetry_overhead(benchmark):
+    timings, produced = benchmark.pedantic(measure, rounds=1, iterations=1)
+    experiment = Experiment(
+        "B18",
+        "full telemetry pipeline overhead on hot workloads",
+        "windowed metrics, delta accumulators, sampled tracing, SLOs and "
+        "the slow-query log together stay within noise of obs-off",
+    )
+    checks = []
+    for workload in ("closure", "flush"):
+        off = timings[(workload, "off")]
+        full = timings[(workload, "telemetry")]
+        experiment.add_row(
+            workload=workload,
+            off_ms=round(off * 1000, 1),
+            telemetry_ms=round(full * 1000, 1),
+            overhead=f"{(full / off - 1) * 100:+.1f}%" if off > 0 else "n/a",
+        )
+        checks.append(experiment.check(
+            full <= off * 1.05 + JITTER,
+            f"full telemetry costs < 5% on the {workload} workload",
+        ))
+    checks.append(experiment.check(
+        produced,
+        "the instrumented run recorded fixpoint, journal and SLO telemetry",
+    ))
+    experiment.report()
+    ARTIFACT.write_text(json.dumps({
+        "experiment": "B18",
+        "rows": experiment.rows,
+        "passed": all(checks),
+    }, indent=2, default=str))
+    assert all(checks)

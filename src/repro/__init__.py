@@ -57,13 +57,19 @@ from repro.multidb.journal import (
 from repro.multidb.resilience import FakeClock, ResiliencePolicy
 from repro.multidb.results import PartialResult, QueryResult
 from repro.obs import (
+    SLO,
     InMemoryCollector,
     JsonLinesExporter,
     MetricsRegistry,
     Observability,
     QueryProfile,
+    SLOTracker,
+    SlowQueryLog,
     Span,
+    TelemetryServer,
+    TraceLimits,
     Tracer,
+    WindowConfig,
 )
 from repro.objects.universe import Universe
 
@@ -106,7 +112,13 @@ __all__ = [
     "MetricsRegistry",
     "Observability",
     "QueryProfile",
+    "SLO",
+    "SLOTracker",
+    "SlowQueryLog",
     "Span",
+    "TelemetryServer",
+    "TraceLimits",
     "Tracer",
+    "WindowConfig",
     "__version__",
 ]

@@ -19,6 +19,8 @@ a snapshot transaction (atomic by default) and invalidate the cache.
 
 from __future__ import annotations
 
+import time
+
 from repro.core import ast
 from repro.core.evaluator import EvalContext, answers, holds
 from repro.core.parser import parse_program
@@ -588,8 +590,20 @@ class IdlEngine:
             )
         obs = self.obs
         if obs is None or not obs.enabled:
+            if obs is None:
+                view = self._view_for(statement)
+                results = answers(statement, view, params or None,
+                                  self.eval_ctx)
+                return self._render_answers(results)
+            # Tracing off but metrics on: time the query explicitly so
+            # the engine.query.ms window (rates, percentiles) keeps
+            # feeding /metrics and the SLO layer.
+            started = time.perf_counter()
             view = self._view_for(statement)
             results = answers(statement, view, params or None, self.eval_ctx)
+            obs.metrics.histogram("engine.query.ms").observe(
+                (time.perf_counter() - started) * 1000.0
+            )
             return self._render_answers(results)
         with obs.span("engine.query") as span:
             view = self._view_for(statement)
@@ -600,6 +614,9 @@ class IdlEngine:
                 if context.counters is not None:
                     evaluate_span.set("counters", dict(context.counters))
             span.set("answers", len(results))
+        duration_ms = span.duration_ms
+        if duration_ms is not None:
+            obs.metrics.histogram("engine.query.ms").observe(duration_ms)
         return self._render_answers(results)
 
     def ask(self, source, **params):

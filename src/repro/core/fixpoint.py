@@ -20,6 +20,8 @@ B3 measures the difference on recursive workloads.
 
 from __future__ import annotations
 
+import time
+
 from repro.core import ast
 from repro.core.rules import (
     body_references,
@@ -114,6 +116,7 @@ def materialize_strata(analyzed_rules, universe, method="seminaive",
         raise ValueError(f"unknown fixpoint method {method!r}")
     tracer = context.tracer if context is not None else None
     metrics = context.metrics if context is not None else None
+    started = time.perf_counter() if metrics is not None else None
     stats = FixpointStats(method)
     overlays = []
     view_base = universe
@@ -161,6 +164,9 @@ def materialize_strata(analyzed_rules, universe, method="seminaive",
         metrics.counter("fixpoint.rule_firings").inc(stats.rule_firings)
         metrics.counter("fixpoint.derivations").inc(stats.derivations)
         metrics.counter("fixpoint.reused_strata").inc(stats.reused_strata)
+        metrics.histogram("fixpoint.materialize.ms").observe(
+            (time.perf_counter() - started) * 1000.0
+        )
     return overlays, stats
 
 

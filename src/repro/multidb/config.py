@@ -78,6 +78,16 @@ class FederationConfig:
     * ``hedge_after`` — wall seconds after which a straggling
       idempotent scan is retried on a second worker (``None`` disables
       hedging).
+
+    Telemetry (see ``docs/observability.md``):
+
+    * ``telemetry_port`` — when set, the federation starts a
+      :class:`~repro.obs.server.TelemetryServer` on
+      ``127.0.0.1:<port>`` serving ``/metrics`` (Prometheus text),
+      ``/health``, ``/slo`` and ``/traces/*``. ``0`` binds an
+      ephemeral port (read it back from ``federation.telemetry.port``);
+      ``None`` (the default) serves nothing. Config-only — there is no
+      legacy keyword for it.
     """
 
     unified_db: str = "dbI"
@@ -92,6 +102,7 @@ class FederationConfig:
     parallel: str = "on"
     max_workers: object = None
     hedge_after: object = None
+    telemetry_port: object = None
 
     def __post_init__(self):
         if self.prune not in _SWITCHES:
@@ -125,6 +136,14 @@ class FederationConfig:
                     f"hedge_after must be positive seconds or None, "
                     f"got {self.hedge_after!r}"
                 )
+        if self.telemetry_port is not None and (
+                not isinstance(self.telemetry_port, int)
+                or isinstance(self.telemetry_port, bool)
+                or not 0 <= self.telemetry_port <= 65535):
+            raise FederationError(
+                f"telemetry_port must be an integer in [0, 65535] or "
+                f"None, got {self.telemetry_port!r}"
+            )
 
     def replace(self, **changes):
         """A copy with ``changes`` applied (re-validated)."""

@@ -212,6 +212,7 @@ class MemberExecutor:
             except Exception as exc:
                 latency = time.perf_counter() - started
                 self._observe_latency(metrics, task.name, latency)
+                self._observe_slo(task.name, latency, ok=False)
                 outcomes.append(MemberOutcome(task.name, error=exc,
                                               latency=latency))
                 if fail_fast:
@@ -223,6 +224,7 @@ class MemberExecutor:
             else:
                 latency = time.perf_counter() - started
                 self._observe_latency(metrics, task.name, latency)
+                self._observe_slo(task.name, latency, ok=True)
                 outcomes.append(MemberOutcome(task.name, value=value,
                                               latency=latency))
         return outcomes
@@ -241,20 +243,26 @@ class MemberExecutor:
         with parent_cm as parent:
             # Child spans are pre-attached here, on the gathering
             # thread, in task order — deterministic trees no matter
-            # which worker finishes first.
+            # which worker finishes first. ``child_span`` charges the
+            # trace's span budget and hands back None once the cap is
+            # hit; that member simply runs untraced.
             spans = []
             for task in tasks:
                 span = None
                 if enabled:
-                    span = tracer.span("scatter-gather.member",
-                                       member=task.name)
-                    parent.children.append(span)
+                    span = tracer.child_span(parent, "scatter-gather.member",
+                                             member=task.name)
                 spans.append(span)
+            # The gathering thread's active request accumulators, so
+            # worker-side increments (pool counters, connector
+            # latencies) land in the request's delta snapshot too.
+            requests = (metrics.active_requests()
+                        if metrics is not None else ())
             started_at = time.monotonic()
             runs = []
             for task, span in zip(tasks, spans):
                 runs.append(self._submit(pool, task, span, parent, tracer,
-                                         metrics))
+                                         metrics, requests))
             outcomes = [
                 self._gather(pool, task, span, run, parent, tracer, metrics,
                              started_at)
@@ -266,36 +274,51 @@ class MemberExecutor:
                 raise error
         return outcomes
 
-    def _submit(self, pool, task, span, parent, tracer, metrics):
+    def _submit(self, pool, task, span, parent, tracer, metrics, requests):
         run = _Run()
         run.future = pool.submit(self._invoke, task, span, parent, tracer,
-                                 metrics, run)
+                                 metrics, requests, run)
         if metrics is not None:
             metrics.counter("connector.pool.submitted").inc()
-            run.future.add_done_callback(
-                lambda _f: metrics.counter("connector.pool.completed").inc()
-            )
+
+            def _completed(_future):
+                # Done callbacks run on the worker thread, outside the
+                # _invoke adoption block — re-adopt for the delta.
+                with metrics.adopt_requests(requests):
+                    metrics.counter("connector.pool.completed").inc()
+
+            run.future.add_done_callback(_completed)
         return run
 
-    def _invoke(self, task, span, parent, tracer, metrics, run):
-        """The worker body: adopt the dispatching spans, time the
-        callable, record the member's latency."""
+    def _invoke(self, task, span, parent, tracer, metrics, requests, run):
+        """The worker body: adopt the dispatching spans and request
+        accumulators, time the callable, record the member's latency."""
         started = time.perf_counter()
+        adopt_cm = (metrics.adopt_requests(requests)
+                    if metrics is not None else _NULL_CONTEXT)
         try:
-            if span is not None:
-                span.start = tracer.clock()
-                try:
-                    with tracer.adopt(parent), tracer.adopt(span):
-                        return task.fn()
-                except BaseException as exc:
-                    span.attributes.setdefault("error", type(exc).__name__)
-                    raise
-                finally:
-                    span.end = tracer.clock()
-            return task.fn()
+            with adopt_cm:
+                if span is not None:
+                    span.start = tracer.clock()
+                    try:
+                        with tracer.adopt(parent), tracer.adopt(span):
+                            return task.fn()
+                    except BaseException as exc:
+                        if "error" not in span.attributes:
+                            # Through Span.set so the trace budget's
+                            # error flag trips (the tail escape that
+                            # keeps sampled-out error traces).
+                            span.set("error", type(exc).__name__)
+                        raise
+                    finally:
+                        span.end = tracer.clock()
+                else:
+                    return task.fn()
         finally:
             run.latency = time.perf_counter() - started
-            self._observe_latency(metrics, task.name, run.latency)
+            with (metrics.adopt_requests(requests)
+                  if metrics is not None else _NULL_CONTEXT):
+                self._observe_latency(metrics, task.name, run.latency)
             if span is not None:
                 span.set("latency_ms", run.latency * 1000.0)
 
@@ -332,6 +355,7 @@ class MemberExecutor:
                         len(outstanding))
                 if span is not None:
                     span.set("timed_out", True)
+                self._observe_slo(task.name, None, ok=False)
                 return MemberOutcome(
                     task.name,
                     error=DeadlineExceededError(
@@ -348,6 +372,10 @@ class MemberExecutor:
                 metrics.counter("connector.pool.rejected").inc()
         error = winner.future.exception()
         value = None if error is not None else winner.future.result()
+        latency_ms = (winner.latency * 1000.0
+                      if winner.latency is not None else None)
+        self._observe_slo(task.name, None, ok=error is None,
+                          latency_ms=latency_ms)
         return MemberOutcome(task.name, value=value, error=error,
                              latency=winner.latency,
                              hedged=hedge is not None)
@@ -386,19 +414,14 @@ class MemberExecutor:
     def _hedge_submit(self, pool, task, parent, tracer, metrics):
         span = None
         if tracer is not None:
-            span = tracer.span("scatter-gather.hedge", member=task.name)
-            parent.children.append(span)
+            span = tracer.child_span(parent, "scatter-gather.hedge",
+                                     member=task.name)
+        requests = (metrics.active_requests()
+                    if metrics is not None else ())
         if metrics is not None:
-            metrics.counter("connector.pool.submitted").inc()
             metrics.counter("connector.pool.hedges").inc()
-        run = _Run()
-        run.future = pool.submit(self._invoke, task, span, parent, tracer,
-                                 metrics, run)
-        if metrics is not None:
-            run.future.add_done_callback(
-                lambda _f: metrics.counter("connector.pool.completed").inc()
-            )
-        return run
+        return self._submit(pool, task, span, parent, tracer, metrics,
+                            requests)
 
     # -- plumbing --------------------------------------------------------
 
@@ -406,6 +429,16 @@ class MemberExecutor:
         if metrics is not None:
             metrics.histogram("connector.pool.latency",
                               member=name).observe(latency * 1000.0)
+
+    def _observe_slo(self, name, latency, ok, latency_ms=None):
+        """Report one member task outcome to the SLO tracker (latency
+        in seconds, or pre-converted via ``latency_ms``)."""
+        slo = getattr(self.obs, "slo", None) if self.obs is not None else None
+        if slo is None:
+            return
+        if latency_ms is None and latency is not None:
+            latency_ms = latency * 1000.0
+        slo.record_member(name, latency_ms, ok=ok)
 
     def _ensure_pool(self, n_tasks):
         with self._lock:

@@ -69,7 +69,7 @@ from repro.multidb.results import (
     QueryResult,
     UpdateResult,
 )
-from repro.obs import Observability, QueryProfile
+from repro.obs import Observability, QueryProfile, TelemetryServer
 from repro.multidb.transparency import (
     STYLES,
     customized_view_rule,
@@ -267,6 +267,11 @@ class Federation:
         self._member_order = None  # cached sorted member names
         self._installed = False
         self.last_validation = None  # DiagnosticReport of the last validate run
+        # Live telemetry exposition (see repro.obs.server and
+        # docs/observability.md): /metrics, /health, /slo, /traces/*.
+        self.telemetry = None
+        if config.telemetry_port is not None:
+            self.start_telemetry(port=config.telemetry_port)
 
     @classmethod
     def from_config(cls, config, engine=None):
@@ -981,6 +986,26 @@ class Federation:
         report["journal"] = self.journal.status()
         return report
 
+    # -- telemetry exposition --------------------------------------------------
+
+    def start_telemetry(self, port=0, host="127.0.0.1"):
+        """Start (or return the already-running)
+        :class:`~repro.obs.server.TelemetryServer` for this federation:
+        ``/metrics`` (Prometheus text), ``/health``, ``/slo`` and
+        ``/traces/*`` on ``host:port`` (``port=0`` binds an ephemeral
+        port — read it back from ``federation.telemetry.port``)."""
+        if self.telemetry is None:
+            self.telemetry = TelemetryServer(
+                self.obs, federation=self, host=host, port=port
+            )
+        return self.telemetry.start()
+
+    def stop_telemetry(self):
+        """Stop the telemetry server, if one is running."""
+        if self.telemetry is not None:
+            self.telemetry.stop()
+            self.telemetry = None
+
     def _check_available(self):
         """Raise the most specific degradation error, if any."""
         report = self.availability()
@@ -1049,7 +1074,7 @@ class Federation:
         deprecated alias for ``on_unavailable``.
         """
         on_unavailable = self._resolve_on_unavailable(partial, on_unavailable)
-        with self.obs.span(
+        with self.obs.metrics.request() as request_metrics, self.obs.span(
             "federation.query", on_unavailable=on_unavailable
         ) as root:
             if on_unavailable == "fail":
@@ -1061,7 +1086,8 @@ class Federation:
             skipped = sorted(availability.unavailable | availability.stale)
             if skipped:
                 root.set("unavailable", skipped)
-        return self._query_result(answers, availability, root)
+        return self._query_result(answers, availability, root,
+                                  request_metrics)
 
     def _record_prune(self, decision, root):
         """Count members the query provably skipped vs scanned, and
@@ -1089,7 +1115,7 @@ class Federation:
             scanned=scanned,
         )
 
-    def _query_result(self, answers, availability, root):
+    def _query_result(self, answers, availability, root, request_metrics):
         enabled = self.obs.enabled
         return QueryResult(
             answers,
@@ -1097,7 +1123,7 @@ class Federation:
             stats=self.engine.last_fixpoint_stats,
             profile=QueryProfile(root) if enabled else None,
             trace=root if enabled else None,
-            metrics=self.obs.metrics.snapshot(),
+            metrics=request_metrics.snapshot(),
         )
 
     def ask(self, source, **params):
@@ -1118,7 +1144,8 @@ class Federation:
         :class:`~repro.multidb.results.UpdateResult` with per-member
         apply outcomes and the journal ``update_id``.
         """
-        with self.obs.span("federation.update") as root:
+        with self.obs.metrics.request() as request_metrics, \
+                self.obs.span("federation.update") as root:
             self._check_available()
             static_writes = self._static_writes(source=source)
             engine_result = self.engine.update(source, **params)
@@ -1127,12 +1154,13 @@ class Federation:
                 static_writes=static_writes,
             )
         return self._update_result(engine_result, outcomes, flushed, root,
-                                   update_id)
+                                   update_id, request_metrics)
 
     def call(self, program, **args):
         """Call a control-database update program (same availability and
         flush rules as :meth:`update`)."""
-        with self.obs.span("federation.call", program=program) as root:
+        with self.obs.metrics.request() as request_metrics, \
+                self.obs.span("federation.call", program=program) as root:
             self._check_available()
             static_writes = self._static_writes(program=program)
             engine_result = self.engine.call(self.control_db, program, **args)
@@ -1141,7 +1169,7 @@ class Federation:
                 static_writes=static_writes,
             )
         return self._update_result(engine_result, outcomes, flushed, root,
-                                   update_id)
+                                   update_id, request_metrics)
 
     def _static_writes(self, *, source=None, program=None):
         """The statically inferred write databases of an update request
@@ -1302,7 +1330,7 @@ class Federation:
             self.crash.visit(site)
 
     def _update_result(self, engine_result, outcomes, flushed, root,
-                       update_id=None):
+                       update_id=None, request_metrics=None):
         enabled = self.obs.enabled
         return UpdateResult(
             engine_result,
@@ -1311,7 +1339,8 @@ class Federation:
             availability=self.availability(),
             profile=QueryProfile(root) if enabled else None,
             trace=root if enabled else None,
-            metrics=self.obs.metrics.snapshot(),
+            metrics=(request_metrics.snapshot() if request_metrics is not None
+                     else self.obs.metrics.snapshot()),
             update_id=update_id,
         )
 

@@ -9,8 +9,11 @@ pipeline's availability, trace, profile or metrics to the caller. Now:
 * every ``query`` returns a :class:`QueryResult` — still a ``list`` of
   answers for full compatibility, additionally carrying
   ``availability``, ``stats`` (the last fixpoint run), ``profile``
-  (EXPLAIN-style tree), ``trace`` (the root span) and ``metrics`` (a
-  snapshot of the federation's registry);
+  (EXPLAIN-style tree), ``trace`` (the root span) and ``metrics`` (the
+  *per-request delta* metrics snapshot — only what this request
+  recorded, so two concurrent queries never report each other's
+  counters; the cumulative registry stays behind
+  ``Observability.metrics``);
 * every ``update``/``call`` returns this module's :class:`UpdateResult`
   — a subclass of the engine's (so existing ``isinstance`` checks and
   attribute reads keep working) extended with per-member apply
@@ -34,8 +37,11 @@ class QueryResult(list):
     ``stats`` is the :class:`~repro.core.fixpoint.FixpointStats` of the
     materialization the answer was computed from (None when no views
     are defined); ``profile``/``trace`` expose the span tree when
-    tracing is enabled (None otherwise); ``metrics`` is the metrics
-    snapshot taken when the query finished.
+    tracing is enabled (None otherwise); ``metrics`` is the
+    per-request *delta* metrics snapshot: the counters and histogram
+    observations this request recorded (worker-thread increments of
+    the scatter-gather fan-out included), not the process-wide
+    cumulative registry — read that via ``Observability.metrics``.
     """
 
     __slots__ = ("availability", "stats", "profile", "trace", "metrics")

@@ -14,6 +14,8 @@ Exporters receive every finished *root* span (one per
 from __future__ import annotations
 
 import json
+import os
+import threading
 
 
 class InMemoryCollector:
@@ -57,9 +59,21 @@ class JsonLinesExporter:
     ``target`` is a path (opened in append mode, closed by
     :meth:`close`) or any object with a ``write`` method (left open —
     the caller owns it).
+
+    Exports are serialized under a lock: with ``parallel="on"`` (and
+    under multi-threaded callers generally) root spans can finish on
+    different threads concurrently, and interleaved ``write`` calls
+    would corrupt the JSONL stream. ``flush_every`` batches flushes
+    (flush once per N exports instead of per span); ``fsync=True``
+    additionally forces the line to disk on each flush, for callers
+    that treat the trace file as a durable audit log.
     """
 
-    def __init__(self, target):
+    def __init__(self, target, flush_every=1, fsync=False):
+        if flush_every < 1:
+            raise ValueError(
+                f"flush_every must be >= 1, got {flush_every!r}"
+            )
         if hasattr(target, "write"):
             self._stream = target
             self._owned = False
@@ -67,16 +81,32 @@ class JsonLinesExporter:
             self._stream = open(target, "a", encoding="utf-8")
             self._owned = True
         self.exported = 0
+        self.flush_every = int(flush_every)
+        self.fsync = bool(fsync)
+        self._lock = threading.Lock()
 
     def export(self, span):
-        self._stream.write(json.dumps(span.as_dict(), sort_keys=True) + "\n")
+        line = json.dumps(span.as_dict(), sort_keys=True) + "\n"
+        with self._lock:
+            self._stream.write(line)
+            self.exported += 1
+            if self.exported % self.flush_every == 0:
+                self._flush()
+
+    def _flush(self):
         if hasattr(self._stream, "flush"):
             self._stream.flush()
-        self.exported += 1
+        if self.fsync and hasattr(self._stream, "fileno"):
+            try:
+                os.fsync(self._stream.fileno())
+            except (OSError, ValueError):  # e.g. a StringIO "fileno"
+                pass
 
     def close(self):
-        if self._owned:
-            self._stream.close()
+        with self._lock:
+            self._flush()
+            if self._owned:
+                self._stream.close()
 
     def __enter__(self):
         return self

@@ -1,0 +1,273 @@
+"""Live telemetry exposition over HTTP (stdlib only).
+
+A :class:`TelemetryServer` binds a ``ThreadingHTTPServer`` on a daemon
+thread and serves the observability state of one federation:
+
+* ``/metrics`` — the registry in Prometheus text format (version
+  0.0.4): counters, per-window rate gauges, histogram summaries with
+  ``quantile`` labels, plus SLO burn-rate gauges when an SLO tracker is
+  attached. Point a Prometheus ``scrape_config`` at it.
+* ``/health`` — the federation's ``health_report()`` (per-member
+  attempt/failure/breaker state and the journal's status) as JSON.
+* ``/slo`` — the :class:`~repro.obs.slo.SLOTracker` report.
+* ``/traces/recent`` — the last kept root spans as JSON trees.
+* ``/traces/slow`` — the slow-query log entries.
+
+Start it explicitly (``TelemetryServer(obs, federation).start()``),
+through ``FederationConfig(telemetry_port=...)``, or from the command
+line via ``python -m repro.tools.telemetry``. ``port=0`` binds an
+ephemeral port; read it back from ``server.port`` / ``server.url``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+def _metric_name(name):
+    """Sanitize an instrument name for Prometheus (dots become
+    underscores: ``connector.pool.latency`` →
+    ``connector_pool_latency``)."""
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label(value):
+    return (str(value)
+            .replace("\\", r"\\")
+            .replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _labels(tags, extra=()):
+    pairs = [(key, tags[key]) for key in sorted(tags)] + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{_metric_name(key)}="{_escape_label(value)}"'
+        for key, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+def _format_number(value):
+    if value is None:
+        return "NaN"
+    return repr(float(value))
+
+
+def render_prometheus(registry, slo=None):
+    """The registry (and optionally an SLO tracker) as Prometheus text
+    exposition format, one ``# TYPE``-introduced family per instrument
+    name."""
+    lines = []
+    by_name = {}
+    for (name, _), counter in sorted(registry._counters.items()):
+        by_name.setdefault(name, []).append(counter)
+    for name, counters in by_name.items():
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        for counter in counters:
+            lines.append(
+                f"{metric}{_labels(counter.tags)} {counter.value}"
+            )
+        if any(counter.window is not None for counter in counters):
+            lines.append(f"# TYPE {metric}_rate gauge")
+            for counter in counters:
+                if counter.window is None:
+                    continue
+                lines.append(
+                    f"{metric}_rate{_labels(counter.tags)} "
+                    f"{_format_number(counter.window.rate())}"
+                )
+    by_name = {}
+    for (name, _), histogram in sorted(registry._histograms.items()):
+        by_name.setdefault(name, []).append(histogram)
+    for name, histograms in by_name.items():
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        for histogram in histograms:
+            summary = histogram.as_dict()
+            for quantile, key in _QUANTILES:
+                if key not in summary:
+                    continue
+                labels = _labels(histogram.tags,
+                                 extra=[("quantile", quantile)])
+                lines.append(
+                    f"{metric}{labels} {_format_number(summary[key])}"
+                )
+            lines.append(
+                f"{metric}_count{_labels(histogram.tags)} {summary['count']}"
+            )
+            lines.append(
+                f"{metric}_sum{_labels(histogram.tags)} "
+                f"{_format_number(summary['sum'])}"
+            )
+        lines.append(f"# TYPE {metric}_max gauge")
+        for histogram in histograms:
+            lines.append(
+                f"{metric}_max{_labels(histogram.tags)} "
+                f"{_format_number(histogram.maximum)}"
+            )
+    if slo is not None:
+        report = slo.report()
+        lines.append("# TYPE slo_burn_rate gauge")
+        lines.append("# TYPE slo_availability gauge")
+        for section, kind in (("operations", "operation"),
+                              ("members", "member")):
+            for name, status in report[section].items():
+                for window, stats in status["windows"].items():
+                    labels = _labels({
+                        "kind": kind, "name": name, "window": window,
+                    })
+                    lines.append(
+                        f"slo_burn_rate{labels} "
+                        f"{_format_number(stats['burn_rate'])}"
+                    )
+                    lines.append(
+                        f"slo_availability{labels} "
+                        f"{_format_number(stats['availability'])}"
+                    )
+    return "\n".join(lines) + "\n"
+
+
+class _TelemetryHandler(BaseHTTPRequestHandler):
+    """Routes one request against the owning server's federation/obs.
+
+    ``ThreadingHTTPServer`` instantiates one handler per request on its
+    worker thread; all shared state lives on ``self.server``."""
+
+    server_version = "IdlTelemetry/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self):  # noqa: N802 (http.server naming)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                obs = self.server.obs
+                body = render_prometheus(obs.metrics, getattr(obs, "slo", None))
+                self._reply(200, body, "text/plain; version=0.0.4")
+            elif path == "/health":
+                self._reply_json(self._health())
+            elif path == "/slo":
+                slo = getattr(self.server.obs, "slo", None)
+                self._reply_json(slo.report() if slo is not None else {})
+            elif path == "/traces/recent":
+                self._reply_json(self.server.obs.recent_traces())
+            elif path == "/traces/slow":
+                log = getattr(self.server.obs, "slow_log", None)
+                self._reply_json(log.entries() if log is not None else [])
+            elif path == "/":
+                self._reply_json({"endpoints": [
+                    "/metrics", "/health", "/slo",
+                    "/traces/recent", "/traces/slow",
+                ]})
+            else:
+                self._reply(404, "not found\n", "text/plain")
+        except Exception as error:  # pragma: no cover - defensive
+            self._reply_json({"error": type(error).__name__,
+                              "detail": str(error)}, status=500)
+
+    def _health(self):
+        federation = self.server.federation
+        if federation is None:
+            return {"status": "standalone", "members": {}}
+        report = federation.health_report()
+        statuses = {member: entry.get("status")
+                    for member, entry in report.items()
+                    if isinstance(entry, dict) and "status" in entry}
+        degraded = [member for member, status in statuses.items()
+                    if status not in ("ok", "untried")]
+        report["status"] = "degraded" if degraded else "ok"
+        return report
+
+    def _reply_json(self, payload, status=200):
+        body = json.dumps(payload, indent=2, sort_keys=True, default=str)
+        self._reply(status, body + "\n", "application/json")
+
+    def _reply(self, status, body, content_type):
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def log_message(self, format, *args):
+        """Silenced — scrapes every few seconds would spam stderr."""
+
+
+class TelemetryServer:
+    """Serves one Observability (and optionally its Federation) over
+    HTTP on a daemon thread."""
+
+    __slots__ = ("obs", "federation", "host", "_port", "_server", "_thread")
+
+    def __init__(self, obs, federation=None, host="127.0.0.1", port=0):
+        self.obs = obs
+        self.federation = federation
+        self.host = host
+        self._port = port
+        self._server = None
+        self._thread = None
+
+    def start(self):
+        if self._server is not None:
+            return self
+        server = ThreadingHTTPServer(
+            (self.host, self._port), _TelemetryHandler
+        )
+        server.daemon_threads = True
+        server.obs = self.obs
+        server.federation = self.federation
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            name="idl-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self):
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    @property
+    def running(self):
+        return self._server is not None
+
+    @property
+    def port(self):
+        """The bound port (resolves ``port=0`` to the ephemeral one)."""
+        if self._server is not None:
+            return self._server.server_address[1]
+        return self._port
+
+    @property
+    def url(self):
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+    def __repr__(self):
+        state = self.url if self.running else "stopped"
+        return f"TelemetryServer({state})"

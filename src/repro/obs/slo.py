@@ -1,0 +1,263 @@
+"""Service-level objectives: availability and latency targets with
+multi-window burn rates.
+
+An :class:`SLO` states a target — "99.9% of operations succeed, p99
+under 250 ms" — and an :class:`SLOTracker` measures reality against it
+per *operation* (``federation.query``, ``federation.update``, ...) and
+per *member* database, over several sliding windows at once (one
+minute, five minutes, one hour by default). The headline number is the
+**burn rate**: the observed error rate divided by the error budget the
+target allows (``1 - availability``). Burn rate 1.0 means the budget is
+being spent exactly as fast as it accrues; 14.4 over the short window
+is the classic page-now threshold. Comparing a short and a long window
+distinguishes a fresh spike (short high, long low) from a sustained
+bleed (both high).
+
+The tracker is fed from two places: the observability layer reports
+every finished root span (operations — sampled-out ones included,
+sampling must not bias the SLO), and the scatter-gather executor
+reports every member task outcome (members). Its :meth:`report` is the
+``/slo`` endpoint's payload and :meth:`top` backs the REPL's ``:top``
+table.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.window import CounterWindow, HistogramWindow, WindowConfig
+
+#: Default sliding windows (seconds) burn rates are computed over.
+DEFAULT_WINDOWS = (60.0, 300.0, 3600.0)
+
+
+class SLO:
+    """One objective: an availability target (fraction of operations
+    that must succeed) and, optionally, a latency target at a
+    percentile (``latency_ms`` at ``percentile``)."""
+
+    __slots__ = ("availability", "latency_ms", "percentile")
+
+    def __init__(self, availability=0.999, latency_ms=None, percentile=0.99):
+        if not 0.0 < availability < 1.0:
+            raise ValueError(
+                f"availability must be in (0, 1), got {availability!r}"
+            )
+        if percentile not in (0.50, 0.90, 0.99):
+            raise ValueError(
+                f"percentile must be one of 0.50/0.90/0.99, "
+                f"got {percentile!r}"
+            )
+        self.availability = float(availability)
+        self.latency_ms = latency_ms
+        self.percentile = percentile
+
+    @property
+    def error_budget(self):
+        return 1.0 - self.availability
+
+    def as_dict(self):
+        return {
+            "availability": self.availability,
+            "latency_ms": self.latency_ms,
+            "percentile": self.percentile,
+        }
+
+    def __repr__(self):
+        return (f"SLO(availability={self.availability}, "
+                f"latency_ms={self.latency_ms}, "
+                f"percentile={self.percentile})")
+
+
+class _Series:
+    """One tracked key's state: per-window total/error counts plus a
+    latency window for percentiles."""
+
+    __slots__ = ("totals", "errors", "latency")
+
+    def __init__(self, windows, clock, samples_per_bucket=128):
+        self.totals = {}
+        self.errors = {}
+        for width in windows:
+            config = WindowConfig(width=width, clock=clock)
+            self.totals[width] = CounterWindow(config)
+            self.errors[width] = CounterWindow(config)
+        shortest = min(windows)
+        self.latency = HistogramWindow(WindowConfig(
+            width=shortest, clock=clock,
+            samples_per_bucket=samples_per_bucket,
+        ))
+
+    def record(self, ok, latency_ms):
+        for window in self.totals.values():
+            window.add(1)
+        if not ok:
+            for window in self.errors.values():
+                window.add(1)
+        if latency_ms is not None:
+            self.latency.observe(latency_ms)
+
+
+class SLOTracker:
+    """Measures operations and members against their objectives.
+
+    ``objective`` is the default :class:`SLO`; ``objectives`` maps a
+    specific key — an operation name like ``"federation.query"`` or a
+    member name — to its own objective. ``windows`` are the burn-rate
+    window widths in seconds; ``clock`` is injectable for tests.
+    """
+
+    __slots__ = ("objective", "objectives", "windows", "_clock", "_series",
+                 "_lock")
+
+    def __init__(self, objective=None, objectives=None, windows=None,
+                 clock=None):
+        self.objective = objective if objective is not None else SLO()
+        self.objectives = dict(objectives or {})
+        widths = tuple(float(w) for w in (windows or DEFAULT_WINDOWS))
+        if not widths or any(w <= 0 for w in widths):
+            raise ValueError(f"windows must be positive, got {windows!r}")
+        self.windows = widths
+        self._clock = clock
+        self._series = {}
+        self._lock = threading.Lock()
+
+    # -- feeding -------------------------------------------------------
+
+    def record_operation(self, name, latency_ms, ok=True):
+        """One finished root operation (query/update/call/...)."""
+        self._get_series("operation", name).record(ok, latency_ms)
+
+    def record_member(self, name, latency_ms, ok=True):
+        """One member task outcome from the executor; ``latency_ms``
+        may be None (a timed-out or rejected task has no latency)."""
+        self._get_series("member", name).record(ok, latency_ms)
+
+    def _get_series(self, kind, name):
+        key = (kind, name)
+        series = self._series.get(key)
+        if series is None:
+            with self._lock:
+                series = self._series.get(key)
+                if series is None:
+                    series = self._series[key] = _Series(
+                        self.windows, self._clock
+                    )
+        return series
+
+    # -- reading -------------------------------------------------------
+
+    def objective_for(self, name):
+        return self.objectives.get(name, self.objective)
+
+    def status(self, kind, name):
+        """One key's JSON-ready status: per-window counts, availability
+        and burn rate, plus latency percentiles over the shortest
+        window and the latency-target verdict."""
+        series = self._series.get((kind, name))
+        if series is None:
+            return None
+        objective = self.objective_for(name)
+        windows = {}
+        for width in self.windows:
+            total = series.totals[width].total()
+            errors = series.errors[width].total()
+            availability = ((total - errors) / total) if total else None
+            error_rate = (errors / total) if total else 0.0
+            windows[f"{int(width)}s"] = {
+                "total": total,
+                "errors": errors,
+                "availability": availability,
+                "burn_rate": error_rate / objective.error_budget,
+            }
+        latency = series.latency.snapshot()
+        status = {
+            "kind": kind,
+            "name": name,
+            "objective": objective.as_dict(),
+            "windows": windows,
+            "latency": latency,
+        }
+        if objective.latency_ms is not None:
+            observed = latency[_percentile_key(objective.percentile)]
+            status["latency_ok"] = (
+                observed is None or observed <= objective.latency_ms
+            )
+        return status
+
+    def burn_rates(self, kind, name):
+        """Burn rate per window width for one key (the multi-window
+        comparison alerting rules want), {} when the key is unknown."""
+        status = self.status(kind, name)
+        if status is None:
+            return {}
+        return {
+            label: window["burn_rate"]
+            for label, window in status["windows"].items()
+        }
+
+    def report(self):
+        """The ``/slo`` payload: every tracked operation and member."""
+        with self._lock:
+            keys = sorted(self._series)
+        report = {"windows": [int(w) for w in self.windows],
+                  "operations": {}, "members": {}}
+        for kind, name in keys:
+            section = "operations" if kind == "operation" else "members"
+            report[section][name] = self.status(kind, name)
+        return report
+
+    def top(self):
+        """Rows for the REPL's ``:top`` — one per tracked key with
+        rate, p50/p99 latency and the shortest-window burn rate —
+        sorted slowest (p99) first."""
+        with self._lock:
+            keys = sorted(self._series)
+        shortest = f"{int(min(self.windows))}s"
+        rows = []
+        for kind, name in keys:
+            status = self.status(kind, name)
+            window = status["windows"][shortest]
+            latency = status["latency"]
+            rows.append({
+                "kind": kind,
+                "name": name,
+                "rate": latency["rate"] if latency["count"] else (
+                    window["total"] / min(self.windows)),
+                "count": window["total"],
+                "p50": latency["p50"],
+                "p99": latency["p99"],
+                "burn_rate": window["burn_rate"],
+            })
+        rows.sort(key=lambda row: (row["p99"] is not None,
+                                   row["p99"] or 0.0), reverse=True)
+        return rows
+
+    def render_top(self):
+        """Aligned plain-text ``:top`` table."""
+        rows = self.top()
+        if not rows:
+            return "(no operations recorded)"
+        header = (f"{'KEY':<40} {'N':>6} {'RATE/S':>8} "
+                  f"{'P50MS':>8} {'P99MS':>8} {'BURN':>6}")
+        lines = [header]
+        for row in rows:
+            key = f"{row['kind']}:{row['name']}"
+            lines.append(
+                f"{key:<40} {row['count']:>6} {row['rate']:>8.2f} "
+                f"{_fmt(row['p50']):>8} {_fmt(row['p99']):>8} "
+                f"{row['burn_rate']:>6.1f}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (f"SLOTracker({len(self._series)} series, "
+                f"windows={self.windows})")
+
+
+def _fmt(value):
+    return f"{value:.2f}" if value is not None else "-"
+
+
+def _percentile_key(fraction):
+    return {0.50: "p50", 0.90: "p90", 0.99: "p99"}[fraction]

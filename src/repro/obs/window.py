@@ -1,0 +1,215 @@
+"""Sliding-window aggregation behind the metrics registry.
+
+Cumulative counters answer "how many, ever"; operating the federation
+needs "how many, *lately*" — request rates, latency percentiles over
+the last minute, burn rates against an SLO. This module provides the
+shared ring-buffer machinery: a window of ``buckets`` slots, each
+covering ``width / buckets`` seconds, indexed by
+``int(now // bucket_width) % buckets``. A slot remembers which bucket
+epoch last wrote it; a reader (or the next writer) that finds a stale
+stamp treats the slot as empty, so expiry is lazy and O(1) — no
+background thread, no timer.
+
+Windows take an injectable ``clock`` (seconds, monotonic) so tests
+drive time explicitly with a fake clock. Writes take the window lock
+once; reads merge at most ``buckets`` slots. Histogram windows keep a
+bounded reservoir per bucket (cyclic overwrite beyond
+``samples_per_bucket``) for nearest-rank percentiles, plus exact
+per-bucket count/total/max so rates and maxima never lose precision to
+sampling.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+
+class WindowConfig:
+    """Shape of every sliding window a registry hands out.
+
+    ``width``
+        Seconds of history a window covers (default: one minute).
+    ``buckets``
+        Ring slots the width is divided into — more buckets means
+        smoother expiry at slightly more merge work per read.
+    ``samples_per_bucket``
+        Reservoir capacity per histogram bucket; beyond it new samples
+        overwrite the oldest in cyclic order.
+    ``clock``
+        Monotonic seconds; injectable for tests.
+    """
+
+    __slots__ = ("width", "buckets", "samples_per_bucket", "clock")
+
+    def __init__(self, width=60.0, buckets=12, samples_per_bucket=64,
+                 clock=None):
+        if width <= 0:
+            raise ValueError(f"window width must be positive, got {width!r}")
+        if buckets < 1:
+            raise ValueError(f"window needs >= 1 bucket, got {buckets!r}")
+        if samples_per_bucket < 1:
+            raise ValueError(
+                f"samples_per_bucket must be >= 1, got {samples_per_bucket!r}"
+            )
+        self.width = float(width)
+        self.buckets = int(buckets)
+        self.samples_per_bucket = int(samples_per_bucket)
+        self.clock = clock if clock is not None else time.monotonic
+
+    @property
+    def bucket_width(self):
+        return self.width / self.buckets
+
+    def __repr__(self):
+        return (f"WindowConfig(width={self.width}, buckets={self.buckets}, "
+                f"samples_per_bucket={self.samples_per_bucket})")
+
+
+class _WindowBase:
+    """Ring-slot bookkeeping shared by counter and histogram windows."""
+
+    __slots__ = ("config", "_stamps", "_lock", "_started")
+
+    def __init__(self, config):
+        self.config = config
+        self._stamps = [None] * config.buckets
+        self._lock = threading.Lock()
+        self._started = config.clock()
+
+    def _slot(self, now):
+        """(index, epoch) of the bucket covering ``now``; the caller
+        resets the slot when its stamp is from an older epoch."""
+        epoch = int(now // self.config.bucket_width)
+        return epoch % self.config.buckets, epoch
+
+    def _live_epochs(self, now):
+        """Epochs still inside the window ending at ``now``."""
+        newest = int(now // self.config.bucket_width)
+        return set(range(newest - self.config.buckets + 1, newest + 1))
+
+    def _span_seconds(self, now):
+        """Effective denominator for rates: the window width, except
+        early in the window's life when less history exists."""
+        alive = now - self._started
+        return min(self.config.width,
+                   max(alive, self.config.bucket_width))
+
+
+class CounterWindow(_WindowBase):
+    """Windowed event count backing per-window rates."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, config):
+        super().__init__(config)
+        self._counts = [0] * config.buckets
+
+    def add(self, amount=1):
+        now = self.config.clock()
+        index, epoch = self._slot(now)
+        with self._lock:
+            if self._stamps[index] != epoch:
+                self._stamps[index] = epoch
+                self._counts[index] = 0
+            self._counts[index] += amount
+
+    def total(self, now=None):
+        """Events inside the window ending at ``now``."""
+        if now is None:
+            now = self.config.clock()
+        live = self._live_epochs(now)
+        with self._lock:
+            return sum(
+                count
+                for stamp, count in zip(self._stamps, self._counts)
+                if stamp in live
+            )
+
+    def rate(self, now=None):
+        """Events per second over the window (or the window's lifetime
+        when younger than the width)."""
+        if now is None:
+            now = self.config.clock()
+        return self.total(now) / self._span_seconds(now)
+
+
+class HistogramWindow(_WindowBase):
+    """Windowed distribution: exact count/sum/max per bucket plus a
+    bounded cyclic reservoir for percentile estimation."""
+
+    __slots__ = ("_counts", "_totals", "_maxima", "_samples")
+
+    def __init__(self, config):
+        super().__init__(config)
+        buckets = config.buckets
+        self._counts = [0] * buckets
+        self._totals = [0.0] * buckets
+        self._maxima = [None] * buckets
+        self._samples = [[] for _ in range(buckets)]
+
+    def observe(self, value):
+        now = self.config.clock()
+        index, epoch = self._slot(now)
+        cap = self.config.samples_per_bucket
+        with self._lock:
+            if self._stamps[index] != epoch:
+                self._stamps[index] = epoch
+                self._counts[index] = 0
+                self._totals[index] = 0.0
+                self._maxima[index] = None
+                self._samples[index] = []
+            samples = self._samples[index]
+            if len(samples) < cap:
+                samples.append(value)
+            else:
+                samples[self._counts[index] % cap] = value
+            self._counts[index] += 1
+            self._totals[index] += value
+            maximum = self._maxima[index]
+            if maximum is None or value > maximum:
+                self._maxima[index] = value
+
+    def snapshot(self, now=None):
+        """Merged view of the live buckets:
+        ``{count, sum, max, rate, p50, p90, p99}`` (percentiles from
+        the reservoir, None when the window is empty)."""
+        if now is None:
+            now = self.config.clock()
+        live = self._live_epochs(now)
+        count = 0
+        total = 0.0
+        maximum = None
+        merged = []
+        with self._lock:
+            for index, stamp in enumerate(self._stamps):
+                if stamp not in live:
+                    continue
+                count += self._counts[index]
+                total += self._totals[index]
+                bucket_max = self._maxima[index]
+                if bucket_max is not None and (
+                        maximum is None or bucket_max > maximum):
+                    maximum = bucket_max
+                merged.extend(self._samples[index])
+        merged.sort()
+        return {
+            "count": count,
+            "sum": total,
+            "max": maximum,
+            "rate": count / self._span_seconds(now),
+            "p50": percentile(merged, 0.50),
+            "p90": percentile(merged, 0.90),
+            "p99": percentile(merged, 0.99),
+        }
+
+
+def percentile(sorted_values, fraction):
+    """Nearest-rank percentile of an already-sorted list (None when
+    empty): the smallest value with at least ``fraction`` of the mass
+    at or below it."""
+    if not sorted_values:
+        return None
+    rank = max(0, math.ceil(fraction * len(sorted_values)) - 1)
+    return sorted_values[rank]

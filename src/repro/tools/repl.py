@@ -44,6 +44,12 @@ IDL console commands:
   :metrics             show the engine's metrics registry (fixpoint
                        totals, fixpoint.maintain.* repair counters,
                        evaluator.index.* probe counters, ...)
+  :top                 live per-operation/per-member table: request
+                       count, rate/s, p50/p99 latency, SLO burn rate
+  :slow                the slow-query log (the N worst root spans,
+                       rendered trees included)
+  :slo                 objectives and multi-window burn rates for every
+                       tracked operation and member
   :health              per-member availability/health and the write-
                        ahead journal's status (federation consoles)
   :check [<path>]      run idlcheck over the loaded program (or a file);
@@ -164,6 +170,12 @@ class IdlRepl:
                 self.write("(observability disabled)")
             else:
                 self.write(obs.metrics.render())
+        elif command == ":top":
+            self._top()
+        elif command == ":slow":
+            self._slow()
+        elif command == ":slo":
+            self._slo()
         elif command == ":health":
             self._health()
         elif command == ":check":
@@ -217,6 +229,57 @@ class IdlRepl:
                 self.write("  (none)")
         else:
             self.write(f"unknown command {command}; try :help")
+
+    def _slo_tracker(self):
+        obs = self.engine.obs
+        return getattr(obs, "slo", None) if obs is not None else None
+
+    def _top(self):
+        """Live per-operation / per-member summary table, slowest p99
+        first (see docs/observability.md, "The :top walkthrough")."""
+        tracker = self._slo_tracker()
+        if tracker is None:
+            self.write("(no SLO tracker; enable observability)")
+            return
+        self.write(tracker.render_top())
+
+    def _slow(self):
+        """The slow-query log: the worst root spans with their trees."""
+        obs = self.engine.obs
+        log = getattr(obs, "slow_log", None) if obs is not None else None
+        if log is None:
+            self.write("(no slow-query log; enable observability)")
+            return
+        self.write(log.render())
+
+    def _slo(self):
+        """Objectives and burn rates per tracked operation/member."""
+        tracker = self._slo_tracker()
+        if tracker is None:
+            self.write("(no SLO tracker; enable observability)")
+            return
+        report = tracker.report()
+        if not report["operations"] and not report["members"]:
+            self.write("(nothing recorded yet)")
+            return
+        for section in ("operations", "members"):
+            for name, status in sorted(report[section].items()):
+                objective = status["objective"]
+                target = f"{objective['availability'] * 100:g}%"
+                if objective["latency_ms"] is not None:
+                    target += (f" / p{int(objective['percentile'] * 100)}"
+                               f" <= {objective['latency_ms']:g}ms")
+                self.write(f"  {status['kind']}:{name}  target={target}")
+                for window, stats in status["windows"].items():
+                    availability = stats["availability"]
+                    rendered = (f"{availability * 100:.3f}%"
+                                if availability is not None else "-")
+                    self.write(
+                        f"    {window:>6}  n={stats['total']:<6} "
+                        f"errors={stats['errors']:<4} "
+                        f"availability={rendered:<9} "
+                        f"burn={stats['burn_rate']:.2f}"
+                    )
 
     def _health(self):
         """Render the federation's health report: one line per member,

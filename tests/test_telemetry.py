@@ -1,0 +1,841 @@
+"""The production telemetry pipeline: sliding windows, per-request
+delta metrics, trace sampling/limits, the slow-query log, SLOs, the
+Prometheus/JSON exposition server, and the REPL's live views.
+
+Windows and SLO trackers are tested against injected fake clocks (no
+sleeps); sampling against injected rngs; the live-server tests bind an
+ephemeral port on 127.0.0.1 and scrape it with urllib.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import FederationError
+from repro.multidb import Federation, FederationConfig, InMemoryConnector
+from repro.multidb.executor import MemberExecutor, MemberTask
+from repro.obs import (
+    SLO,
+    InMemoryCollector,
+    JsonLinesExporter,
+    MetricsRegistry,
+    Observability,
+    SLOTracker,
+    SlowQueryLog,
+    TraceLimits,
+    Tracer,
+    WindowConfig,
+    render_prometheus,
+)
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.window import CounterWindow, HistogramWindow, percentile
+from repro.tools.repl import IdlRepl
+from repro.workloads.stocks import StockWorkload
+
+QUERY = "?.dbI.p(.date=D, .stk=S, .price=P)"
+
+
+class FakeClock:
+    """A manually advanced monotonic clock (seconds)."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def build_stock_federation(obs=None, config=None):
+    workload = StockWorkload(n_stocks=2, n_days=2, seed=42)
+    if config is None:
+        config = FederationConfig(obs=obs)
+    federation = Federation.from_config(config)
+    federation.add_member("euter", "euter", workload.euter_relations())
+    federation.add_member(
+        "chwab", "chwab",
+        connector=InMemoryConnector(workload.chwab_relations()),
+    )
+    federation.add_member("ource", "ource", workload.ource_relations())
+    federation.install()
+    return federation
+
+
+# ---------------------------------------------------------------------------
+# Sliding windows
+# ---------------------------------------------------------------------------
+
+
+class TestCounterWindow:
+    def test_counts_inside_the_window(self):
+        clock = FakeClock()
+        window = CounterWindow(WindowConfig(width=60, buckets=6,
+                                            clock=clock))
+        window.add(5)
+        clock.advance(59)
+        assert window.total() == 5
+
+    def test_old_buckets_expire(self):
+        clock = FakeClock()
+        window = CounterWindow(WindowConfig(width=60, buckets=6,
+                                            clock=clock))
+        window.add(5)
+        clock.advance(61)
+        assert window.total() == 0
+        window.add(2)
+        assert window.total() == 2
+
+    def test_rate_uses_lifetime_for_young_windows(self):
+        clock = FakeClock()
+        window = CounterWindow(WindowConfig(width=60, buckets=6,
+                                            clock=clock))
+        clock.advance(30)
+        for _ in range(10):
+            window.add()
+        assert window.rate() == pytest.approx(10 / 30)
+
+    def test_rate_uses_width_once_mature(self):
+        clock = FakeClock()
+        window = CounterWindow(WindowConfig(width=60, buckets=6,
+                                            clock=clock))
+        clock.advance(600)
+        window.add(30)
+        assert window.rate() == pytest.approx(30 / 60)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WindowConfig(width=0)
+        with pytest.raises(ValueError):
+            WindowConfig(buckets=0)
+        with pytest.raises(ValueError):
+            WindowConfig(samples_per_bucket=0)
+
+
+class TestHistogramWindow:
+    def test_percentiles_nearest_rank(self):
+        clock = FakeClock()
+        window = HistogramWindow(WindowConfig(width=60, buckets=6,
+                                              samples_per_bucket=200,
+                                              clock=clock))
+        for value in range(1, 101):
+            window.observe(float(value))
+        snapshot = window.snapshot()
+        assert snapshot["count"] == 100
+        assert snapshot["p50"] == 50.0
+        assert snapshot["p90"] == 90.0
+        assert snapshot["p99"] == 99.0
+        assert snapshot["max"] == 100.0
+
+    def test_cyclic_reservoir_keeps_exact_count_and_max(self):
+        clock = FakeClock()
+        window = HistogramWindow(WindowConfig(width=60, buckets=6,
+                                              samples_per_bucket=8,
+                                              clock=clock))
+        for value in range(1, 21):
+            window.observe(float(value))
+        snapshot = window.snapshot()
+        # Count/sum/max are exact; percentiles come from the newest
+        # 8 samples (cyclic overwrite), i.e. 13..20.
+        assert snapshot["count"] == 20
+        assert snapshot["max"] == 20.0
+        assert snapshot["p50"] == 16.0
+
+    def test_window_empties_after_width(self):
+        clock = FakeClock()
+        window = HistogramWindow(WindowConfig(width=60, buckets=6,
+                                              clock=clock))
+        window.observe(42.0)
+        clock.advance(61)
+        snapshot = window.snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["p50"] is None
+        assert snapshot["max"] is None
+
+    def test_percentile_empty_is_none(self):
+        assert percentile([], 0.99) is None
+
+
+# ---------------------------------------------------------------------------
+# Registry snapshots: immutability, rates, percentiles
+# ---------------------------------------------------------------------------
+
+
+class TestRegistrySnapshots:
+    def test_counters_stay_ints_and_rates_appear(self):
+        clock = FakeClock(100.0)
+        registry = MetricsRegistry(window=WindowConfig(clock=clock))
+        registry.counter("hits", member="m").inc()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["hits{member=m}"] == 1
+        assert snapshot["rates"]["hits{member=m}"] > 0
+
+    def test_histogram_summary_carries_percentiles(self):
+        clock = FakeClock(100.0)
+        registry = MetricsRegistry(window=WindowConfig(clock=clock))
+        histogram = registry.histogram("latency")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        summary = registry.snapshot()["histograms"]["latency"]
+        assert summary["count"] == 4
+        assert summary["p50"] == 2.0
+        assert summary["p99"] == 4.0
+        assert summary["rate"] > 0
+
+    def test_snapshot_is_immutable(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        snapshot = registry.snapshot()
+        assert isinstance(snapshot, MetricsSnapshot)
+        with pytest.raises(TypeError):
+            snapshot["counters"] = {}
+        with pytest.raises(TypeError):
+            del snapshot["counters"]
+        with pytest.raises(TypeError):
+            snapshot.update({})
+
+    def test_window_false_disables_rates(self):
+        registry = MetricsRegistry(window=False)
+        registry.counter("hits").inc()
+        registry.histogram("latency").observe(1.0)
+        snapshot = registry.snapshot()
+        assert "rates" not in snapshot
+        assert "p50" not in snapshot["histograms"]["latency"]
+
+    def test_render_includes_percentiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency").observe(5.0)
+        assert "p99=5" in registry.render()
+
+
+# ---------------------------------------------------------------------------
+# Per-request delta snapshots
+# ---------------------------------------------------------------------------
+
+
+class TestRequestDeltas:
+    def test_concurrent_requests_see_only_their_own_deltas(self):
+        registry = MetricsRegistry(window=False)
+        barrier = threading.Barrier(2)
+        deltas = {}
+
+        def run(name, count):
+            with registry.request() as accumulator:
+                barrier.wait()
+                for _ in range(count):
+                    registry.counter("shared").inc()
+                barrier.wait()
+                deltas[name] = accumulator.snapshot()
+
+        threads = [threading.Thread(target=run, args=("a", 3)),
+                   threading.Thread(target=run, args=("b", 5))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert deltas["a"]["counters"]["shared"] == 3
+        assert deltas["b"]["counters"]["shared"] == 5
+        assert registry.counter_value("shared") == 8
+
+    def test_nested_requests_both_accumulate(self):
+        registry = MetricsRegistry(window=False)
+        with registry.request() as outer:
+            registry.counter("hits").inc()
+            with registry.request() as inner:
+                registry.counter("hits").inc()
+        assert inner.snapshot()["counters"]["hits"] == 1
+        assert outer.snapshot()["counters"]["hits"] == 2
+
+    def test_adopt_requests_feeds_another_threads_accumulator(self):
+        registry = MetricsRegistry(window=False)
+        with registry.request() as accumulator:
+            captured = registry.active_requests()
+
+            def worker():
+                with registry.adopt_requests(captured):
+                    registry.counter("worker.hits").inc()
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert accumulator.snapshot()["counters"]["worker.hits"] == 1
+
+    def test_request_histogram_deltas_are_exact(self):
+        registry = MetricsRegistry(window=False)
+        with registry.request() as accumulator:
+            for value in (10.0, 20.0, 30.0):
+                registry.histogram("lat").observe(value)
+        summary = accumulator.snapshot()["histograms"]["lat"]
+        assert summary["count"] == 3
+        assert summary["mean"] == 20.0
+        assert summary["p99"] == 30.0
+
+    def test_query_results_carry_per_request_deltas(self):
+        federation = build_stock_federation()
+        update = federation.insert_quote(stk="new", date="9/9/99", price=1)
+        assert update.metrics["counters"]["engine.updates"] == 1
+        result = federation.query(QUERY)
+        # The later query's delta contains none of the update's work.
+        assert "engine.updates" not in result.metrics["counters"]
+        assert "journal.appends" not in result.metrics["counters"]
+        # The cumulative registry still has everything.
+        assert federation.obs.metrics.counter_value("engine.updates") == 1
+
+    def test_parallel_flush_metrics_land_in_the_request_delta(self):
+        # Two connector-backed members so the flush takes the
+        # scatter-gather path; its worker threads must still feed the
+        # gathering request's accumulator.
+        workload = StockWorkload(n_stocks=2, n_days=2, seed=42)
+        federation = Federation.from_config(FederationConfig(parallel="on"))
+        federation.add_member(
+            "euter", "euter",
+            connector=InMemoryConnector(workload.euter_relations()),
+        )
+        federation.add_member(
+            "chwab", "chwab",
+            connector=InMemoryConnector(workload.chwab_relations()),
+        )
+        federation.add_member("ource", "ource", workload.ource_relations())
+        federation.install()
+        result = federation.insert_quote(stk="x", date="1/1/01", price=9)
+        counters = result.metrics["counters"]
+        assert counters.get("connector.pool.submitted", 0) >= 1
+        assert any(key.startswith("connector.pool.latency")
+                   for key in result.metrics["histograms"])
+
+
+# ---------------------------------------------------------------------------
+# JsonLinesExporter: concurrency + flush control
+# ---------------------------------------------------------------------------
+
+
+def finished_span(name="op", duration=0.001):
+    spans = []
+    tracer = Tracer(on_finish=spans.append)
+    with tracer.span(name):
+        pass
+    return spans[0]
+
+
+class TestJsonLinesExporter:
+    def test_concurrent_exports_never_interleave(self):
+        stream = io.StringIO()
+        exporter = JsonLinesExporter(stream)
+        span = finished_span()
+        barrier = threading.Barrier(2)
+
+        def run():
+            barrier.wait()
+            for _ in range(50):
+                exporter.export(span)
+
+        threads = [threading.Thread(target=run) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 100
+        for line in lines:
+            assert json.loads(line)["name"] == "op"
+        assert exporter.exported == 100
+
+    def test_flush_every_batches_flushes(self):
+        class CountingStream(io.StringIO):
+            flushes = 0
+
+            def flush(self):
+                CountingStream.flushes += 1
+                super().flush()
+
+        stream = CountingStream()
+        exporter = JsonLinesExporter(stream, flush_every=10)
+        span = finished_span()
+        for _ in range(25):
+            exporter.export(span)
+        assert CountingStream.flushes == 2  # at 10 and 20
+
+    def test_fsync_to_a_real_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonLinesExporter(path, fsync=True) as exporter:
+            exporter.export(finished_span())
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+
+    def test_flush_every_validated(self):
+        with pytest.raises(ValueError):
+            JsonLinesExporter(io.StringIO(), flush_every=0)
+
+
+# ---------------------------------------------------------------------------
+# Sampling + tail escapes
+# ---------------------------------------------------------------------------
+
+
+class TestSampling:
+    def test_head_sampling_by_injected_rng(self):
+        kept, dropped = [], []
+        values = iter([0.9, 0.1])
+        tracer = Tracer(on_finish=kept.append, on_drop=dropped.append,
+                        sample_rate=0.5, rng=lambda: next(values))
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [span.name for span in kept] == ["second"]
+        assert [span.name for span in dropped] == ["first"]
+
+    def test_sample_rate_zero_counts_drops(self):
+        registry = MetricsRegistry(window=False)
+        kept = []
+        tracer = Tracer(on_finish=kept.append, sample_rate=0.0,
+                        metrics=registry)
+        with tracer.span("a"):
+            pass
+        assert kept == []
+        assert registry.counter_value("obs.trace.dropped.sampled") == 1
+
+    def test_error_escape_keeps_sampled_out_traces(self):
+        registry = MetricsRegistry(window=False)
+        kept = []
+        tracer = Tracer(on_finish=kept.append, sample_rate=0.0,
+                        metrics=registry)
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        assert [span.name for span in kept] == ["failing"]
+        assert registry.counter_value("obs.trace.kept.error") == 1
+
+    def test_slow_escape_keeps_sampled_out_traces(self):
+        registry = MetricsRegistry(window=False)
+        clock = FakeClock()
+        kept, dropped = [], []
+        tracer = Tracer(clock=clock, on_finish=kept.append,
+                        on_drop=dropped.append, sample_rate=0.0,
+                        slow_threshold_ms=50.0, metrics=registry)
+        with tracer.span("slow"):
+            clock.advance(0.1)
+        with tracer.span("fast"):
+            clock.advance(0.001)
+        assert [span.name for span in kept] == ["slow"]
+        assert [span.name for span in dropped] == ["fast"]
+        assert registry.counter_value("obs.trace.kept.slow") == 1
+
+    def test_sample_rate_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+
+    def test_observability_routes_dropped_roots_to_slo_and_slow_log(self):
+        obs = Observability(sample_rate=0.0)
+        collector = obs.add_exporter(InMemoryCollector())
+        with obs.span("federation.query"):
+            pass
+        assert len(collector) == 0  # sampled out: not exported
+        assert len(obs.recent) == 0
+        rows = obs.slo.top()  # ... but the SLO tracker saw it
+        assert [row["name"] for row in rows] == ["federation.query"]
+        assert len(obs.slow_log.entries()) == 1
+
+
+# ---------------------------------------------------------------------------
+# Per-trace limits
+# ---------------------------------------------------------------------------
+
+
+class TestTraceLimits:
+    def test_span_cap_prunes_the_tree(self):
+        registry = MetricsRegistry(window=False)
+        tracer = Tracer(limits=TraceLimits(max_spans=2), metrics=registry)
+        with tracer.span("root") as root:
+            with tracer.span("kept"):
+                pass
+            with tracer.span("capped"):
+                pass
+        assert root.tree() == ("root", [("kept", [])])
+        assert registry.counter_value("obs.trace.dropped.spans") == 1
+
+    def test_attribute_cap(self):
+        registry = MetricsRegistry(window=False)
+        tracer = Tracer(limits=TraceLimits(max_attributes=2),
+                        metrics=registry)
+        with tracer.span("s") as span:
+            span.set("a", 1).set("b", 2).set("c", 3)
+            span.set("a", 9)  # overwrites never count against the cap
+        assert span.attributes == {"a": 9, "b": 2}
+        assert registry.counter_value("obs.trace.dropped.attributes") == 1
+
+    def test_event_cap(self):
+        registry = MetricsRegistry(window=False)
+        tracer = Tracer(limits=TraceLimits(max_events=2), metrics=registry)
+        with tracer.span("s") as span:
+            for index in range(5):
+                span.event("tick", index=index)
+        assert len(span.events) == 2
+        assert registry.counter_value("obs.trace.dropped.events") == 3
+
+    def test_child_span_charges_the_budget(self):
+        tracer = Tracer(limits=TraceLimits(max_spans=2))
+        with tracer.span("root") as root:
+            first = tracer.child_span(root, "member", member="a")
+            second = tracer.child_span(root, "member", member="b")
+        assert first is not None and second is None
+        assert [child.name for child in root.children] == ["member"]
+
+    def test_limits_validated(self):
+        with pytest.raises(ValueError):
+            TraceLimits(max_spans=0)
+
+
+# ---------------------------------------------------------------------------
+# Tracer under the executor's thread-local adoption
+# ---------------------------------------------------------------------------
+
+
+class TestTracerUnderExecutor:
+    def test_sampled_out_parent_with_kept_error_child(self):
+        obs = Observability(sample_rate=0.0)
+        collector = obs.add_exporter(InMemoryCollector())
+
+        def boom():
+            raise RuntimeError("boom")
+
+        executor = MemberExecutor(parallel="on", obs=obs)
+        outcomes = executor.map(
+            [MemberTask("good", lambda: 1), MemberTask("bad", boom)],
+            label="test",
+        )
+        assert outcomes[0].ok and not outcomes[1].ok
+        # The worker's error attribute tripped the trace's error flag,
+        # so the sampled-out root was kept anyway.
+        root = collector.last
+        assert root is not None and root.name == "scatter-gather"
+        members = root.find_all("scatter-gather.member")
+        assert any("error" in span.attributes for span in members)
+        assert obs.metrics.counter_value("obs.trace.kept.error") == 1
+
+    def test_span_cap_enforced_mid_scatter(self):
+        obs = Observability(limits=TraceLimits(max_spans=4))
+        collector = obs.add_exporter(InMemoryCollector())
+        executor = MemberExecutor(parallel="on", obs=obs)
+        tasks = [MemberTask(f"m{index}", lambda: 1) for index in range(8)]
+        outcomes = executor.map(tasks, label="test")
+        assert all(outcome.ok for outcome in outcomes)  # work is unaffected
+        root = collector.last
+        # Budget: 1 root + 3 members; the other 5 ran untraced.
+        assert len(root.find_all("scatter-gather.member")) == 3
+        assert obs.metrics.counter_value("obs.trace.dropped.spans") == 5
+
+    def test_deterministic_span_tree_under_parallel_on(self):
+        obs = Observability()
+        collector = obs.add_exporter(InMemoryCollector())
+        executor = MemberExecutor(parallel="on", obs=obs)
+        names = [f"m{index}" for index in range(6)]
+        executor.map([MemberTask(name, lambda: 1) for name in names],
+                     label="test")
+        root = collector.last
+        assert [span.attributes["member"] for span in root.children] == names
+
+
+# ---------------------------------------------------------------------------
+# Slow-query log
+# ---------------------------------------------------------------------------
+
+
+class TestSlowQueryLog:
+    def _span(self, name, duration_ms):
+        clock = FakeClock()
+        spans = []
+        tracer = Tracer(clock=clock, on_finish=spans.append)
+        with tracer.span(name):
+            clock.advance(duration_ms / 1000.0)
+        return spans[0]
+
+    def test_keeps_the_n_worst(self):
+        log = SlowQueryLog(capacity=2)
+        for duration in (10.0, 30.0, 20.0, 5.0):
+            log.record(self._span(f"q{duration:g}", duration))
+        durations = [entry["duration_ms"] for entry in log.entries()]
+        assert durations == [pytest.approx(30.0), pytest.approx(20.0)]
+
+    def test_threshold_filters(self):
+        log = SlowQueryLog(capacity=4, threshold_ms=50.0)
+        assert not log.record(self._span("fast", 10.0))
+        assert log.record(self._span("slow", 60.0))
+        assert len(log.entries()) == 1
+
+    def test_entries_carry_rendered_trees(self):
+        log = SlowQueryLog(capacity=2)
+        log.record(self._span("federation.query", 25.0))
+        entry = log.entries()[0]
+        assert entry["name"] == "federation.query"
+        assert "federation.query" in entry["rendered"]
+        assert entry["spans"] == 1
+        assert "federation.query" in log.render()
+
+    def test_render_empty(self):
+        assert "empty" in SlowQueryLog().render()
+
+
+# ---------------------------------------------------------------------------
+# SLO tracking
+# ---------------------------------------------------------------------------
+
+
+class TestSLOTracker:
+    def test_burn_rate_is_error_rate_over_budget(self):
+        clock = FakeClock(1000.0)
+        tracker = SLOTracker(objective=SLO(availability=0.9),
+                             windows=(60, 300), clock=clock)
+        for _ in range(9):
+            tracker.record_operation("q", 10.0, ok=True)
+        tracker.record_operation("q", 500.0, ok=False)
+        burn = tracker.burn_rates("operation", "q")
+        # 10% observed errors against a 10% budget: burning at 1x.
+        assert burn["60s"] == pytest.approx(1.0)
+        assert burn["300s"] == pytest.approx(1.0)
+
+    def test_status_reports_availability_and_latency(self):
+        clock = FakeClock(1000.0)
+        tracker = SLOTracker(
+            objective=SLO(availability=0.999, latency_ms=100.0),
+            windows=(60,), clock=clock,
+        )
+        for value in (10.0, 20.0, 500.0):
+            tracker.record_operation("q", value, ok=True)
+        status = tracker.status("operation", "q")
+        assert status["windows"]["60s"]["availability"] == 1.0
+        assert status["latency"]["p99"] == 500.0
+        assert status["latency_ok"] is False
+
+    def test_member_outcomes_without_latency(self):
+        tracker = SLOTracker(windows=(60,))
+        tracker.record_member("chwab", None, ok=False)
+        status = tracker.status("member", "chwab")
+        assert status["windows"]["60s"]["errors"] == 1
+        assert status["latency"]["count"] == 0
+
+    def test_top_sorts_slowest_first(self):
+        clock = FakeClock(1000.0)
+        tracker = SLOTracker(windows=(60,), clock=clock)
+        tracker.record_operation("fast", 1.0)
+        tracker.record_operation("slow", 100.0)
+        rows = tracker.top()
+        assert [row["name"] for row in rows] == ["slow", "fast"]
+        assert "KEY" in tracker.render_top()
+
+    def test_report_sections(self):
+        tracker = SLOTracker(windows=(60,))
+        tracker.record_operation("q", 1.0)
+        tracker.record_member("m", 1.0)
+        report = tracker.report()
+        assert list(report["operations"]) == ["q"]
+        assert list(report["members"]) == ["m"]
+        assert report["windows"] == [60]
+
+    def test_unknown_key_and_validation(self):
+        tracker = SLOTracker()
+        assert tracker.burn_rates("operation", "nope") == {}
+        with pytest.raises(ValueError):
+            SLO(availability=1.5)
+        with pytest.raises(ValueError):
+            SLOTracker(windows=(0,))
+
+    def test_executor_feeds_member_slos(self):
+        obs = Observability()
+
+        def boom():
+            raise RuntimeError("down")
+
+        executor = MemberExecutor(parallel="on", obs=obs)
+        executor.map([MemberTask("good", lambda: 1),
+                      MemberTask("bad", boom)], label="test")
+        good = obs.slo.status("member", "good")
+        bad = obs.slo.status("member", "bad")
+        assert good["windows"]["60s"]["errors"] == 0
+        assert bad["windows"]["60s"]["errors"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition
+# ---------------------------------------------------------------------------
+
+
+class TestPrometheusRendering:
+    def test_golden_text_without_windows(self):
+        registry = MetricsRegistry(window=False)
+        registry.counter("fixpoint.runs").inc(3)
+        registry.counter("connector.scan.attempts", member="chwab").inc()
+        registry.histogram("connector.pool.latency",
+                           member="chwab").observe(2.0)
+        assert render_prometheus(registry) == (
+            '# TYPE connector_scan_attempts counter\n'
+            'connector_scan_attempts{member="chwab"} 1\n'
+            '# TYPE fixpoint_runs counter\n'
+            'fixpoint_runs 3\n'
+            '# TYPE connector_pool_latency summary\n'
+            'connector_pool_latency_count{member="chwab"} 1\n'
+            'connector_pool_latency_sum{member="chwab"} 2.0\n'
+            '# TYPE connector_pool_latency_max gauge\n'
+            'connector_pool_latency_max{member="chwab"} 2.0\n'
+        )
+
+    def test_windowed_registry_emits_quantiles_and_rates(self):
+        clock = FakeClock(100.0)
+        registry = MetricsRegistry(window=WindowConfig(clock=clock))
+        registry.counter("fixpoint.maintain.runs").inc()
+        registry.histogram("connector.pool.latency",
+                           member="chwab").observe(2.0)
+        text = render_prometheus(registry)
+        assert "# TYPE fixpoint_maintain_runs counter" in text
+        assert "fixpoint_maintain_runs 1" in text
+        assert "fixpoint_maintain_runs_rate" in text
+        assert ('connector_pool_latency{member="chwab",quantile="0.99"} 2.0'
+                in text)
+
+    def test_slo_gauges(self):
+        tracker = SLOTracker(windows=(60,))
+        tracker.record_operation("q", 5.0, ok=False)
+        text = render_prometheus(MetricsRegistry(window=False), slo=tracker)
+        assert ('slo_burn_rate{kind="operation",name="q",window="60s"}'
+                in text)
+        assert "slo_availability" in text
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry(window=False)
+        registry.counter("hits", member='we"ird\\name').inc()
+        text = render_prometheus(registry)
+        assert r'member="we\"ird\\name"' in text
+
+
+# ---------------------------------------------------------------------------
+# The live telemetry server
+# ---------------------------------------------------------------------------
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.read().decode("utf-8")
+
+
+class TestTelemetryServer:
+    @pytest.fixture
+    def federation(self):
+        federation = build_stock_federation(
+            config=FederationConfig(telemetry_port=0)
+        )
+        yield federation
+        federation.stop_telemetry()
+
+    def test_metrics_endpoint_serves_prometheus_text(self, federation):
+        federation.query(QUERY)
+        federation.insert_quote(stk="new", date="9/9/99", price=7)
+        body = fetch(federation.telemetry.url + "/metrics")
+        assert "connector_pool_latency" in body
+        assert 'quantile="0.99"' in body
+        assert "fixpoint_maintain_runs" in body
+        assert "engine_query_ms" in body
+
+    def test_health_endpoint(self, federation):
+        report = json.loads(fetch(federation.telemetry.url + "/health"))
+        assert report["status"] == "ok"
+        assert report["chwab"]["status"] == "ok"
+        assert report["journal"]["backend"] == "InMemoryJournal"
+
+    def test_slo_and_traces_endpoints(self, federation):
+        federation.query(QUERY)
+        url = federation.telemetry.url
+        slo = json.loads(fetch(url + "/slo"))
+        assert "federation.query" in slo["operations"]
+        recent = json.loads(fetch(url + "/traces/recent"))
+        assert any(trace["name"] == "federation.query" for trace in recent)
+        slow = json.loads(fetch(url + "/traces/slow"))
+        assert any(entry["name"] == "federation.query" for entry in slow)
+
+    def test_unknown_path_is_404(self, federation):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(federation.telemetry.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_start_stop_idempotent(self):
+        federation = build_stock_federation()
+        assert federation.telemetry is None
+        server = federation.start_telemetry(port=0)
+        assert federation.start_telemetry() is server  # already running
+        port = server.port
+        assert port != 0
+        federation.stop_telemetry()
+        assert federation.telemetry is None
+
+    def test_telemetry_port_validation(self):
+        with pytest.raises(FederationError):
+            FederationConfig(telemetry_port="8080")
+        with pytest.raises(FederationError):
+            FederationConfig(telemetry_port=70000)
+        with pytest.raises(FederationError):
+            FederationConfig(telemetry_port=True)
+
+    def test_demo_cli_builder(self):
+        from repro.tools.telemetry import build_demo_federation, demo_tick
+
+        federation = build_demo_federation(port=0)
+        try:
+            for tick in range(2):
+                demo_tick(federation, tick)
+            body = fetch(federation.telemetry.url + "/metrics")
+            assert "federation" in body or "fixpoint_runs" in body
+        finally:
+            federation.stop_telemetry()
+
+
+# ---------------------------------------------------------------------------
+# REPL: :top / :slow / :slo
+# ---------------------------------------------------------------------------
+
+
+def feed(console, *lines):
+    console.run(lines)
+    return console.out.getvalue()
+
+
+class TestReplTelemetryCommands:
+    @pytest.fixture
+    def console(self):
+        federation = build_stock_federation()
+        federation.query(QUERY)
+        federation.insert_quote(stk="x", date="1/1/01", price=2)
+        return IdlRepl(federation=federation, out=io.StringIO())
+
+    def test_top_lists_operations_and_members(self, console):
+        text = feed(console, ":top")
+        assert "P99MS" in text and "BURN" in text
+        assert "operation:federation.query" in text
+        assert "member:chwab" in text
+
+    def test_slow_renders_worst_traces(self, console):
+        text = feed(console, ":slow")
+        assert "federation.query" in text and "ms" in text
+
+    def test_slo_shows_targets_and_burn(self, console):
+        text = feed(console, ":slo")
+        assert "target=99.9%" in text
+        assert "burn=" in text and "availability=" in text
+
+    def test_commands_degrade_without_observability(self):
+        from repro.core.engine import IdlEngine
+
+        console = IdlRepl(engine=IdlEngine(), out=io.StringIO())
+        text = feed(console, ":top", ":slow", ":slo")
+        assert text.count("enable observability") == 3
+
+    def test_help_mentions_the_new_commands(self):
+        console = IdlRepl(out=io.StringIO())
+        text = feed(console, ":help")
+        for command in (":top", ":slow", ":slo"):
+            assert command in text
